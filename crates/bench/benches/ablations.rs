@@ -1,0 +1,215 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out:
+//!
+//! * `conformity` — score with vs. without the Ψ term (`e = 0`);
+//! * `alignment` — the paper's greedy linear scan vs. the optimal DP;
+//! * `synonyms` — clustering with vs. without thesaurus expansion;
+//! * `index` — answering through the pre-built path index vs. paying
+//!   index construction at query time (the paper's core architectural
+//!   claim: "skip the expensive graph traversal at runtime").
+
+use bench::fixture;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use path_index::Thesaurus;
+use rdf_model::QueryGraph;
+use sama_core::{AlignmentMode, EngineConfig, SamaEngine, ScoreParams};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const K: usize = 10;
+
+fn q5(fx: &bench::BenchFixture) -> QueryGraph {
+    fx.workload[4].query.clone()
+}
+
+fn bench_conformity(c: &mut Criterion) {
+    let fx = fixture(3_000);
+    let with_psi = SamaEngine::new(fx.dataset.graph.clone());
+    let without_psi = SamaEngine::new(fx.dataset.graph.clone())
+        .with_params(ScoreParams::paper().without_conformity());
+    let q = q5(&fx);
+    let mut group = c.benchmark_group("ablation/conformity");
+    group.sample_size(20);
+    group.bench_function("with_psi", |b| {
+        b.iter(|| black_box(with_psi.answer(&q, K)).answers.len());
+    });
+    group.bench_function("without_psi", |b| {
+        b.iter(|| black_box(without_psi.answer(&q, K)).answers.len());
+    });
+    group.finish();
+}
+
+fn bench_alignment_mode(c: &mut Criterion) {
+    let fx = fixture(3_000);
+    let greedy = SamaEngine::with_config(
+        fx.dataset.graph.clone(),
+        EngineConfig {
+            alignment: AlignmentMode::Greedy,
+            ..Default::default()
+        },
+    );
+    let optimal = SamaEngine::with_config(
+        fx.dataset.graph.clone(),
+        EngineConfig {
+            alignment: AlignmentMode::Optimal,
+            ..Default::default()
+        },
+    );
+    let q = q5(&fx);
+    let mut group = c.benchmark_group("ablation/alignment");
+    group.sample_size(20);
+    group.bench_function("greedy", |b| {
+        b.iter(|| black_box(greedy.answer(&q, K)).answers.len());
+    });
+    group.bench_function("optimal_dp", |b| {
+        b.iter(|| black_box(optimal.answer(&q, K)).answers.len());
+    });
+    group.finish();
+}
+
+fn bench_synonyms(c: &mut Criterion) {
+    let fx = fixture(3_000);
+    let plain = SamaEngine::new(fx.dataset.graph.clone());
+    let mut thesaurus = Thesaurus::new();
+    thesaurus.group(["Course", "Class", "Lecture"]);
+    thesaurus.group(["FullProfessor", "Professor", "Lecturer"]);
+    let with_syn = SamaEngine::new(fx.dataset.graph.clone()).with_synonyms(Arc::new(thesaurus));
+    // Q8 probes an absent type, where synonyms change retrieval.
+    let q = fx.workload[7].query.clone();
+    let mut group = c.benchmark_group("ablation/synonyms");
+    group.sample_size(20);
+    group.bench_function("without", |b| {
+        b.iter(|| black_box(plain.answer(&q, K)).answers.len());
+    });
+    group.bench_function("with_thesaurus", |b| {
+        b.iter(|| black_box(with_syn.answer(&q, K)).answers.len());
+    });
+    group.finish();
+}
+
+fn bench_index_value(c: &mut Criterion) {
+    let fx = fixture(2_000);
+    let prebuilt = SamaEngine::new(fx.dataset.graph.clone());
+    let q = q5(&fx);
+    let mut group = c.benchmark_group("ablation/index");
+    group.sample_size(10);
+    group.bench_function("prebuilt_index", |b| {
+        b.iter(|| black_box(prebuilt.answer(&q, K)).answers.len());
+    });
+    group.bench_with_input(
+        BenchmarkId::new("build_per_query", fx.dataset.graph.edge_count()),
+        &fx.dataset.graph,
+        |b, data| {
+            b.iter(|| {
+                let engine = SamaEngine::new(data.clone());
+                black_box(engine.answer(&q, K)).answers.len()
+            });
+        },
+    );
+    group.finish();
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    use sama_core::SamaEngine as Engine;
+    let fx = fixture(3_000);
+    let q = q5(&fx);
+    let mut group = c.benchmark_group("ablation/sharding");
+    group.sample_size(10);
+    let single = Engine::new(fx.dataset.graph.clone());
+    group.bench_function("single_index", |b| {
+        b.iter(|| black_box(single.answer(&q, K)).answers.len());
+    });
+    for shards in [2usize, 4, 8] {
+        let sharded = Engine::sharded(fx.dataset.graph.clone(), shards);
+        group.bench_with_input(BenchmarkId::new("sharded_query", shards), &q, |b, q| {
+            b.iter(|| black_box(sharded.answer(q, K)).answers.len());
+        });
+    }
+    // Build-time comparison: the sharded build parallelizes per shard.
+    group.bench_function("build_single", |b| {
+        b.iter(|| black_box(path_index::PathIndex::build(fx.dataset.graph.clone())).path_count());
+    });
+    group.bench_function("build_4_shards", |b| {
+        b.iter(|| {
+            use path_index::IndexLike;
+            black_box(path_index::ShardedIndex::build(
+                fx.dataset.graph.clone(),
+                4,
+                &Default::default(),
+            ))
+            .total_paths()
+        });
+    });
+    group.finish();
+}
+
+fn bench_incremental_update(c: &mut Criterion) {
+    use rdf_model::Triple;
+    let fx = fixture(3_000);
+    let base = path_index::PathIndex::build(fx.dataset.graph.clone());
+    // A small batch touching one existing professor.
+    let prof = fx.dataset.professors[0].clone();
+    let batch: Vec<Triple> = (0..5)
+        .map(|i| Triple::parse(&format!("NewPub{i}"), "publicationAuthor", &prof))
+        .collect();
+    let mut group = c.benchmark_group("ablation/update");
+    group.sample_size(10);
+    group.bench_function("incremental_insert", |b| {
+        b.iter(|| {
+            let mut index = base.clone();
+            index
+                .insert_triples(&batch, &Default::default())
+                .expect("insert")
+                .added_paths
+        });
+    });
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| {
+            let mut graph = fx.dataset.graph.clone();
+            graph.insert_triples(&batch).expect("insert");
+            black_box(path_index::PathIndex::build(graph)).path_count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let fx = fixture(3_000);
+    let index = path_index::PathIndex::build(fx.dataset.graph.clone());
+    let plain = path_index::encode(&index);
+    let compressed = path_index::encode_compressed(&index);
+    let mut group = c.benchmark_group("ablation/compression");
+    group.sample_size(10);
+    group.bench_function("encode_plain", |b| {
+        b.iter(|| black_box(path_index::encode(&index)).len());
+    });
+    group.bench_function("encode_compressed", |b| {
+        b.iter(|| black_box(path_index::encode_compressed(&index)).len());
+    });
+    group.bench_function("decode_plain", |b| {
+        b.iter(|| {
+            path_index::decode(black_box(&plain))
+                .expect("valid")
+                .path_count()
+        });
+    });
+    group.bench_function("decode_compressed", |b| {
+        b.iter(|| {
+            path_index::decode_compressed(black_box(&compressed))
+                .expect("valid")
+                .path_count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_conformity,
+    bench_alignment_mode,
+    bench_synonyms,
+    bench_index_value,
+    bench_sharding,
+    bench_incremental_update,
+    bench_compression
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 7 bench: Sama scalability against (a) corpus size / retrieved
+//! paths `I`, (b) query node count, and (c) query variable count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datasets::lubm::{generate, LubmConfig};
+use datasets::lubm_workload;
+use eval::experiments::fig7::{query_with_nodes, query_with_vars};
+use sama_core::SamaEngine;
+use std::hint::black_box;
+
+const K: usize = 10;
+
+/// Panel 7a: the same mid-complexity query over growing corpora.
+fn bench_data_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a/data_scale");
+    group.sample_size(10);
+    for triples in [1_000usize, 2_000, 4_000, 8_000] {
+        let ds = generate(&LubmConfig::sized_for(triples, 7));
+        let engine = SamaEngine::new(ds.graph.clone());
+        let q = lubm_workload(&ds)[4].query.clone(); // Q5
+        let retrieved = engine.answer(&q, K).retrieved_paths;
+        group.throughput(Throughput::Elements(retrieved as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(triples), &q, |b, q| {
+            b.iter(|| black_box(engine.answer(q, K)).answers.len());
+        });
+    }
+    group.finish();
+}
+
+/// Panel 7b: growing query node count over a fixed corpus.
+fn bench_query_nodes(c: &mut Criterion) {
+    let ds = generate(&LubmConfig::sized_for(4_000, 7));
+    let engine = SamaEngine::new(ds.graph.clone());
+    let mut group = c.benchmark_group("fig7b/query_nodes");
+    group.sample_size(10);
+    for nodes in [3usize, 7, 11, 15, 19, 23] {
+        let q = query_with_nodes(nodes);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &q, |b, q| {
+            b.iter(|| black_box(engine.answer(q, K)).answers.len());
+        });
+    }
+    group.finish();
+}
+
+/// Panel 7c: growing variable count over a fixed corpus.
+fn bench_query_vars(c: &mut Criterion) {
+    let ds = generate(&LubmConfig::sized_for(4_000, 7));
+    let engine = SamaEngine::new(ds.graph.clone());
+    let mut group = c.benchmark_group("fig7c/query_vars");
+    group.sample_size(10);
+    for vars in 1..=7usize {
+        let q = query_with_vars(&ds, vars);
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &q, |b, q| {
+            b.iter(|| black_box(engine.answer(q, K)).answers.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_data_scale,
+    bench_query_nodes,
+    bench_query_vars
+);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! Answers (paper, Definition 3): subgraphs of the data graph obtained
+//! from the query by a substitution plus a transformation — here
+//! represented as the combination of one data path per query path,
+//! together with the full score breakdown.
+
+use crate::cluster::ClusterEntry;
+use crate::score::ScoreBreakdown;
+use path_index::{IndexLike, PathId};
+use rdf_model::{EdgeId, Graph, LabelId};
+
+/// The path chosen for one query path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChosenPath {
+    /// Index of the query path in `PQ`.
+    pub qpath_index: usize,
+    /// The chosen cluster entry, or `None` if the query path is
+    /// uncovered (empty cluster) and priced as a full deletion.
+    pub entry: Option<ClusterEntry>,
+}
+
+/// One ranked answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    /// One choice per query path, in `PQ` order.
+    pub choices: Vec<ChosenPath>,
+    /// The full score decomposition.
+    pub breakdown: ScoreBreakdown,
+}
+
+impl Answer {
+    /// `score = Λ + Ψ`; lower is better.
+    #[inline]
+    pub fn score(&self) -> f64 {
+        self.breakdown.score()
+    }
+
+    /// The `Λ` component.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.breakdown.lambda_total
+    }
+
+    /// The `Ψ` component.
+    #[inline]
+    pub fn psi(&self) -> f64 {
+        self.breakdown.psi_total
+    }
+
+    /// `true` if this is an *exact* answer (Definition 3 with empty τ):
+    /// every query path aligned with no operations and full conformity.
+    pub fn is_exact(&self) -> bool {
+        self.choices.iter().all(|c| {
+            c.entry
+                .as_ref()
+                .is_some_and(|e| e.alignment.counts.is_exact())
+        }) && self.breakdown.psi_total == 0.0
+    }
+
+    /// The chosen data path ids, in `PQ` order (`None` = uncovered).
+    pub fn path_ids(&self) -> Vec<Option<PathId>> {
+        self.choices
+            .iter()
+            .map(|c| c.entry.as_ref().map(|e| e.path_id))
+            .collect()
+    }
+
+    /// Merge the variable bindings of all chosen alignments. If two
+    /// paths bind the same variable differently, the binding from the
+    /// earlier query path wins (conformity already penalized the
+    /// disagreement).
+    pub fn bindings(&self) -> Vec<(LabelId, LabelId)> {
+        let mut out: Vec<(LabelId, LabelId)> = Vec::new();
+        for c in &self.choices {
+            if let Some(e) = &c.entry {
+                for &(var, value) in &e.alignment.bindings {
+                    if !out.iter().any(|&(v, _)| v == var) {
+                        out.push((var, value));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Assemble the answer subgraph `G' ⊆ G`: the union of the edges of
+    /// all chosen paths. Single-node paths contribute their node via the
+    /// mapping only when an edge touches it; answers made purely of
+    /// single-node paths produce an empty graph.
+    pub fn subgraph(&self, index: &impl IndexLike) -> Graph {
+        let mut edge_ids: Vec<EdgeId> = Vec::new();
+        for c in &self.choices {
+            if let Some(e) = &c.entry {
+                edge_ids.extend(index.indexed(e.path_id).path.edges.iter().copied());
+            }
+        }
+        edge_ids.sort_unstable();
+        edge_ids.dedup();
+        let (sub, _) = index.data().as_graph().subgraph_from_edges(&edge_ids);
+        sub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::{Alignment, AlignmentCounts};
+    use crate::score::PairConformity;
+
+    fn entry(path_id: u32, lambda: f64, bindings: Vec<(LabelId, LabelId)>) -> ClusterEntry {
+        ClusterEntry {
+            path_id: PathId(path_id),
+            alignment: Alignment {
+                counts: AlignmentCounts::default(),
+                lambda,
+                bindings,
+            },
+        }
+    }
+
+    fn answer_with(choices: Vec<ChosenPath>, lambda: f64, psi: f64) -> Answer {
+        Answer {
+            choices,
+            breakdown: ScoreBreakdown {
+                lambda_total: lambda,
+                psi_total: psi,
+                pairs: vec![PairConformity::evaluate(0, 1, 1, 1, 1.0)],
+            },
+        }
+    }
+
+    #[test]
+    fn score_components() {
+        let a = answer_with(vec![], 1.5, 2.0);
+        assert_eq!(a.score(), 3.5);
+        assert_eq!(a.lambda(), 1.5);
+        assert_eq!(a.psi(), 2.0);
+    }
+
+    #[test]
+    fn exactness_requires_all_exact_and_conforming() {
+        let exact = answer_with(
+            vec![ChosenPath {
+                qpath_index: 0,
+                entry: Some(entry(0, 0.0, vec![])),
+            }],
+            0.0,
+            0.0,
+        );
+        assert!(exact.is_exact());
+
+        let uncovered = answer_with(
+            vec![ChosenPath {
+                qpath_index: 0,
+                entry: None,
+            }],
+            4.0,
+            0.0,
+        );
+        assert!(!uncovered.is_exact());
+
+        let nonconforming = answer_with(
+            vec![ChosenPath {
+                qpath_index: 0,
+                entry: Some(entry(0, 0.0, vec![])),
+            }],
+            0.0,
+            1.0,
+        );
+        assert!(!nonconforming.is_exact());
+    }
+
+    #[test]
+    fn bindings_first_wins() {
+        let a = answer_with(
+            vec![
+                ChosenPath {
+                    qpath_index: 0,
+                    entry: Some(entry(0, 0.0, vec![(LabelId(9), LabelId(1))])),
+                },
+                ChosenPath {
+                    qpath_index: 1,
+                    entry: Some(entry(
+                        1,
+                        0.0,
+                        vec![(LabelId(9), LabelId(2)), (LabelId(8), LabelId(3))],
+                    )),
+                },
+            ],
+            0.0,
+            0.0,
+        );
+        let b = a.bindings();
+        assert_eq!(b, vec![(LabelId(9), LabelId(1)), (LabelId(8), LabelId(3))]);
+    }
+
+    #[test]
+    fn path_ids_preserve_order_and_gaps() {
+        let a = answer_with(
+            vec![
+                ChosenPath {
+                    qpath_index: 0,
+                    entry: Some(entry(7, 0.0, vec![])),
+                },
+                ChosenPath {
+                    qpath_index: 1,
+                    entry: None,
+                },
+            ],
+            0.0,
+            0.0,
+        );
+        assert_eq!(a.path_ids(), vec![Some(PathId(7)), None]);
+    }
+}

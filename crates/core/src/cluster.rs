@@ -1,0 +1,611 @@
+//! The clustering step (paper, Section 5 "Clustering").
+//!
+//! One cluster per query path `q ∈ PQ`. Candidate data paths are
+//! retrieved through the index: paths whose *sink* matches the sink of
+//! `q`; if the sink of `q` is a variable, paths containing a label
+//! matching the first constant found scanning `q` backward from the
+//! sink. Each admitted path is aligned against `q` ("before the
+//! insertion of a path p in the cluster for q, we evaluate the
+//! alignment needed to obtain p from q") and clusters are kept sorted
+//! by alignment quality, best (lowest λ) first.
+
+use crate::align::{align, Alignment, AlignmentMode};
+use crate::params::ScoreParams;
+use crate::qpath::QueryPath;
+use crate::score::deletion_lambda;
+use path_index::{IndexLike, PathId, SynonymProvider};
+
+/// How the clustering step picks its retrieval anchor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnchorSelection {
+    /// The paper's rule: the sink, else the first constant scanning
+    /// backward from it (extended into a non-empty-first cascade).
+    #[default]
+    SinkFirst,
+    /// Probe every constant of the query path and anchor on the one
+    /// retrieving the fewest candidates — fewer alignments for the same
+    /// recall, at the price of one extra index lookup per constant.
+    MostSelective,
+}
+
+/// Limits for cluster construction.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Keep at most this many entries per cluster (best-λ first). The
+    /// search step only ever combines cluster members, so this bounds
+    /// both memory and the search branching factor.
+    pub max_cluster_size: usize,
+    /// Align at most this many candidates per cluster (an upstream cap
+    /// for pathological label frequencies).
+    pub max_candidates: usize,
+    /// When a query path contains no constant at all (pure variable
+    /// path), fall back to scanning every indexed path. Disable to make
+    /// such clusters empty instead.
+    pub allow_full_scan: bool,
+    /// Anchor-selection strategy.
+    pub anchor: AnchorSelection,
+    /// Skip anchor-based retrieval entirely and align every indexed
+    /// path against every query path. Exhaustive and expensive —
+    /// intended for small graphs and for verifying properties (e.g.
+    /// Theorem 1's end-to-end monotonicity) that the paper's anchor
+    /// heuristic does not preserve.
+    pub exhaustive: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            max_cluster_size: 256,
+            max_candidates: 1 << 17,
+            allow_full_scan: true,
+            anchor: AnchorSelection::SinkFirst,
+            exhaustive: false,
+        }
+    }
+}
+
+/// One scored cluster member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterEntry {
+    /// The indexed data path.
+    pub path_id: PathId,
+    /// Its alignment against the cluster's query path.
+    pub alignment: Alignment,
+}
+
+impl ClusterEntry {
+    /// The entry's alignment quality `λ`.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.alignment.lambda
+    }
+}
+
+/// The cluster of one query path.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Index of the query path in `PQ`.
+    pub qpath_index: usize,
+    /// Entries sorted ascending by `(λ, path id)` — best first.
+    pub entries: Vec<ClusterEntry>,
+    /// Cost of covering this query path with nothing at all (cluster
+    /// empty, or deliberate skip): full deletion of the path.
+    pub deletion_lambda: f64,
+    /// Candidates dropped by [`ClusterConfig::max_candidates`].
+    pub candidates_dropped: usize,
+    /// Candidates the index retrieved before any cap — the cluster's
+    /// contribution to the paper's `I` (Figure 7a's x-axis).
+    pub candidates_retrieved: usize,
+}
+
+impl Cluster {
+    /// The best (lowest) λ available for this cluster, falling back to
+    /// the deletion cost when empty — the search lower bound.
+    pub fn best_lambda(&self) -> f64 {
+        self.entries
+            .first()
+            .map(ClusterEntry::lambda)
+            .unwrap_or(self.deletion_lambda)
+    }
+
+    /// `true` if no data path was admitted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Build all clusters for the decomposed query `qpaths` against `index`.
+pub fn build_clusters<I: IndexLike>(
+    qpaths: &[QueryPath],
+    index: &I,
+    synonyms: &dyn SynonymProvider,
+    params: &ScoreParams,
+    mode: AlignmentMode,
+    config: &ClusterConfig,
+) -> Vec<Cluster> {
+    qpaths
+        .iter()
+        .map(|q| build_cluster(q, index, synonyms, params, mode, config))
+        .collect()
+}
+
+/// Parallel variant of [`build_clusters`]: one task per query path,
+/// fanned over scoped threads. The paper notes its index supports
+/// "parallel implementations"; clustering is embarrassingly parallel
+/// because clusters are independent. Falls back to the sequential path
+/// for trivial queries where spawning would dominate.
+pub fn build_clusters_parallel<I: IndexLike + Sync>(
+    qpaths: &[QueryPath],
+    index: &I,
+    synonyms: &dyn SynonymProvider,
+    params: &ScoreParams,
+    mode: AlignmentMode,
+    config: &ClusterConfig,
+) -> Vec<Cluster> {
+    if qpaths.len() < 2 {
+        return build_clusters(qpaths, index, synonyms, params, mode, config);
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(qpaths.len());
+    let chunk = qpaths.len().div_ceil(threads);
+    let mut out: Vec<Cluster> = Vec::with_capacity(qpaths.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = qpaths
+            .chunks(chunk)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|q| build_cluster(q, index, synonyms, params, mode, config))
+                        .collect::<Vec<Cluster>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("cluster worker panicked"));
+        }
+    });
+    out
+}
+
+fn build_cluster<I: IndexLike>(
+    q: &QueryPath,
+    index: &I,
+    synonyms: &dyn SynonymProvider,
+    params: &ScoreParams,
+    mode: AlignmentMode,
+    config: &ClusterConfig,
+) -> Cluster {
+    let candidates = retrieve_candidates(q, index, synonyms, config);
+    let retrieved = candidates.len();
+    let mut dropped = 0usize;
+    let considered: &[PathId] = if candidates.len() > config.max_candidates {
+        dropped = candidates.len() - config.max_candidates;
+        &candidates[..config.max_candidates]
+    } else {
+        &candidates
+    };
+
+    let mut entries: Vec<ClusterEntry> = considered
+        .iter()
+        .map(|&pid| {
+            let indexed = index.indexed(pid);
+            ClusterEntry {
+                path_id: pid,
+                alignment: align(q, &indexed.labels, params, mode),
+            }
+        })
+        .collect();
+    // λ first; ties broken by the path's *content* (its node/edge id
+    // sequences in the shared data graph), not by the path id — path
+    // ids are deployment-specific (a sharded index numbers them
+    // differently), and `max_cluster_size` truncation must keep the
+    // same entry set everywhere for answers to be score-identical.
+    entries.sort_by(|x, y| {
+        x.lambda().total_cmp(&y.lambda()).then_with(|| {
+            let px = &index.indexed(x.path_id).path;
+            let py = &index.indexed(y.path_id).path;
+            px.nodes
+                .cmp(&py.nodes)
+                .then_with(|| px.edges.cmp(&py.edges))
+        })
+    });
+    entries.truncate(config.max_cluster_size);
+
+    Cluster {
+        qpath_index: q.index,
+        entries,
+        deletion_lambda: deletion_lambda(q.len(), params),
+        candidates_dropped: dropped,
+        candidates_retrieved: retrieved,
+    }
+}
+
+/// The paper's retrieval rule, extended into a cascade so approximate
+/// queries whose anchors are absent from the data still retrieve
+/// candidates:
+///
+/// 1. sink constant → sink-label lookup;
+/// 2. each constant scanning backward from the sink (including the sink
+///    itself) → containment lookup, first non-empty wins;
+/// 3. pure-variable path, or every constant absent → full scan if
+///    allowed.
+fn retrieve_candidates<I: IndexLike>(
+    q: &QueryPath,
+    index: &I,
+    synonyms: &dyn SynonymProvider,
+    config: &ClusterConfig,
+) -> Vec<PathId> {
+    if config.exhaustive {
+        return index.all_path_ids();
+    }
+    match config.anchor {
+        AnchorSelection::SinkFirst => {
+            if let Some(lexical) = q.sink().lexical() {
+                let by_sink = index.sink_matching(lexical, synonyms);
+                if !by_sink.is_empty() {
+                    return by_sink;
+                }
+            }
+            for anchor in q.constants_from_sink() {
+                let lexical = anchor.lexical().expect("anchor is a constant");
+                let hits = index.label_matching(lexical, synonyms);
+                if !hits.is_empty() {
+                    return hits;
+                }
+            }
+        }
+        AnchorSelection::MostSelective => {
+            // Probe the sink lookup plus a containment lookup per
+            // constant; keep the smallest non-empty result. The sink
+            // lookup is preferred on ties (it anchors the alignment).
+            let mut best: Option<Vec<PathId>> = None;
+            let mut consider = |candidates: Vec<PathId>| {
+                if candidates.is_empty() {
+                    return;
+                }
+                let better = match &best {
+                    None => true,
+                    Some(current) => candidates.len() < current.len(),
+                };
+                if better {
+                    best = Some(candidates);
+                }
+            };
+            if let Some(lexical) = q.sink().lexical() {
+                consider(index.sink_matching(lexical, synonyms));
+            }
+            for anchor in q.constants_from_sink() {
+                let lexical = anchor.lexical().expect("anchor is a constant");
+                consider(index.label_matching(lexical, synonyms));
+            }
+            if let Some(candidates) = best {
+                return candidates;
+            }
+        }
+    }
+    if config.allow_full_scan {
+        index.all_path_ids()
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qpath::decompose_query;
+    use path_index::PathIndex;
+    use path_index::{ExtractionConfig, NoSynonyms, Thesaurus};
+    use rdf_model::{DataGraph, QueryGraph};
+
+    /// The full Figure 1 GovTrack-style fragment restricted to what the
+    /// clustering example (Figure 3) exercises: six amendment chains,
+    /// four direct sponsorships, four gender edges.
+    fn figure1_data() -> DataGraph {
+        let mut b = DataGraph::builder();
+        // Amendment chains: X-sponsor-A-aTo-B-subject-HC
+        for (person, amendment, bill) in [
+            ("CB", "A0056", "B1432"),
+            ("JR", "A1589", "B0532"),
+            ("KF", "A1232", "B0045"),
+            ("JM", "A0772", "B0045"),
+            ("JM", "A1232b", "B0045"), // JM sponsors two amendments
+            ("PD", "A0467", "B0532"),
+        ] {
+            b.triple_str(person, "sponsor", amendment).unwrap();
+            b.triple_str(amendment, "aTo", bill).unwrap();
+        }
+        for bill in ["B1432", "B0532", "B0045"] {
+            b.triple_str(bill, "subject", "\"HC\"").unwrap();
+        }
+        // Direct bill sponsorships: X-sponsor-B-subject-HC
+        for (person, bill) in [
+            ("JR2", "B0045"),
+            ("PT", "B0532"),
+            ("AN", "B1432"),
+            ("PD", "B1432"),
+        ] {
+            b.triple_str(person, "sponsor", bill).unwrap();
+        }
+        // Genders.
+        for person in ["JR", "KF", "JM", "PD"] {
+            b.triple_str(person, "gender", "\"Male\"").unwrap();
+        }
+        b.build()
+    }
+
+    fn q1() -> QueryGraph {
+        let mut b = QueryGraph::builder();
+        b.triple_str("CB", "sponsor", "?v1").unwrap();
+        b.triple_str("?v1", "aTo", "?v2").unwrap();
+        b.triple_str("?v2", "subject", "\"HC\"").unwrap();
+        b.triple_str("?v3", "sponsor", "?v2").unwrap();
+        b.triple_str("?v3", "gender", "\"Male\"").unwrap();
+        b.build()
+    }
+
+    fn setup() -> (PathIndex, Vec<QueryPath>) {
+        let data = figure1_data();
+        let index = PathIndex::build(data);
+        let q = q1();
+        let qpaths = decompose_query(
+            &q,
+            index.graph().vocab(),
+            &NoSynonyms,
+            &ExtractionConfig::default(),
+        );
+        (index, qpaths)
+    }
+
+    fn cluster_for<'a>(clusters: &'a [Cluster], qpaths: &[QueryPath], len: usize) -> &'a Cluster {
+        let qi = qpaths.iter().position(|p| p.len() == len).unwrap();
+        clusters.iter().find(|c| c.qpath_index == qi).unwrap()
+    }
+
+    #[test]
+    fn figure3_cluster_scores() {
+        let (index, qpaths) = setup();
+        let clusters = build_clusters(
+            &qpaths,
+            &index,
+            &NoSynonyms,
+            &ScoreParams::paper(),
+            AlignmentMode::Greedy,
+            &ClusterConfig::default(),
+        );
+        assert_eq!(clusters.len(), 3);
+
+        // cl1 (q1, the 4-node path): best entry λ=0 (p1 = CB chain),
+        // the other five amendment chains at λ=1.
+        let cl1 = cluster_for(&clusters, &qpaths, 4);
+        let lambdas: Vec<f64> = cl1.entries.iter().map(ClusterEntry::lambda).collect();
+        assert_eq!(lambdas[0], 0.0);
+        assert_eq!(lambdas.iter().filter(|&&l| l == 1.0).count(), 5);
+
+        // cl2 (q2, 3-node): four λ=0 direct sponsorships, six λ=1.5
+        // amendment chains.
+        let cl2 = cluster_for(&clusters, &qpaths, 3);
+        let lambdas: Vec<f64> = cl2.entries.iter().map(ClusterEntry::lambda).collect();
+        assert_eq!(lambdas.iter().filter(|&&l| l == 0.0).count(), 4);
+        assert_eq!(lambdas.iter().filter(|&&l| l == 1.5).count(), 6);
+
+        // cl3 (q3, gender): four λ=0.
+        let cl3 = cluster_for(&clusters, &qpaths, 2);
+        assert_eq!(cl3.entries.len(), 4);
+        assert!(cl3.entries.iter().all(|e| e.lambda() == 0.0));
+    }
+
+    #[test]
+    fn entries_sorted_best_first() {
+        let (index, qpaths) = setup();
+        let clusters = build_clusters(
+            &qpaths,
+            &index,
+            &NoSynonyms,
+            &ScoreParams::paper(),
+            AlignmentMode::Greedy,
+            &ClusterConfig::default(),
+        );
+        for c in &clusters {
+            for w in c.entries.windows(2) {
+                assert!(w[0].lambda() <= w[1].lambda());
+            }
+        }
+    }
+
+    #[test]
+    fn same_path_in_two_clusters_with_different_scores() {
+        // The paper highlights p1 in both cl1 (λ=0) and cl2 (λ=1.5).
+        let (index, qpaths) = setup();
+        let clusters = build_clusters(
+            &qpaths,
+            &index,
+            &NoSynonyms,
+            &ScoreParams::paper(),
+            AlignmentMode::Greedy,
+            &ClusterConfig::default(),
+        );
+        let cl1 = cluster_for(&clusters, &qpaths, 4);
+        let cl2 = cluster_for(&clusters, &qpaths, 3);
+        let p1 = cl1.entries[0].path_id; // the CB chain, λ=0 in cl1
+        let in_cl2 = cl2.entries.iter().find(|e| e.path_id == p1).unwrap();
+        assert_eq!(in_cl2.lambda(), 1.5);
+    }
+
+    #[test]
+    fn max_cluster_size_truncates() {
+        let (index, qpaths) = setup();
+        let clusters = build_clusters(
+            &qpaths,
+            &index,
+            &NoSynonyms,
+            &ScoreParams::paper(),
+            AlignmentMode::Greedy,
+            &ClusterConfig {
+                max_cluster_size: 2,
+                ..Default::default()
+            },
+        );
+        assert!(clusters.iter().all(|c| c.entries.len() <= 2));
+    }
+
+    #[test]
+    fn empty_cluster_reports_deletion_cost() {
+        let (index, _) = setup();
+        let mut b = QueryGraph::builder();
+        b.triple_str("?x", "owns", "\"Spaceship\"").unwrap();
+        let q = b.build();
+        let qpaths = decompose_query(
+            &q,
+            index.graph().vocab(),
+            &NoSynonyms,
+            &ExtractionConfig::default(),
+        );
+        let clusters = build_clusters(
+            &qpaths,
+            &index,
+            &NoSynonyms,
+            &ScoreParams::paper(),
+            AlignmentMode::Greedy,
+            &ClusterConfig {
+                allow_full_scan: false,
+                ..Default::default()
+            },
+        );
+        assert!(clusters[0].is_empty());
+        // 2 nodes + 1 edge: 2·1 + 1·2 = 4.
+        assert_eq!(clusters[0].best_lambda(), 4.0);
+
+        // With the full-scan fallback (the default) the cluster fills
+        // with label-mismatched candidates instead.
+        let fallback = build_clusters(
+            &qpaths,
+            &index,
+            &NoSynonyms,
+            &ScoreParams::paper(),
+            AlignmentMode::Greedy,
+            &ClusterConfig::default(),
+        );
+        assert!(!fallback[0].is_empty());
+        // Best candidate: a 2-node path with sink and edge mismatches
+        // (1 + 2 = 3), cheaper than deleting the whole path (4).
+        assert_eq!(fallback[0].best_lambda(), 3.0);
+    }
+
+    #[test]
+    fn synonym_admits_related_sink() {
+        let (index, _) = setup();
+        let mut b = QueryGraph::builder();
+        b.triple_str("?v3", "gender", "\"M\"").unwrap();
+        let q = b.build();
+        let mut t = Thesaurus::new();
+        t.group(["M", "Male"]);
+        let qpaths = decompose_query(&q, index.graph().vocab(), &t, &ExtractionConfig::default());
+        let clusters = build_clusters(
+            &qpaths,
+            &index,
+            &t,
+            &ScoreParams::paper(),
+            AlignmentMode::Greedy,
+            &ClusterConfig::default(),
+        );
+        assert_eq!(clusters[0].entries.len(), 4);
+        // Synonym match is not a mismatch: λ stays 0.
+        assert!(clusters[0].entries.iter().all(|e| e.lambda() == 0.0));
+    }
+
+    #[test]
+    fn most_selective_anchor_shrinks_candidate_pool() {
+        // Query path ?s-memberOf-dept0-type-Department: the sink
+        // (`Department`, the shared type object) matches every
+        // department's type path, while the interior constant `dept0`
+        // occurs in far fewer paths.
+        let mut b = DataGraph::builder();
+        for d in 0..8 {
+            b.triple_str(&format!("dept{d}"), "type", "Department")
+                .unwrap();
+            for s in 0..4 {
+                b.triple_str(&format!("stu{d}_{s}"), "memberOf", &format!("dept{d}"))
+                    .unwrap();
+            }
+        }
+        let index = PathIndex::build(b.build());
+        let mut qb = QueryGraph::builder();
+        qb.triple_str("?s", "memberOf", "dept0").unwrap();
+        qb.triple_str("dept0", "type", "Department").unwrap();
+        let q = qb.build();
+        let qpaths = decompose_query(
+            &q,
+            index.graph().vocab(),
+            &NoSynonyms,
+            &ExtractionConfig::default(),
+        );
+        let paper = build_clusters(
+            &qpaths,
+            &index,
+            &NoSynonyms,
+            &ScoreParams::paper(),
+            AlignmentMode::Greedy,
+            &ClusterConfig::default(),
+        );
+        let selective = build_clusters(
+            &qpaths,
+            &index,
+            &NoSynonyms,
+            &ScoreParams::paper(),
+            AlignmentMode::Greedy,
+            &ClusterConfig {
+                anchor: AnchorSelection::MostSelective,
+                ..Default::default()
+            },
+        );
+        assert!(
+            selective[0].candidates_retrieved < paper[0].candidates_retrieved,
+            "selective {} !< paper {}",
+            selective[0].candidates_retrieved,
+            paper[0].candidates_retrieved
+        );
+        // Both still retrieve the exact matches (λ = 0 entries).
+        assert_eq!(paper[0].best_lambda(), 0.0);
+        assert_eq!(selective[0].best_lambda(), 0.0);
+    }
+
+    #[test]
+    fn pure_variable_path_full_scan() {
+        let (index, _) = setup();
+        let mut b = QueryGraph::builder();
+        b.triple_str("?a", "?p", "?b").unwrap();
+        let q = b.build();
+        let qpaths = decompose_query(
+            &q,
+            index.graph().vocab(),
+            &NoSynonyms,
+            &ExtractionConfig::default(),
+        );
+        let clusters = build_clusters(
+            &qpaths,
+            &index,
+            &NoSynonyms,
+            &ScoreParams::paper(),
+            AlignmentMode::Greedy,
+            &ClusterConfig::default(),
+        );
+        assert!(!clusters[0].is_empty());
+
+        let no_scan = build_clusters(
+            &qpaths,
+            &index,
+            &NoSynonyms,
+            &ScoreParams::paper(),
+            AlignmentMode::Greedy,
+            &ClusterConfig {
+                allow_full_scan: false,
+                ..Default::default()
+            },
+        );
+        assert!(no_scan[0].is_empty());
+    }
+}

@@ -1,0 +1,560 @@
+//! The end-to-end query engine: index off-line, answer on-the-fly
+//! (paper, Section 5).
+
+use crate::align::AlignmentMode;
+use crate::answer::Answer;
+use crate::cluster::{build_clusters, build_clusters_parallel, Cluster, ClusterConfig};
+use crate::igraph::IntersectionGraph;
+use crate::params::ScoreParams;
+use crate::qpath::{decompose_query, QueryPath};
+use crate::search::{search_top_k, SearchConfig, SearchStream};
+use path_index::{
+    ExtractionConfig, IndexLike, NoSynonyms, PathIndex, ShardedIndex, SynonymProvider,
+};
+use rdf_model::{DataGraph, QueryGraph};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Path-extraction limits for the *data* graph (indexing).
+    pub extraction: ExtractionConfig,
+    /// Path-extraction limits for *query* graphs (preprocessing) —
+    /// queries are tiny, so the defaults always suffice.
+    pub query_extraction: ExtractionConfig,
+    /// Clustering limits.
+    pub cluster: ClusterConfig,
+    /// Search limits.
+    pub search: SearchConfig,
+    /// Alignment algorithm (paper's greedy scan by default).
+    pub alignment: AlignmentMode,
+    /// Build clusters on scoped threads (one task per query path).
+    pub parallel_clustering: bool,
+}
+
+/// Per-phase timings of one query run (the paper's Figure 6 measures
+/// "any preprocessing, execution and traversal").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryTimings {
+    /// Query decomposition + IG construction.
+    pub preprocessing: Duration,
+    /// Cluster retrieval + alignment.
+    pub clustering: Duration,
+    /// Top-k combination search.
+    pub search: Duration,
+}
+
+impl QueryTimings {
+    /// Total wall-clock time.
+    pub fn total(&self) -> Duration {
+        self.preprocessing + self.clustering + self.search
+    }
+}
+
+/// Everything a query run produces: ranked answers plus the
+/// intermediate structures (useful for explanation and experiments).
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Up to `k` answers in non-decreasing score order.
+    pub answers: Vec<Answer>,
+    /// The decomposed query paths (`PQ`).
+    pub query_paths: Vec<QueryPath>,
+    /// The intersection query graph.
+    pub intersection_graph: IntersectionGraph,
+    /// The clusters, in `PQ` order.
+    pub clusters: Vec<Cluster>,
+    /// Number of data paths retrieved across all clusters — the paper's
+    /// `I` (Figure 7a's x-axis).
+    pub retrieved_paths: usize,
+    /// `true` if any limit (cluster caps, search expansions) truncated
+    /// the run.
+    pub truncated: bool,
+    /// Phase timings.
+    pub timings: QueryTimings,
+}
+
+impl QueryResult {
+    /// The best answer, if any.
+    pub fn best(&self) -> Option<&Answer> {
+        self.answers.first()
+    }
+
+    /// Render a human-readable explanation of the answer at `rank`:
+    /// per-query-path alignment (chosen data path, λ, operation counts)
+    /// and per-pair conformity. `None` if `rank` is out of range.
+    pub fn explain_answer<I: IndexLike>(
+        &self,
+        rank: usize,
+        index: &I,
+        query: &QueryGraph,
+    ) -> Option<String> {
+        use std::fmt::Write;
+        let answer = self.answers.get(rank)?;
+        let graph = index.data().as_graph();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "answer #{rank}: score {:.2} = Λ {:.2} + Ψ {:.2}",
+            answer.score(),
+            answer.lambda(),
+            answer.psi()
+        );
+        for choice in &answer.choices {
+            let qp = &self.query_paths[choice.qpath_index];
+            let _ = write!(
+                out,
+                "  q{}: {}",
+                qp.index,
+                qp.path.display(query.as_graph())
+            );
+            match &choice.entry {
+                None => {
+                    let _ = writeln!(out, "\n      → uncovered (priced as full deletion)");
+                }
+                Some(entry) => {
+                    let counts = entry.alignment.counts;
+                    let _ = writeln!(
+                        out,
+                        "\n      → {} [λ={}{}]",
+                        index.indexed(entry.path_id).path.display(graph),
+                        entry.lambda(),
+                        if counts.is_exact() {
+                            ", exact".to_string()
+                        } else {
+                            format!(
+                                ", n⁻N={} nʸN={} n⁻E={} nʸE={} del={}",
+                                counts.nodes_mismatched,
+                                counts.nodes_inserted,
+                                counts.edges_mismatched,
+                                counts.edges_inserted,
+                                counts.nodes_deleted + counts.edges_deleted
+                            )
+                        }
+                    );
+                }
+            }
+        }
+        for pair in &answer.breakdown.pairs {
+            let _ = writeln!(
+                out,
+                "  ψ(q{}, q{}): |χq|={} |χp|={} ratio={:.2} penalty={:.2}",
+                pair.qi, pair.qj, pair.chi_q, pair.chi_p, pair.ratio, pair.penalty
+            );
+        }
+        Some(out)
+    }
+}
+
+/// The Sama engine: an index (a plain [`PathIndex`] by default, or any
+/// [`IndexLike`] such as a [`ShardedIndex`]) plus scoring configuration.
+pub struct SamaEngine<I: IndexLike = PathIndex> {
+    index: I,
+    synonyms: Arc<dyn SynonymProvider>,
+    params: ScoreParams,
+    config: EngineConfig,
+}
+
+impl SamaEngine<PathIndex> {
+    /// Index `data` with default configuration.
+    pub fn new(data: DataGraph) -> Self {
+        Self::with_config(data, EngineConfig::default())
+    }
+
+    /// Index `data` with explicit configuration.
+    pub fn with_config(data: DataGraph, config: EngineConfig) -> Self {
+        let index = PathIndex::build_with_config(data, &config.extraction);
+        Self::from_index_with_config(index, config)
+    }
+}
+
+impl SamaEngine<ShardedIndex> {
+    /// Index `data` split across `shards` per-source partitions — the
+    /// simulated grid deployment of the paper's future work (see
+    /// [`ShardedIndex`]). Answers are score-identical to the
+    /// single-index engine.
+    pub fn sharded(data: DataGraph, shards: usize) -> Self {
+        Self::sharded_with_config(data, shards, EngineConfig::default())
+    }
+
+    /// Sharded construction with explicit configuration.
+    pub fn sharded_with_config(data: DataGraph, shards: usize, config: EngineConfig) -> Self {
+        let index = ShardedIndex::build(data, shards, &config.extraction);
+        Self::from_index_with_config(index, config)
+    }
+}
+
+impl<I: IndexLike + Sync> SamaEngine<I> {
+    /// Wrap an existing (e.g. deserialized) index.
+    pub fn from_index(index: I) -> Self {
+        Self::from_index_with_config(index, EngineConfig::default())
+    }
+
+    /// Wrap an existing index with explicit configuration.
+    pub fn from_index_with_config(index: I, config: EngineConfig) -> Self {
+        SamaEngine {
+            index,
+            synonyms: Arc::new(NoSynonyms),
+            params: ScoreParams::paper(),
+            config,
+        }
+    }
+
+    /// Replace the scoring parameters (builder style).
+    pub fn with_params(mut self, params: ScoreParams) -> Self {
+        assert!(params.is_valid(), "score parameters must be non-negative");
+        self.params = params;
+        self
+    }
+
+    /// Install a synonym provider (builder style).
+    pub fn with_synonyms(mut self, synonyms: Arc<dyn SynonymProvider>) -> Self {
+        self.synonyms = synonyms;
+        self
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// The active scoring parameters.
+    pub fn params(&self) -> &ScoreParams {
+        &self.params
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Stream answers lazily in non-decreasing score order — top-k
+    /// without fixing `k` up front. The stream owns the decomposition
+    /// artefacts and borrows the engine's index:
+    ///
+    /// ```
+    /// # use rdf_model::{DataGraph, QueryGraph};
+    /// # use sama_core::SamaEngine;
+    /// # let mut b = DataGraph::builder();
+    /// # b.triple_str("a", "p", "b").unwrap();
+    /// # b.triple_str("c", "p", "b").unwrap();
+    /// # let engine = SamaEngine::new(b.build());
+    /// # let mut q = QueryGraph::builder();
+    /// # q.triple_str("?x", "p", "b").unwrap();
+    /// # let query = q.build();
+    /// let best_two: Vec<_> = engine.answer_stream(&query).take(2).collect();
+    /// assert_eq!(best_two.len(), 2);
+    /// ```
+    pub fn answer_stream(&self, query: &QueryGraph) -> SearchStream<'_, I> {
+        let query_paths = decompose_query(
+            query,
+            self.index.data().vocab(),
+            self.synonyms.as_ref(),
+            &self.config.query_extraction,
+        );
+        let intersection_graph = IntersectionGraph::build(&query_paths);
+        let clusters = if self.config.parallel_clustering {
+            build_clusters_parallel(
+                &query_paths,
+                &self.index,
+                self.synonyms.as_ref(),
+                &self.params,
+                self.config.alignment,
+                &self.config.cluster,
+            )
+        } else {
+            build_clusters(
+                &query_paths,
+                &self.index,
+                self.synonyms.as_ref(),
+                &self.params,
+                self.config.alignment,
+                &self.config.cluster,
+            )
+        };
+        SearchStream::new(
+            query_paths,
+            intersection_graph,
+            clusters,
+            &self.index,
+            self.params,
+            self.config.search,
+        )
+    }
+
+    /// Answer `query` with the `k` most relevant answers.
+    pub fn answer(&self, query: &QueryGraph, k: usize) -> QueryResult {
+        let t0 = Instant::now();
+        let query_paths = decompose_query(
+            query,
+            self.index.data().vocab(),
+            self.synonyms.as_ref(),
+            &self.config.query_extraction,
+        );
+        let intersection_graph = IntersectionGraph::build(&query_paths);
+        let preprocessing = t0.elapsed();
+
+        let t1 = Instant::now();
+        let clusters = if self.config.parallel_clustering {
+            build_clusters_parallel(
+                &query_paths,
+                &self.index,
+                self.synonyms.as_ref(),
+                &self.params,
+                self.config.alignment,
+                &self.config.cluster,
+            )
+        } else {
+            build_clusters(
+                &query_paths,
+                &self.index,
+                self.synonyms.as_ref(),
+                &self.params,
+                self.config.alignment,
+                &self.config.cluster,
+            )
+        };
+        let clustering = t1.elapsed();
+
+        let t2 = Instant::now();
+        let outcome = search_top_k(
+            &query_paths,
+            &intersection_graph,
+            &clusters,
+            &self.index,
+            &self.params,
+            k,
+            &self.config.search,
+        );
+        let search = t2.elapsed();
+
+        let retrieved_paths = clusters.iter().map(|c| c.candidates_retrieved).sum();
+        let truncated = outcome.truncated || clusters.iter().any(|c| c.candidates_dropped > 0);
+        QueryResult {
+            answers: outcome.answers,
+            query_paths,
+            intersection_graph,
+            clusters,
+            retrieved_paths,
+            truncated,
+            timings: QueryTimings {
+                preprocessing,
+                clustering,
+                search,
+            },
+        }
+    }
+}
+
+impl<I: IndexLike> std::fmt::Debug for SamaEngine<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SamaEngine")
+            .field("paths", &self.index.total_paths())
+            .field("params", &self.params)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use path_index::Thesaurus;
+
+    fn figure1_data() -> DataGraph {
+        let mut b = DataGraph::builder();
+        for (person, amendment, bill) in [
+            ("CarlaBunes", "A0056", "B1432"),
+            ("JeffRyser", "A1589", "B0532"),
+            ("KeithFarmer", "A1232", "B0045"),
+            ("JohnMcRie", "A0772", "B0045"),
+            ("PierceDickes", "A0467", "B0532"),
+        ] {
+            b.triple_str(person, "sponsor", amendment).unwrap();
+            b.triple_str(amendment, "aTo", bill).unwrap();
+        }
+        for bill in ["B1432", "B0532", "B0045"] {
+            b.triple_str(bill, "subject", "\"Health Care\"").unwrap();
+        }
+        for (person, bill) in [
+            ("JeffRyser", "B0045"),
+            ("PeterTraves", "B0532"),
+            ("AliceNimber", "B1432"),
+            ("PierceDickes", "B1432"),
+        ] {
+            b.triple_str(person, "sponsor", bill).unwrap();
+        }
+        for person in ["JeffRyser", "KeithFarmer", "JohnMcRie", "PierceDickes"] {
+            b.triple_str(person, "gender", "\"Male\"").unwrap();
+        }
+        for person in ["CarlaBunes", "AliceNimber"] {
+            b.triple_str(person, "gender", "\"Female\"").unwrap();
+        }
+        b.build()
+    }
+
+    fn q1() -> QueryGraph {
+        let mut b = QueryGraph::builder();
+        b.triple_str("CarlaBunes", "sponsor", "?v1").unwrap();
+        b.triple_str("?v1", "aTo", "?v2").unwrap();
+        b.triple_str("?v2", "subject", "\"Health Care\"").unwrap();
+        b.triple_str("?v3", "sponsor", "?v2").unwrap();
+        b.triple_str("?v3", "gender", "\"Male\"").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn end_to_end_top_1() {
+        let engine = SamaEngine::new(figure1_data());
+        let result = engine.answer(&q1(), 1);
+        assert_eq!(result.answers.len(), 1);
+        let best = result.best().unwrap();
+        assert_eq!(best.score(), 0.0);
+        assert!(best.is_exact());
+        assert!(!result.truncated);
+        assert_eq!(result.query_paths.len(), 3);
+        assert!(result.retrieved_paths > 0);
+    }
+
+    #[test]
+    fn best_answer_subgraph_contains_expected_triples() {
+        let engine = SamaEngine::new(figure1_data());
+        let result = engine.answer(&q1(), 1);
+        let sub = result.best().unwrap().subgraph(engine.index());
+        let lines = sub.to_sorted_lines();
+        assert!(lines.contains(&"CarlaBunes sponsor A0056".to_string()));
+        assert!(lines.contains(&"PierceDickes sponsor B1432".to_string()));
+        assert!(lines.contains(&"PierceDickes gender \"Male\"".to_string()));
+    }
+
+    #[test]
+    fn approximate_query_q2_returns_q1_answer() {
+        // The paper's Q2 has no exact answer; relaxation must return the
+        // same region as Q1's best answer.
+        let engine = SamaEngine::new(figure1_data());
+        let mut b = QueryGraph::builder();
+        b.triple_str("CarlaBunes", "?e1", "?v2").unwrap();
+        b.triple_str("?v2", "subject", "\"Health Care\"").unwrap();
+        b.triple_str("?v3", "sponsor", "?v2").unwrap();
+        b.triple_str("?v3", "gender", "\"Male\"").unwrap();
+        let q2 = b.build();
+        let result = engine.answer(&q2, 5);
+        assert!(!result.answers.is_empty());
+        // No exact answer exists.
+        assert!(result.best().unwrap().score() > 0.0);
+        // CarlaBunes reaches a bill only through an amendment, so the
+        // Q1-region answer costs one inserted unit (λ = 1.5) and must
+        // appear among the top answers.
+        let q1_region = result.answers.iter().find(|a| {
+            a.subgraph(engine.index())
+                .to_sorted_lines()
+                .contains(&"CarlaBunes sponsor A0056".to_string())
+        });
+        assert!(q1_region.is_some(), "Q1's answer region not in the top-5");
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let engine = SamaEngine::new(figure1_data());
+        let result = engine.answer(&q1(), 5);
+        assert!(result.timings.total() >= result.timings.search);
+    }
+
+    #[test]
+    fn engine_from_serialized_index_agrees() {
+        let engine = SamaEngine::new(figure1_data());
+        let mut index = engine.index().clone();
+        let bytes = path_index::serialize_index(&mut index);
+        let loaded = path_index::decode(&bytes).unwrap();
+        let cold = SamaEngine::from_index(loaded);
+        let warm_result = engine.answer(&q1(), 5);
+        let cold_result = cold.answer(&q1(), 5);
+        let scores = |r: &QueryResult| r.answers.iter().map(Answer::score).collect::<Vec<_>>();
+        assert_eq!(scores(&warm_result), scores(&cold_result));
+    }
+
+    #[test]
+    fn synonyms_change_results() {
+        let engine = SamaEngine::new(figure1_data());
+        let mut b = QueryGraph::builder();
+        b.triple_str("?v3", "gender", "\"M\"").unwrap();
+        let q = b.build();
+        let no_syn = engine.answer(&q, 1);
+        assert!(no_syn.best().map(|a| a.score()).unwrap_or(f64::MAX) > 0.0);
+
+        let mut t = Thesaurus::new();
+        t.group(["M", "Male"]);
+        let engine = SamaEngine::new(figure1_data()).with_synonyms(Arc::new(t));
+        let with_syn = engine.answer(&q, 1);
+        assert_eq!(with_syn.best().unwrap().score(), 0.0);
+    }
+
+    #[test]
+    fn answer_stream_matches_batch() {
+        let engine = SamaEngine::new(figure1_data());
+        let q = q1();
+        let batch = engine.answer(&q, 12);
+        let streamed: Vec<f64> = engine
+            .answer_stream(&q)
+            .take(12)
+            .map(|a| a.score())
+            .collect();
+        let batch_scores: Vec<f64> = batch.answers.iter().map(Answer::score).collect();
+        assert_eq!(streamed, batch_scores);
+    }
+
+    #[test]
+    fn answer_stream_is_lazy_and_resumable() {
+        let engine = SamaEngine::new(figure1_data());
+        let q = q1();
+        let mut stream = engine.answer_stream(&q);
+        let first = stream.next_answer().expect("first answer");
+        assert_eq!(first.score(), 0.0);
+        let second = stream.next_answer().expect("second answer");
+        assert!(second.score() >= first.score());
+        assert!(!stream.is_truncated());
+        assert!(stream.expansions() > 0);
+        assert_eq!(stream.clusters().len(), stream.query_paths().len());
+    }
+
+    #[test]
+    fn explain_answer_renders_breakdown() {
+        let engine = SamaEngine::new(figure1_data());
+        let q = q1();
+        let result = engine.answer(&q, 2);
+        let text = result
+            .explain_answer(0, engine.index(), &q)
+            .expect("rank 0 exists");
+        assert!(text.contains("score 0.00"));
+        assert!(text.contains("exact"));
+        assert!(text.contains("ψ(q"));
+        assert!(result.explain_answer(99, engine.index(), &q).is_none());
+    }
+
+    #[test]
+    fn parallel_clustering_matches_sequential() {
+        let sequential = SamaEngine::new(figure1_data());
+        let parallel = SamaEngine::with_config(
+            figure1_data(),
+            EngineConfig {
+                parallel_clustering: true,
+                ..Default::default()
+            },
+        );
+        let q = q1();
+        let a = sequential.answer(&q, 10);
+        let b = parallel.answer(&q, 10);
+        let scores = |r: &QueryResult| r.answers.iter().map(Answer::score).collect::<Vec<_>>();
+        assert_eq!(scores(&a), scores(&b));
+        assert_eq!(a.retrieved_paths, b.retrieved_paths);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn invalid_params_rejected() {
+        let params = ScoreParams {
+            a: -1.0,
+            ..ScoreParams::paper()
+        };
+        let _ = SamaEngine::new(figure1_data()).with_params(params);
+    }
+}

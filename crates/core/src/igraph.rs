@@ -1,0 +1,177 @@
+//! The intersection query graph `IG` (paper, Section 5 "Preprocessing").
+//!
+//! "The nodes of IG are the paths of Q, while an edge (q_i, q_j) means
+//! that q_i and q_j have nodes in common." For the running example the
+//! IG is `q1 — q2 — q3`: `q1` and `q2` share `?v2` and `Health Care`,
+//! `q2` and `q3` share `?v3`.
+//!
+//! The IG drives both the conformity term of the score and the
+//! combination forest of the search step.
+
+use crate::qpath::QueryPath;
+use crate::score::chi;
+use rdf_model::NodeId;
+
+/// An edge of the intersection query graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IgEdge {
+    /// Index of the first query path (`qi < qj`).
+    pub qi: usize,
+    /// Index of the second query path.
+    pub qj: usize,
+    /// The shared query-graph nodes (`χ(q_i, q_j)`), sorted.
+    pub shared: Box<[NodeId]>,
+}
+
+impl IgEdge {
+    /// `|χ(q_i, q_j)|`.
+    #[inline]
+    pub fn chi_q(&self) -> usize {
+        self.shared.len()
+    }
+}
+
+/// The intersection query graph over `PQ`.
+#[derive(Debug, Clone, Default)]
+pub struct IntersectionGraph {
+    /// Number of query paths (IG nodes).
+    pub path_count: usize,
+    /// Edges (pairs with at least one shared node), `qi < qj`.
+    pub edges: Vec<IgEdge>,
+    /// For each path index, the indices into `edges` it participates in.
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl IntersectionGraph {
+    /// Build the IG from the decomposed query paths.
+    pub fn build(qpaths: &[QueryPath]) -> Self {
+        let n = qpaths.len();
+        let mut edges = Vec::new();
+        let mut adjacency = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let shared = chi(&qpaths[i].path, &qpaths[j].path);
+                if !shared.is_empty() {
+                    let edge_index = edges.len();
+                    edges.push(IgEdge {
+                        qi: i,
+                        qj: j,
+                        shared: shared.into_boxed_slice(),
+                    });
+                    adjacency[i].push(edge_index);
+                    adjacency[j].push(edge_index);
+                }
+            }
+        }
+        IntersectionGraph {
+            path_count: n,
+            edges,
+            adjacency,
+        }
+    }
+
+    /// Edges incident to query path `q`.
+    pub fn edges_of(&self, q: usize) -> impl Iterator<Item = &IgEdge> + '_ {
+        self.adjacency[q].iter().map(move |&e| &self.edges[e])
+    }
+
+    /// The edge between `qi` and `qj`, if any (order-insensitive).
+    pub fn edge_between(&self, a: usize, b: usize) -> Option<&IgEdge> {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.adjacency[lo]
+            .iter()
+            .map(|&e| &self.edges[e])
+            .find(|e| e.qi == lo && e.qj == hi)
+    }
+
+    /// Edges of `q` leading to query paths with smaller index — exactly
+    /// the pairs the incremental search must price when it assigns `q`.
+    pub fn earlier_edges_of(&self, q: usize) -> impl Iterator<Item = &IgEdge> + '_ {
+        self.edges_of(q).filter(move |e| e.qi < q || e.qj < q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qpath::decompose_query;
+    use path_index::{ExtractionConfig, NoSynonyms};
+    use rdf_model::{QueryGraph, Vocabulary};
+
+    fn q1_paths() -> Vec<QueryPath> {
+        let mut b = QueryGraph::builder();
+        b.triple_str("CB", "sponsor", "?v1").unwrap();
+        b.triple_str("?v1", "aTo", "?v2").unwrap();
+        b.triple_str("?v2", "subject", "\"HC\"").unwrap();
+        b.triple_str("?v3", "sponsor", "?v2").unwrap();
+        b.triple_str("?v3", "gender", "\"Male\"").unwrap();
+        let q = b.build();
+        decompose_query(
+            &q,
+            &Vocabulary::new(),
+            &NoSynonyms,
+            &ExtractionConfig::default(),
+        )
+    }
+
+    #[test]
+    fn running_example_ig_is_a_chain() {
+        let qpaths = q1_paths();
+        let ig = IntersectionGraph::build(&qpaths);
+        assert_eq!(ig.path_count, 3);
+        // q1–q2 share {?v2, HC}; q2–q3 share {?v3}; q1–q3 disjoint.
+        assert_eq!(ig.edges.len(), 2);
+        let by_len = |len: usize| {
+            qpaths
+                .iter()
+                .position(|p| p.len() == len)
+                .expect("path present")
+        };
+        let (i1, i2, i3) = (by_len(4), by_len(3), by_len(2));
+        let e12 = ig.edge_between(i1, i2).expect("q1–q2 edge");
+        assert_eq!(e12.chi_q(), 2);
+        let e23 = ig.edge_between(i2, i3).expect("q2–q3 edge");
+        assert_eq!(e23.chi_q(), 1);
+        assert!(ig.edge_between(i1, i3).is_none());
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let qpaths = q1_paths();
+        let ig = IntersectionGraph::build(&qpaths);
+        for (q, _) in qpaths.iter().enumerate() {
+            for e in ig.edges_of(q) {
+                assert!(e.qi == q || e.qj == q);
+            }
+        }
+    }
+
+    #[test]
+    fn earlier_edges_filter() {
+        let qpaths = q1_paths();
+        let ig = IntersectionGraph::build(&qpaths);
+        // The first path has no earlier neighbor.
+        assert_eq!(ig.earlier_edges_of(0).count(), 0);
+        // Every edge must appear exactly once across earlier_edges_of.
+        let total: usize = (0..ig.path_count)
+            .map(|q| ig.earlier_edges_of(q).count())
+            .sum();
+        assert_eq!(total, ig.edges.len());
+    }
+
+    #[test]
+    fn single_path_has_no_edges() {
+        let mut b = QueryGraph::builder();
+        b.triple_str("a", "p", "?x").unwrap();
+        let q = b.build();
+        let qpaths = decompose_query(
+            &q,
+            &Vocabulary::new(),
+            &NoSynonyms,
+            &ExtractionConfig::default(),
+        );
+        let ig = IntersectionGraph::build(&qpaths);
+        assert_eq!(ig.path_count, 1);
+        assert!(ig.edges.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Scoring parameters (paper, Equation 1 and Section 6.2).
+//!
+//! The weights correspond to the relevance weights `ω` of basic update
+//! operations fixed in the proof of Theorem 1:
+//!
+//! * `a = ω(node of p not present in q)` — a constant-label mismatch,
+//! * `b = ω(node insertion into q)`,
+//! * `c = ω(edge of p not present in q)` — an edge-label mismatch,
+//! * `d = ω(edge insertion into q)`,
+//! * `e` — the conformity weight of `ψ`.
+//!
+//! Label modifications carry weight 0 (`ω(×N) = ω(×E) = 0`): the paper
+//! does "not want to penalize the case where the answer gathers more
+//! labels than Q" — the mismatch itself is already counted by `a`/`c`.
+//!
+//! The experiments in Section 6.2 set `a=1, b=0.5, c=2, d=1`; `e` is not
+//! reported and defaults to `1`.
+//!
+//! Deleting query-path structure (a query path longer than the data path
+//! it aligns to, or a query path left uncovered) is not priced by the
+//! paper; we price node/edge deletion at `a`/`c` by default and expose
+//! the knobs (`del_node`, `del_edge`).
+
+/// Weights of the scoring function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreParams {
+    /// Weight of a data-path node label that mismatches a constant query
+    /// node label (`n⁻N`).
+    pub a: f64,
+    /// Weight of a node inserted into the query path (`nʸN`).
+    pub b: f64,
+    /// Weight of a data-path edge label that mismatches a constant query
+    /// edge label (`n⁻E`).
+    pub c: f64,
+    /// Weight of an edge inserted into the query path (`nʸE`).
+    pub d: f64,
+    /// Weight of the conformity term `Ψ`.
+    pub e: f64,
+    /// Weight of deleting a query node (paper: unspecified; default `a`).
+    pub del_node: f64,
+    /// Weight of deleting a query edge (paper: unspecified; default `c`).
+    pub del_edge: f64,
+}
+
+impl ScoreParams {
+    /// The parameters used in the paper's experiments
+    /// (`a=1, b=0.5, c=2, d=1`, with `e=1` and deletion priced as
+    /// mismatch).
+    pub const fn paper() -> Self {
+        ScoreParams {
+            a: 1.0,
+            b: 0.5,
+            c: 2.0,
+            d: 1.0,
+            e: 1.0,
+            del_node: 1.0,
+            del_edge: 2.0,
+        }
+    }
+
+    /// Disable the conformity term (`e = 0`) — the `ablation_conformity`
+    /// configuration.
+    pub fn without_conformity(mut self) -> Self {
+        self.e = 0.0;
+        self
+    }
+
+    /// `true` if every weight is finite and non-negative — required for
+    /// the monotonicity guarantees (Theorem 1).
+    pub fn is_valid(&self) -> bool {
+        [
+            self.a,
+            self.b,
+            self.c,
+            self.d,
+            self.e,
+            self.del_node,
+            self.del_edge,
+        ]
+        .iter()
+        .all(|w| w.is_finite() && *w >= 0.0)
+    }
+}
+
+impl Default for ScoreParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = ScoreParams::paper();
+        assert_eq!(p.a, 1.0);
+        assert_eq!(p.b, 0.5);
+        assert_eq!(p.c, 2.0);
+        assert_eq!(p.d, 1.0);
+        assert_eq!(p.e, 1.0);
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(ScoreParams::default(), ScoreParams::paper());
+    }
+
+    #[test]
+    fn ablation_disables_conformity() {
+        let p = ScoreParams::paper().without_conformity();
+        assert_eq!(p.e, 0.0);
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn negative_weights_invalid() {
+        let mut p = ScoreParams::paper();
+        p.b = -0.1;
+        assert!(!p.is_valid());
+        p.b = f64::NAN;
+        assert!(!p.is_valid());
+    }
+}

@@ -1,0 +1,287 @@
+//! Query decomposition (paper, Section 5 "Preprocessing").
+//!
+//! "Given a query graph Q, the set PQ of all paths is computed on the
+//! fly by traversing Q from each source to any sinks." We reuse the
+//! same extraction machinery as the data index, then translate each
+//! query path's labels into a *data-vocabulary view*: every constant
+//! label is resolved (together with its synonyms) to the set of data
+//! label ids it may match, so the alignment inner loop compares plain
+//! integers.
+
+use path_index::{extract_paths, ExtractionConfig, Path, SynonymProvider};
+use rdf_model::{LabelId, QueryGraph, Vocabulary};
+
+/// A query-path label as seen by alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryLabel {
+    /// A variable (id in the *query* vocabulary); matches any data label.
+    Var(LabelId),
+    /// A constant; matches any of the listed *data* label ids (the label
+    /// itself plus synonym expansion). Empty if the constant does not
+    /// occur in the data at all.
+    Const {
+        /// Acceptable data labels, sorted ascending.
+        accepted: Box<[LabelId]>,
+        /// The constant's lexical form (for anchoring and display).
+        lexical: Box<str>,
+    },
+}
+
+impl QueryLabel {
+    /// `true` if this label admits `data_label`.
+    #[inline]
+    pub fn admits(&self, data_label: LabelId) -> bool {
+        match self {
+            QueryLabel::Var(_) => true,
+            QueryLabel::Const { accepted, .. } => accepted.binary_search(&data_label).is_ok(),
+        }
+    }
+
+    /// `true` if this is a variable.
+    #[inline]
+    pub fn is_var(&self) -> bool {
+        matches!(self, QueryLabel::Var(_))
+    }
+
+    /// The constant's lexical form, if a constant.
+    pub fn lexical(&self) -> Option<&str> {
+        match self {
+            QueryLabel::Var(_) => None,
+            QueryLabel::Const { lexical, .. } => Some(lexical),
+        }
+    }
+}
+
+/// One decomposed query path with its data-vocabulary label view.
+#[derive(Debug, Clone)]
+pub struct QueryPath {
+    /// Position of this path in `PQ` (cluster index).
+    pub index: usize,
+    /// The node/edge ids of the path *in the query graph* (used by the
+    /// intersection query graph `χ` computation).
+    pub path: Path,
+    /// Node labels, sink-anchored views.
+    pub nodes: Box<[QueryLabel]>,
+    /// Edge labels.
+    pub edges: Box<[QueryLabel]>,
+}
+
+impl QueryPath {
+    /// Paper "length": number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the path has no nodes (cannot occur; API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The label at the sink end.
+    #[inline]
+    pub fn sink(&self) -> &QueryLabel {
+        self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// All *constant* labels scanning from the sink backwards (nodes and
+    /// edges interleaved: node k, edge k-1, node k-1, …) — the
+    /// clustering anchor cascade.
+    pub fn constants_from_sink(&self) -> impl Iterator<Item = &QueryLabel> + '_ {
+        let k = self.nodes.len();
+        (0..k).rev().flat_map(move |i| {
+            let node = (!self.nodes[i].is_var()).then_some(&self.nodes[i]);
+            let edge = (i > 0 && !self.edges[i - 1].is_var()).then(|| &self.edges[i - 1]);
+            node.into_iter().chain(edge)
+        })
+    }
+
+    /// The first *constant* label scanning from the sink backwards —
+    /// the clustering fallback anchor when the sink is a variable.
+    pub fn first_constant_from_sink(&self) -> Option<&QueryLabel> {
+        self.constants_from_sink().next()
+    }
+}
+
+/// Decompose `query` into `PQ` and translate labels against
+/// `data_vocab` (+ synonyms).
+pub fn decompose_query(
+    query: &QueryGraph,
+    data_vocab: &Vocabulary,
+    synonyms: &dyn SynonymProvider,
+    config: &ExtractionConfig,
+) -> Vec<QueryPath> {
+    let extraction = extract_paths(query.as_graph(), config);
+    extraction
+        .paths
+        .into_iter()
+        .enumerate()
+        .map(|(index, path)| {
+            let labels = path.labels(query.as_graph());
+            let nodes = labels
+                .node_labels
+                .iter()
+                .map(|&l| translate(query, data_vocab, synonyms, l))
+                .collect();
+            let edges = labels
+                .edge_labels
+                .iter()
+                .map(|&l| translate(query, data_vocab, synonyms, l))
+                .collect();
+            QueryPath {
+                index,
+                path,
+                nodes,
+                edges,
+            }
+        })
+        .collect()
+}
+
+fn translate(
+    query: &QueryGraph,
+    data_vocab: &Vocabulary,
+    synonyms: &dyn SynonymProvider,
+    label: LabelId,
+) -> QueryLabel {
+    let qv = query.vocab();
+    if !qv.is_constant(label) {
+        return QueryLabel::Var(label);
+    }
+    let lexical = qv.lexical(label);
+    let mut accepted: Vec<LabelId> = Vec::new();
+    if let Some(id) = data_vocab.get_constant(lexical) {
+        accepted.push(id);
+    }
+    for synonym in synonyms.synonyms(lexical) {
+        if let Some(id) = data_vocab.get_constant(&synonym) {
+            accepted.push(id);
+        }
+    }
+    accepted.sort_unstable();
+    accepted.dedup();
+    QueryLabel::Const {
+        accepted: accepted.into_boxed_slice(),
+        lexical: Box::from(lexical),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use path_index::{NoSynonyms, Thesaurus};
+    use rdf_model::DataGraph;
+
+    fn data_vocab() -> Vocabulary {
+        let mut b = DataGraph::builder();
+        b.triple_str("CB", "sponsor", "A0056").unwrap();
+        b.triple_str("A0056", "aTo", "B1432").unwrap();
+        b.triple_str("B1432", "subject", "\"HC\"").unwrap();
+        b.build().vocab().clone()
+    }
+
+    fn q1() -> QueryGraph {
+        let mut b = QueryGraph::builder();
+        b.triple_str("CB", "sponsor", "?v1").unwrap();
+        b.triple_str("?v1", "aTo", "?v2").unwrap();
+        b.triple_str("?v2", "subject", "\"HC\"").unwrap();
+        b.triple_str("?v3", "sponsor", "?v2").unwrap();
+        b.triple_str("?v3", "gender", "\"Male\"").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn decomposes_into_three_paths() {
+        let q = q1();
+        let paths = decompose_query(&q, &data_vocab(), &NoSynonyms, &Default::default());
+        // q1: CB-sponsor-?v1-aTo-?v2-subject-HC (4 nodes)
+        // q2: ?v3-sponsor-?v2-subject-HC (3 nodes)
+        // q3: ?v3-gender-Male (2 nodes)
+        let mut lens: Vec<usize> = paths.iter().map(|p| p.len()).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![2, 3, 4]);
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn constants_resolve_into_data_vocab() {
+        let q = q1();
+        let vocab = data_vocab();
+        let paths = decompose_query(&q, &vocab, &NoSynonyms, &Default::default());
+        let long = paths.iter().find(|p| p.len() == 4).unwrap();
+        // Sink HC resolves to the data literal.
+        match long.sink() {
+            QueryLabel::Const { accepted, lexical } => {
+                assert_eq!(&**lexical, "HC");
+                assert_eq!(accepted.len(), 1);
+            }
+            other => panic!("expected constant sink, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absent_constants_have_empty_accepted() {
+        let q = q1();
+        let vocab = data_vocab(); // has no "Male"
+        let paths = decompose_query(&q, &vocab, &NoSynonyms, &Default::default());
+        let male_path = paths.iter().find(|p| p.len() == 2).unwrap();
+        match male_path.sink() {
+            QueryLabel::Const { accepted, .. } => assert!(accepted.is_empty()),
+            other => panic!("expected constant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn synonyms_extend_accepted() {
+        let q = q1();
+        let vocab = data_vocab();
+        let mut t = Thesaurus::new();
+        t.group(["HC", "HealthCare"]); // no effect: HC already present
+        t.group(["Male", "CB"]); // silly but exercises the expansion
+        let paths = decompose_query(&q, &vocab, &t, &Default::default());
+        let male_path = paths.iter().find(|p| p.len() == 2).unwrap();
+        match male_path.sink() {
+            QueryLabel::Const { accepted, .. } => assert_eq!(accepted.len(), 1),
+            other => panic!("expected constant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_sink_falls_back_to_first_constant() {
+        let mut b = QueryGraph::builder();
+        b.triple_str("\"Root\"", "p", "?x").unwrap();
+        b.triple_str("?x", "q", "?y").unwrap();
+        let q = b.build();
+        let vocab = data_vocab();
+        let paths = decompose_query(&q, &vocab, &NoSynonyms, &Default::default());
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0];
+        assert!(p.sink().is_var());
+        let anchor = p.first_constant_from_sink().unwrap();
+        // Scanning backward: ?y (var), q (edge, constant) → anchor = q.
+        assert_eq!(anchor.lexical(), Some("q"));
+    }
+
+    #[test]
+    fn all_variable_path_has_no_anchor() {
+        let mut b = QueryGraph::builder();
+        b.triple_str("?a", "?p", "?b").unwrap();
+        let q = b.build();
+        let paths = decompose_query(&q, &data_vocab(), &NoSynonyms, &Default::default());
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].first_constant_from_sink().is_none());
+    }
+
+    #[test]
+    fn admits_checks_membership() {
+        let c = QueryLabel::Const {
+            accepted: Box::new([LabelId(3), LabelId(7)]),
+            lexical: Box::from("x"),
+        };
+        assert!(c.admits(LabelId(3)));
+        assert!(c.admits(LabelId(7)));
+        assert!(!c.admits(LabelId(5)));
+        assert!(QueryLabel::Var(LabelId(0)).admits(LabelId(42)));
+    }
+}

@@ -1,0 +1,142 @@
+//! Relevance of answers (paper, Section 3.1, Definition 4).
+//!
+//! A transformation `τ = ε1 ∘ … ∘ εz` is a sequence of basic update
+//! operations; its cost is `γ(τ) = Σ ω(εi)` with the weights fixed in
+//! the proof of Theorem 1 (insertions priced `a/b/c/d`-style, label
+//! modifications free). An answer `a1` is *more relevant* than `a2` iff
+//! `γ(τ1) < γ(τ2)`.
+//!
+//! This module is the measure-independent side of that definition: it
+//! prices explicit operation sequences, so tests (and the evaluation
+//! oracle) can verify that `score` is coherent with relevance —
+//! Theorem 1 — without going through the alignment machinery.
+
+use crate::align::AlignmentCounts;
+use crate::params::ScoreParams;
+
+/// A basic update operation on a query graph (paper, Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EditOp {
+    /// Insert a node (`εʸN`).
+    NodeInsert,
+    /// Delete a node (`ε⁻N` in our deletion-priced extension).
+    NodeDelete,
+    /// Modify a node label where the data value mismatches a query
+    /// constant (`ε×N` counted as `n⁻N`).
+    NodeMismatch,
+    /// Insert an edge (`εʸE`).
+    EdgeInsert,
+    /// Delete an edge.
+    EdgeDelete,
+    /// Modify an edge label mismatching a query constant (`n⁻E`).
+    EdgeMismatch,
+    /// Bind a variable (the substitution `φ`; always free).
+    VariableBinding,
+}
+
+impl EditOp {
+    /// The weight `ω(ε)` of this operation.
+    pub fn weight(self, params: &ScoreParams) -> f64 {
+        match self {
+            EditOp::NodeMismatch => params.a,
+            EditOp::NodeInsert => params.b,
+            EditOp::EdgeMismatch => params.c,
+            EditOp::EdgeInsert => params.d,
+            EditOp::NodeDelete => params.del_node,
+            EditOp::EdgeDelete => params.del_edge,
+            EditOp::VariableBinding => 0.0,
+        }
+    }
+}
+
+/// `γ(τ)`: the cost of a transformation.
+pub fn transformation_cost(ops: &[EditOp], params: &ScoreParams) -> f64 {
+    ops.iter().map(|op| op.weight(params)).sum()
+}
+
+/// Expand alignment counters back into an operation sequence (one op per
+/// counted unit) — the `τ` whose cost equals `λ`.
+pub fn ops_of_counts(counts: &AlignmentCounts) -> Vec<EditOp> {
+    let mut ops = Vec::with_capacity(counts.total_ops() as usize);
+    ops.extend(std::iter::repeat_n(
+        EditOp::NodeMismatch,
+        counts.nodes_mismatched as usize,
+    ));
+    ops.extend(std::iter::repeat_n(
+        EditOp::NodeInsert,
+        counts.nodes_inserted as usize,
+    ));
+    ops.extend(std::iter::repeat_n(
+        EditOp::EdgeMismatch,
+        counts.edges_mismatched as usize,
+    ));
+    ops.extend(std::iter::repeat_n(
+        EditOp::EdgeInsert,
+        counts.edges_inserted as usize,
+    ));
+    ops.extend(std::iter::repeat_n(
+        EditOp::NodeDelete,
+        counts.nodes_deleted as usize,
+    ));
+    ops.extend(std::iter::repeat_n(
+        EditOp::EdgeDelete,
+        counts.edges_deleted as usize,
+    ));
+    ops
+}
+
+/// Definition 4: `a1` (cost `gamma1`) is more relevant than `a2`
+/// (cost `gamma2`) iff `γ(τ1) < γ(τ2)`.
+pub fn more_relevant(gamma1: f64, gamma2: f64) -> bool {
+    gamma1 < gamma2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_follow_params() {
+        let p = ScoreParams::paper();
+        assert_eq!(EditOp::NodeMismatch.weight(&p), 1.0);
+        assert_eq!(EditOp::NodeInsert.weight(&p), 0.5);
+        assert_eq!(EditOp::EdgeMismatch.weight(&p), 2.0);
+        assert_eq!(EditOp::EdgeInsert.weight(&p), 1.0);
+        assert_eq!(EditOp::VariableBinding.weight(&p), 0.0);
+    }
+
+    #[test]
+    fn cost_is_sum_of_weights() {
+        let p = ScoreParams::paper();
+        let tau = [
+            EditOp::NodeInsert,
+            EditOp::EdgeInsert,
+            EditOp::VariableBinding,
+        ];
+        // The paper's q2 example: insert aTo-B1432 → γ = b + d = 1.5.
+        assert_eq!(transformation_cost(&tau, &p), 1.5);
+    }
+
+    #[test]
+    fn lambda_equals_gamma_of_expanded_ops() {
+        let p = ScoreParams::paper();
+        let counts = AlignmentCounts {
+            nodes_mismatched: 2,
+            nodes_inserted: 1,
+            edges_mismatched: 1,
+            edges_inserted: 3,
+            nodes_deleted: 1,
+            edges_deleted: 2,
+        };
+        let ops = ops_of_counts(&counts);
+        assert_eq!(ops.len(), counts.total_ops() as usize);
+        assert!((transformation_cost(&ops, &p) - counts.lambda(&p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relevance_is_strict() {
+        assert!(more_relevant(0.0, 1.0));
+        assert!(!more_relevant(1.0, 1.0));
+        assert!(!more_relevant(2.0, 1.0));
+    }
+}

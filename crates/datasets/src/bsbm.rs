@@ -1,0 +1,207 @@
+//! A Berlin-SPARQL-Benchmark-style e-commerce dataset (Bizer &
+//! Schultz, 2009) — the paper's synthetic `Berlin` corpus.
+//!
+//! Producers make products with features; vendors publish offers for
+//! products; reviewers write reviews with ratings. Offers and reviews
+//! are the sources, product features and literals the sinks.
+
+use crate::rng::Rng;
+use rdf_model::{DataGraph, Triple};
+
+/// Size knobs for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct BsbmConfig {
+    /// Number of producers.
+    pub producers: usize,
+    /// Products per producer.
+    pub products_per_producer: usize,
+    /// Number of product features (shared across products).
+    pub features: usize,
+    /// Features per product.
+    pub features_per_product: usize,
+    /// Number of vendors.
+    pub vendors: usize,
+    /// Offers per vendor.
+    pub offers_per_vendor: usize,
+    /// Number of reviewers.
+    pub reviewers: usize,
+    /// Reviews per reviewer.
+    pub reviews_per_reviewer: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BsbmConfig {
+    fn default() -> Self {
+        BsbmConfig {
+            producers: 3,
+            products_per_producer: 8,
+            features: 10,
+            features_per_product: 3,
+            vendors: 4,
+            offers_per_vendor: 10,
+            reviewers: 6,
+            reviews_per_reviewer: 5,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl BsbmConfig {
+    /// A configuration sized to produce approximately `triples` triples,
+    /// scaling offers and reviews (the high-volume entities).
+    pub fn sized_for(triples: usize, seed: u64) -> Self {
+        let unit = BsbmConfig::default();
+        let base = 450usize; // default config ≈ 450 triples (see test)
+        let factor = (triples / base).max(1);
+        BsbmConfig {
+            producers: unit.producers * factor.div_ceil(4).max(1),
+            vendors: unit.vendors * factor,
+            reviewers: unit.reviewers * factor,
+            seed,
+            ..unit
+        }
+    }
+}
+
+/// The generated dataset with entity registries.
+#[derive(Debug, Clone)]
+pub struct BsbmDataset {
+    /// The data graph.
+    pub graph: DataGraph,
+    /// Product IRIs.
+    pub products: Vec<String>,
+    /// Vendor IRIs.
+    pub vendors: Vec<String>,
+    /// Reviewer IRIs.
+    pub reviewers: Vec<String>,
+    /// Feature IRIs.
+    pub features: Vec<String>,
+}
+
+/// Generate a dataset.
+pub fn generate(config: &BsbmConfig) -> BsbmDataset {
+    let mut rng = Rng::new(config.seed);
+    let mut triples: Vec<Triple> = Vec::new();
+    let mut t = |s: &str, p: &str, o: String| {
+        triples.push(Triple::parse(s, p, &o));
+    };
+
+    let features: Vec<String> = (0..config.features)
+        .map(|f| format!("Feature{f}"))
+        .collect();
+    for (f, feature) in features.iter().enumerate() {
+        t(feature, "label", format!("\"feature {f}\""));
+    }
+
+    let mut products = Vec::new();
+    for p in 0..config.producers {
+        let producer = format!("Producer{p}");
+        t(&producer, "label", format!("\"producer {p}\""));
+        t(&producer, "country", format!("\"Country{}\"", p % 5));
+        for i in 0..config.products_per_producer {
+            let product = format!("Product{p}_{i}");
+            t(&product, "producer", producer.clone());
+            t(&product, "type", "Product".to_string());
+            t(&product, "label", format!("\"product {p}-{i}\""));
+            for k in 0..config.features_per_product {
+                let feature = &features[(p * 7 + i * 3 + k) % features.len()];
+                t(&product, "productFeature", feature.clone());
+            }
+            products.push(product);
+        }
+    }
+
+    let mut vendors = Vec::new();
+    for v in 0..config.vendors {
+        let vendor = format!("Vendor{v}");
+        t(&vendor, "label", format!("\"vendor {v}\""));
+        t(&vendor, "country", format!("\"Country{}\"", v % 5));
+        for o in 0..config.offers_per_vendor {
+            let offer = format!("Offer{v}_{o}");
+            let product = rng.pick(&products).clone();
+            t(&offer, "vendor", vendor.clone());
+            t(&offer, "product", product);
+            t(&offer, "price", format!("\"{}\"", 10 + rng.below(990)));
+            t(&offer, "type", "Offer".to_string());
+        }
+        vendors.push(vendor);
+    }
+
+    let mut reviewers = Vec::new();
+    for r in 0..config.reviewers {
+        let reviewer = format!("Reviewer{r}");
+        t(&reviewer, "name", format!("\"reviewer {r}\""));
+        reviewers.push(reviewer.clone());
+        for i in 0..config.reviews_per_reviewer {
+            let review = format!("Review{r}_{i}");
+            let product = rng.pick(&products).clone();
+            t(&review, "reviewer", reviewer.clone());
+            t(&review, "reviewFor", product);
+            t(&review, "rating", format!("\"{}\"", 1 + rng.below(5)));
+            t(&review, "type", "Review".to_string());
+        }
+    }
+
+    let graph = DataGraph::from_triples(&triples).expect("generated triples are ground");
+    BsbmDataset {
+        graph,
+        products,
+        vendors,
+        reviewers,
+        features,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&BsbmConfig::default());
+        let b = generate(&BsbmConfig::default());
+        assert_eq!(
+            a.graph.as_graph().to_sorted_lines(),
+            b.graph.as_graph().to_sorted_lines()
+        );
+    }
+
+    #[test]
+    fn default_size_band() {
+        let ds = generate(&BsbmConfig::default());
+        let n = ds.graph.edge_count();
+        assert!((300..700).contains(&n), "default size drifted to {n}");
+    }
+
+    #[test]
+    fn offers_and_reviews_are_sources() {
+        let ds = generate(&BsbmConfig::default());
+        let g = &ds.graph;
+        let sources: Vec<String> = g
+            .sources()
+            .iter()
+            .map(|&n| g.node_term(n).lexical().to_string())
+            .collect();
+        assert!(sources.iter().any(|s| s.starts_with("Offer")));
+        assert!(sources.iter().any(|s| s.starts_with("Review")));
+    }
+
+    #[test]
+    fn products_link_to_features() {
+        let ds = generate(&BsbmConfig::default());
+        let has_feature_edge = ds
+            .graph
+            .triples()
+            .any(|t| t.predicate.lexical() == "productFeature");
+        assert!(has_feature_edge);
+    }
+
+    #[test]
+    fn sized_for_scales_up() {
+        let small = generate(&BsbmConfig::default());
+        let big = generate(&BsbmConfig::sized_for(2_000, 3));
+        assert!(big.graph.edge_count() > small.graph.edge_count() * 2);
+        assert!(big.graph.edge_count() > 1_000);
+    }
+}

@@ -1,0 +1,165 @@
+//! A citation-network dataset — the stand-in for the paper's `DBLP`
+//! corpus.
+//!
+//! Papers cite strictly older papers (a DAG by construction), have
+//! authors, venues and years. Recent papers are the sources; venue and
+//! year literals plus uncited early papers are the sinks.
+
+use crate::rng::Rng;
+use rdf_model::{DataGraph, Triple};
+
+/// Size knobs for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct CitationConfig {
+    /// Number of papers.
+    pub papers: usize,
+    /// Number of authors.
+    pub authors: usize,
+    /// Citations per paper (to older papers; capped by availability).
+    pub citations_per_paper: usize,
+    /// Authors per paper.
+    pub authors_per_paper: usize,
+    /// Number of venues.
+    pub venues: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CitationConfig {
+    fn default() -> Self {
+        CitationConfig {
+            papers: 60,
+            authors: 25,
+            citations_per_paper: 3,
+            authors_per_paper: 2,
+            venues: 5,
+            seed: 0xD31B,
+        }
+    }
+}
+
+impl CitationConfig {
+    /// A configuration sized to produce approximately `triples` triples.
+    pub fn sized_for(triples: usize, seed: u64) -> Self {
+        let unit = CitationConfig::default();
+        // Per paper ≈ citations + authors + venue + year + title.
+        let per_paper = unit.citations_per_paper + unit.authors_per_paper + 3;
+        let papers = (triples / per_paper).max(5);
+        CitationConfig {
+            papers,
+            authors: (papers / 3).max(3),
+            seed,
+            ..unit
+        }
+    }
+}
+
+/// The generated dataset with entity registries.
+#[derive(Debug, Clone)]
+pub struct CitationDataset {
+    /// The data graph.
+    pub graph: DataGraph,
+    /// Paper IRIs.
+    pub papers: Vec<String>,
+    /// Author IRIs.
+    pub authors: Vec<String>,
+    /// Venue IRIs.
+    pub venues: Vec<String>,
+}
+
+/// Generate a dataset.
+pub fn generate(config: &CitationConfig) -> CitationDataset {
+    let mut rng = Rng::new(config.seed);
+    let mut triples: Vec<Triple> = Vec::new();
+    let mut t = |s: &str, p: &str, o: String| {
+        triples.push(Triple::parse(s, p, &o));
+    };
+
+    let venues: Vec<String> = (0..config.venues).map(|v| format!("Venue{v}")).collect();
+    for (v, venue) in venues.iter().enumerate() {
+        t(venue, "label", format!("\"venue {v}\""));
+    }
+    let authors: Vec<String> = (0..config.authors).map(|a| format!("Author{a}")).collect();
+    for (a, author) in authors.iter().enumerate() {
+        t(author, "name", format!("\"author {a}\""));
+    }
+
+    let papers: Vec<String> = (0..config.papers).map(|p| format!("Paper{p}")).collect();
+    for (i, paper) in papers.iter().enumerate() {
+        t(paper, "title", format!("\"paper {i}\""));
+        t(paper, "venue", venues[i % venues.len()].clone());
+        t(paper, "year", format!("\"{}\"", 1995 + (i * 29) % 20));
+        for k in 0..config.authors_per_paper {
+            let author = &authors[(i * 7 + k * 3) % authors.len()];
+            t(paper, "author", author.clone());
+        }
+        // Citations to strictly older papers, biased toward recent ones.
+        if i > 0 {
+            let cites = config.citations_per_paper.min(i);
+            let mut cited: Vec<usize> = Vec::new();
+            for _ in 0..cites {
+                let lo = i.saturating_sub(15);
+                let target = rng.range(lo, i);
+                if !cited.contains(&target) {
+                    cited.push(target);
+                    t(paper, "cites", papers[target].clone());
+                }
+            }
+        }
+    }
+
+    let graph = DataGraph::from_triples(&triples).expect("generated triples are ground");
+    CitationDataset {
+        graph,
+        papers,
+        authors,
+        venues,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&CitationConfig::default());
+        let b = generate(&CitationConfig::default());
+        assert_eq!(
+            a.graph.as_graph().to_sorted_lines(),
+            b.graph.as_graph().to_sorted_lines()
+        );
+    }
+
+    #[test]
+    fn citations_form_a_dag() {
+        let ds = generate(&CitationConfig::default());
+        for t in ds.graph.triples() {
+            if t.predicate.lexical() == "cites" {
+                let from: usize = t.subject.lexical()[5..].parse().unwrap();
+                let to: usize = t.object.lexical()[5..].parse().unwrap();
+                assert!(to < from, "citation must point backward in time");
+            }
+        }
+    }
+
+    #[test]
+    fn sized_for_in_band() {
+        let ds = generate(&CitationConfig::sized_for(4_000, 7));
+        let n = ds.graph.edge_count();
+        assert!((1_600..8_000).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn venues_are_intermediate_or_sink() {
+        let ds = generate(&CitationConfig::default());
+        let g = &ds.graph;
+        // Venue label literals are sinks.
+        let sink_names: Vec<String> = g
+            .sinks()
+            .iter()
+            .map(|&n| g.node_term(n).lexical().to_string())
+            .collect();
+        assert!(sink_names.contains(&"venue 0".to_string()));
+    }
+}

@@ -1,0 +1,251 @@
+//! The paper's running example: the GovTrack fragment of Figure 1,
+//! with the exact node and edge labels the paper uses, plus the two
+//! example queries Q1 and Q2.
+//!
+//! The fragment models US-Congress data: persons sponsor amendments
+//! (`sponsor`), amendments amend bills (`aTo`), bills have subjects
+//! (`subject`), persons have genders (`gender`) and roles (`hasRole` →
+//! a term → `forOffice` → an office).
+//!
+//! One deliberate deviation from the figure as printed: Peter Traves'
+//! `gender Male` edge is omitted so that cluster `cl3` contains exactly
+//! the four paths `p17..p20` the paper's Figure 3 lists (with the edge
+//! present the cluster would have a fifth member the paper does not
+//! show).
+
+use crate::rng::Rng;
+use rdf_model::{DataGraph, QueryGraph, Triple};
+
+/// The Figure 1 data graph `Gd`.
+pub fn data_graph() -> DataGraph {
+    let mut b = DataGraph::builder();
+    let mut t = |s: &str, p: &str, o: &str| {
+        b.triple_str(s, p, o).expect("govtrack triples are ground");
+    };
+
+    // Amendment chains (cluster cl1's p1..p6).
+    t("CarlaBunes", "sponsor", "A0056");
+    t("A0056", "aTo", "B1432");
+    t("JeffRyser", "sponsor", "A1589");
+    t("A1589", "aTo", "B0532");
+    t("KeithFarmer", "sponsor", "A1232");
+    t("JohnMcRie", "sponsor", "A1232");
+    t("JohnMcRie", "sponsor", "A0772");
+    t("A1232", "aTo", "B0045");
+    t("A0772", "aTo", "B0045");
+    t("PierceDickes", "sponsor", "A0467");
+    t("A0467", "aTo", "B0532");
+
+    // Bill subjects.
+    t("B1432", "subject", "\"Health Care\"");
+    t("B0532", "subject", "\"Health Care\"");
+    t("B0045", "subject", "\"Health Care\"");
+
+    // Direct bill sponsorships (cluster cl2's p7..p10).
+    t("JeffRyser", "sponsor", "B0045");
+    t("PeterTraves", "sponsor", "B0532");
+    t("AliceNimber", "sponsor", "B1432");
+    t("PierceDickes", "sponsor", "B1432");
+
+    // Genders (cluster cl3's p17..p20 plus the two Female edges).
+    t("JeffRyser", "gender", "\"Male\"");
+    t("KeithFarmer", "gender", "\"Male\"");
+    t("JohnMcRie", "gender", "\"Male\"");
+    t("PierceDickes", "gender", "\"Male\"");
+    t("CarlaBunes", "gender", "\"Female\"");
+    t("AliceNimber", "gender", "\"Female\"");
+
+    // Roles: person → hasRole → term → forOffice → office. The figure
+    // shows two distinct `Term 10/21/94` nodes; distinct IRIs keep them
+    // apart (literals are deduplicated by the builder).
+    t("PeterTraves", "hasRole", "Term_10/21/94_a");
+    t("Term_10/21/94_a", "forOffice", "SenateNY");
+    t("JohnMcRie", "hasRole", "Term_10/21/94_b");
+    t("Term_10/21/94_b", "forOffice", "SenateNY");
+
+    b.build()
+}
+
+/// Query Q1 (Figure 1b): all amendments `?v1` sponsored by Carla Bunes
+/// to a bill `?v2` about Health Care originally sponsored by a male
+/// person `?v3`.
+pub fn query_q1() -> QueryGraph {
+    let mut b = QueryGraph::builder();
+    b.triple_str("CarlaBunes", "sponsor", "?v1").unwrap();
+    b.triple_str("?v1", "aTo", "?v2").unwrap();
+    b.triple_str("?v2", "subject", "\"Health Care\"").unwrap();
+    b.triple_str("?v3", "sponsor", "?v2").unwrap();
+    b.triple_str("?v3", "gender", "\"Male\"").unwrap();
+    b.build()
+}
+
+/// Query Q2 (Figure 1c): the relaxed variant — Carla Bunes relates to
+/// `?v2` through an *unknown* relationship `?e1`. Q2 has no exact
+/// answer in the data; approximate answering returns Q1's region.
+pub fn query_q2() -> QueryGraph {
+    let mut b = QueryGraph::builder();
+    b.triple_str("CarlaBunes", "?e1", "?v2").unwrap();
+    b.triple_str("?v2", "subject", "\"Health Care\"").unwrap();
+    b.triple_str("?v3", "sponsor", "?v2").unwrap();
+    b.triple_str("?v3", "gender", "\"Male\"").unwrap();
+    b.build()
+}
+
+/// Generate a GovTrack-*style* congress graph of approximately
+/// `triples` triples: persons sponsor amendments and bills, amendments
+/// amend bills, bills carry subjects, persons carry genders and role
+/// chains — the Figure 1 schema at scale (the stand-in for the paper's
+/// 1M-triple GOV corpus).
+pub fn scaled(triples: usize, seed: u64) -> DataGraph {
+    let mut rng = Rng::new(seed);
+    // Per person ≈ 2 sponsorships (4 triples incl. chains) + gender +
+    // role chain (2) ≈ 8; subjects amortized.
+    let persons = (triples / 8).max(4);
+    let bills = (persons / 2).max(2);
+    let subjects = [
+        "Health Care",
+        "Defense",
+        "Education",
+        "Energy",
+        "Agriculture",
+        "Taxation",
+    ];
+    let mut out: Vec<Triple> = Vec::new();
+    let mut t = |s: &str, p: &str, o: String| {
+        out.push(Triple::parse(s, p, &o));
+    };
+
+    for b in 0..bills {
+        let bill = format!("B{b:05}");
+        t(
+            &bill,
+            "subject",
+            format!("\"{}\"", subjects[b % subjects.len()]),
+        );
+    }
+    for p in 0..persons {
+        let person = format!("P{p:05}");
+        t(
+            &person,
+            "gender",
+            if p % 2 == 0 {
+                "\"Male\"".to_string()
+            } else {
+                "\"Female\"".to_string()
+            },
+        );
+        // One amendment chain (amendment ids track person ids).
+        let amendment = format!("A{p:05}");
+        let bill = rng.below(bills);
+        t(&person, "sponsor", amendment.clone());
+        t(&amendment, "aTo", format!("B{bill:05}"));
+        // One direct sponsorship.
+        let bill = rng.below(bills);
+        t(&person, "sponsor", format!("B{bill:05}"));
+        // Role chain for a third of the persons.
+        if p % 3 == 0 {
+            let term = format!("Term{p:05}");
+            t(&person, "hasRole", term.clone());
+            t(&term, "forOffice", format!("Office{}", p % 50));
+        }
+    }
+    DataGraph::from_triples(&out).expect("scaled govtrack triples are ground")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_shape_matches_figure1() {
+        let g = data_graph();
+        // Seven sources, the double-marked person nodes of the figure.
+        let sources = g.sources();
+        assert_eq!(sources.len(), 7);
+        let source_names: Vec<String> = sources
+            .iter()
+            .map(|&n| g.node_term(n).lexical().to_string())
+            .collect();
+        for person in [
+            "CarlaBunes",
+            "JeffRyser",
+            "KeithFarmer",
+            "JohnMcRie",
+            "PierceDickes",
+            "PeterTraves",
+            "AliceNimber",
+        ] {
+            assert!(source_names.contains(&person.to_string()), "{person}");
+        }
+    }
+
+    #[test]
+    fn sinks_include_health_care_and_male() {
+        let g = data_graph();
+        let sink_names: Vec<String> = g
+            .sinks()
+            .iter()
+            .map(|&n| g.node_term(n).lexical().to_string())
+            .collect();
+        assert!(sink_names.contains(&"Health Care".to_string()));
+        assert!(sink_names.contains(&"Male".to_string()));
+    }
+
+    #[test]
+    fn q1_shape() {
+        let q = query_q1();
+        assert_eq!(q.edge_count(), 5);
+        assert_eq!(q.variable_count(), 3);
+    }
+
+    #[test]
+    fn q2_relaxes_q1() {
+        let q = query_q2();
+        assert_eq!(q.edge_count(), 4);
+        // ?e1 replaces the sponsor/aTo chain: one extra variable as an
+        // edge label.
+        assert_eq!(q.variable_count(), 3);
+    }
+
+    #[test]
+    fn shared_literals_are_single_nodes() {
+        let g = data_graph();
+        let hc_nodes = g
+            .nodes()
+            .filter(|&n| g.node_term(n).lexical() == "Health Care")
+            .count();
+        assert_eq!(hc_nodes, 1);
+        let male_nodes = g
+            .nodes()
+            .filter(|&n| g.node_term(n).lexical() == "Male")
+            .count();
+        assert_eq!(male_nodes, 1);
+    }
+
+    #[test]
+    fn scaled_hits_size_band() {
+        let g = scaled(5_000, 3);
+        let n = g.edge_count();
+        assert!((2_500..10_000).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn scaled_is_deterministic() {
+        let a = scaled(1_000, 9);
+        let b = scaled(1_000, 9);
+        assert_eq!(
+            a.as_graph().to_sorted_lines(),
+            b.as_graph().to_sorted_lines()
+        );
+    }
+
+    #[test]
+    fn two_distinct_terms() {
+        let g = data_graph();
+        let terms = g
+            .nodes()
+            .filter(|&n| g.node_term(n).lexical().starts_with("Term_10/21/94"))
+            .count();
+        assert_eq!(terms, 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! # datasets
+//!
+//! Dataset generators and query workloads for the Sama evaluation.
+//!
+//! The paper evaluates on real corpora (GovTrack, PBlog, KEGG, IMDB,
+//! DBLP) and synthetic benchmarks (LUBM, Berlin, UOBM), none of which
+//! are redistributable or available offline. This crate provides:
+//!
+//! * [`govtrack`] — the paper's Figure 1 fragment *verbatim* (labels
+//!   and topology from the running example), plus queries Q1 and Q2;
+//! * [`lubm`] — a LUBM-style university generator (the paper's main
+//!   benchmark);
+//! * [`bsbm`] — a Berlin-SPARQL-Benchmark-style e-commerce generator;
+//! * [`social`] — a preferential-attachment social graph (PBlog
+//!   stand-in; exercises hub promotion);
+//! * [`citation`] — a citation DAG (DBLP stand-in);
+//! * [`queries`] — the 12-query LUBM workload matching the complexity
+//!   ladder of Section 6.2;
+//! * [`workload`] — provenance-tracked query extraction and
+//!   perturbation, the ground truth for precision/recall (Figure 9).
+//!
+//! Every generator takes an explicit seed and is fully deterministic.
+
+#![warn(missing_docs)]
+
+pub mod bsbm;
+pub mod citation;
+pub mod govtrack;
+pub mod lubm;
+pub mod queries;
+pub mod rng;
+pub mod social;
+pub mod workload;
+
+pub use bsbm::{BsbmConfig, BsbmDataset};
+pub use citation::{CitationConfig, CitationDataset};
+pub use lubm::{LubmConfig, LubmDataset};
+pub use queries::{bsbm_workload, lubm_workload, NamedQuery};
+pub use rng::Rng;
+pub use social::{SocialConfig, SocialDataset};
+pub use workload::{extract_query, perturb, ExtractConfig, Perturbation, ProvenancedQuery};

@@ -1,0 +1,337 @@
+//! A LUBM-style synthetic university dataset (Guo, Pan, Heflin, *"LUBM:
+//! A benchmark for OWL knowledge base systems"*, 2005).
+//!
+//! The paper runs its main experiments on LUBM; the original generator
+//! (and its OWL reasoner toolchain) is not available offline, so this
+//! module reproduces the benchmark's *structural* profile: universities
+//! contain departments; professors work for departments and teach
+//! courses; students are members of departments, take courses and have
+//! advisors; publications have professor authors. Entity counts scale
+//! linearly with the configuration, and every entity carries `type` and
+//! `name` attributes, so the generated graph has the
+//! many-sources/literal-sinks shape the path index expects.
+
+use crate::rng::Rng;
+use rdf_model::{DataGraph, Triple};
+
+/// Size knobs for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct LubmConfig {
+    /// Number of universities.
+    pub universities: usize,
+    /// Departments per university.
+    pub departments_per_university: usize,
+    /// Professors per department.
+    pub professors_per_department: usize,
+    /// Students per department.
+    pub students_per_department: usize,
+    /// Courses per department.
+    pub courses_per_department: usize,
+    /// Publications per professor.
+    pub publications_per_professor: usize,
+    /// Courses each student takes.
+    pub courses_per_student: usize,
+    /// Probability that a student's advisor is from another department
+    /// of the same university (cross-linking).
+    pub cross_advisor_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LubmConfig {
+    fn default() -> Self {
+        LubmConfig {
+            universities: 1,
+            departments_per_university: 3,
+            professors_per_department: 4,
+            students_per_department: 12,
+            courses_per_department: 6,
+            publications_per_professor: 2,
+            courses_per_student: 2,
+            cross_advisor_probability: 0.1,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl LubmConfig {
+    /// A configuration sized to produce *approximately* `triples`
+    /// triples (within ~20%), scaling student population first — the
+    /// axis LUBM itself scales on.
+    pub fn sized_for(triples: usize, seed: u64) -> Self {
+        // With the default ratios one department yields roughly 150
+        // triples (see the estimate test); scale departments linearly.
+        let departments = (triples / 150).max(1);
+        let universities = (departments / 20).max(1);
+        LubmConfig {
+            universities,
+            departments_per_university: departments.div_ceil(universities),
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// The generated dataset: the graph plus entity registries for query
+/// construction.
+#[derive(Debug, Clone)]
+pub struct LubmDataset {
+    /// The data graph.
+    pub graph: DataGraph,
+    /// University IRIs.
+    pub universities: Vec<String>,
+    /// Department IRIs.
+    pub departments: Vec<String>,
+    /// Professor IRIs.
+    pub professors: Vec<String>,
+    /// Student IRIs.
+    pub students: Vec<String>,
+    /// Course IRIs.
+    pub courses: Vec<String>,
+    /// Publication IRIs.
+    pub publications: Vec<String>,
+}
+
+/// The professor rank types used by the generator.
+pub const PROFESSOR_TYPES: [&str; 3] =
+    ["FullProfessor", "AssociateProfessor", "AssistantProfessor"];
+
+/// Generate a dataset.
+pub fn generate(config: &LubmConfig) -> LubmDataset {
+    let mut rng = Rng::new(config.seed);
+    let mut triples: Vec<Triple> = Vec::new();
+    let mut t = |s: &str, p: &str, o: String| {
+        triples.push(Triple::parse(s, p, &o));
+    };
+
+    let mut universities = Vec::new();
+    let mut departments = Vec::new();
+    let mut professors = Vec::new();
+    let mut students = Vec::new();
+    let mut courses = Vec::new();
+    let mut publications = Vec::new();
+
+    for u in 0..config.universities {
+        let univ = format!("University{u}");
+        t(&univ, "type", "University".to_string());
+        t(&univ, "name", format!("\"University {u}\""));
+
+        // Departments of this university, with their professor ranges,
+        // so cross-department advisors stay within the university.
+        let dept_base = departments.len();
+        for d in 0..config.departments_per_university {
+            let dept = format!("Department{u}_{d}");
+            t(&dept, "subOrganizationOf", univ.clone());
+            t(&dept, "type", "Department".to_string());
+            departments.push(dept);
+        }
+
+        // Per-department courses and professors.
+        let mut dept_professors: Vec<Vec<String>> = Vec::new();
+        let mut dept_courses: Vec<Vec<String>> = Vec::new();
+        for d in 0..config.departments_per_university {
+            let dept = departments[dept_base + d].clone();
+            let mut local_courses = Vec::new();
+            for c in 0..config.courses_per_department {
+                let course = format!("Course{u}_{d}_{c}");
+                t(&course, "name", format!("\"Course {u}-{d}-{c}\""));
+                t(&course, "type", "Course".to_string());
+                local_courses.push(course);
+            }
+            let mut local_profs = Vec::new();
+            for p in 0..config.professors_per_department {
+                let prof = format!("Professor{u}_{d}_{p}");
+                t(&prof, "worksFor", dept.clone());
+                t(
+                    &prof,
+                    "type",
+                    PROFESSOR_TYPES[p % PROFESSOR_TYPES.len()].to_string(),
+                );
+                t(&prof, "name", format!("\"Prof {u}-{d}-{p}\""));
+                t(
+                    &prof,
+                    "emailAddress",
+                    format!("\"prof{u}.{d}.{p}@univ{u}.edu\""),
+                );
+                // Each professor teaches 1–2 of the department's courses.
+                let teaches = 1 + (p % 2);
+                for k in 0..teaches {
+                    let course = &local_courses[(p + k) % local_courses.len()];
+                    t(&prof, "teacherOf", course.clone());
+                }
+                for b in 0..config.publications_per_professor {
+                    let publication = format!("Publication{u}_{d}_{p}_{b}");
+                    t(&publication, "publicationAuthor", prof.clone());
+                    t(&publication, "name", format!("\"Pub {u}-{d}-{p}-{b}\""));
+                    t(&publication, "type", "Publication".to_string());
+                    publications.push(publication);
+                }
+                local_profs.push(prof);
+            }
+            dept_professors.push(local_profs);
+            dept_courses.push(local_courses);
+        }
+
+        // Students.
+        for d in 0..config.departments_per_university {
+            let dept = departments[dept_base + d].clone();
+            for s in 0..config.students_per_department {
+                let student = format!("Student{u}_{d}_{s}");
+                t(&student, "memberOf", dept.clone());
+                let undergrad = s % 3 != 0;
+                t(
+                    &student,
+                    "type",
+                    if undergrad {
+                        "UndergraduateStudent".to_string()
+                    } else {
+                        "GraduateStudent".to_string()
+                    },
+                );
+                t(&student, "name", format!("\"Student {u}-{d}-{s}\""));
+                // Advisor: usually from the same department.
+                let adv_dept = if rng.chance(config.cross_advisor_probability) {
+                    rng.below(config.departments_per_university)
+                } else {
+                    d
+                };
+                let advisor = rng.pick(&dept_professors[adv_dept]).clone();
+                t(&student, "advisor", advisor);
+                // Courses, from the home department.
+                for k in 0..config.courses_per_student {
+                    let course = &dept_courses[d][(s + k) % dept_courses[d].len()];
+                    t(&student, "takesCourse", course.clone());
+                }
+                students.push(student);
+            }
+        }
+
+        for dp in dept_professors {
+            professors.extend(dp);
+        }
+        for dc in dept_courses {
+            courses.extend(dc);
+        }
+        universities.push(univ);
+    }
+
+    let graph = DataGraph::from_triples(&triples).expect("generated triples are ground");
+    LubmDataset {
+        graph,
+        universities,
+        departments,
+        professors,
+        students,
+        courses,
+        publications,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&LubmConfig::default());
+        let b = generate(&LubmConfig::default());
+        assert_eq!(
+            a.graph.as_graph().to_sorted_lines(),
+            b.graph.as_graph().to_sorted_lines()
+        );
+    }
+
+    #[test]
+    fn entity_counts_match_config() {
+        let cfg = LubmConfig::default();
+        let ds = generate(&cfg);
+        assert_eq!(ds.universities.len(), cfg.universities);
+        assert_eq!(
+            ds.departments.len(),
+            cfg.universities * cfg.departments_per_university
+        );
+        assert_eq!(
+            ds.professors.len(),
+            ds.departments.len() * cfg.professors_per_department
+        );
+        assert_eq!(
+            ds.students.len(),
+            ds.departments.len() * cfg.students_per_department
+        );
+        assert_eq!(
+            ds.publications.len(),
+            ds.professors.len() * cfg.publications_per_professor
+        );
+    }
+
+    #[test]
+    fn triple_estimate_for_sizing() {
+        // One default department ≈ 150 triples (the constant sized_for
+        // relies on): verify within a tolerant band.
+        let cfg = LubmConfig::default();
+        let ds = generate(&cfg);
+        let per_dept = ds.graph.edge_count() / ds.departments.len();
+        assert!(
+            (30..300).contains(&per_dept),
+            "per-department triples drifted to {per_dept}; update sized_for"
+        );
+    }
+
+    #[test]
+    fn sized_for_hits_target() {
+        for target in [2_000usize, 10_000] {
+            let ds = generate(&LubmConfig::sized_for(target, 1));
+            let actual = ds.graph.edge_count();
+            assert!(
+                actual as f64 > target as f64 * 0.4 && (actual as f64) < target as f64 * 2.5,
+                "target {target}, got {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn students_are_sources() {
+        let ds = generate(&LubmConfig::default());
+        let g = &ds.graph;
+        let sources: Vec<String> = g
+            .sources()
+            .iter()
+            .map(|&n| g.node_term(n).lexical().to_string())
+            .collect();
+        for s in &ds.students {
+            assert!(sources.contains(s), "student {s} should be a source");
+        }
+    }
+
+    #[test]
+    fn universities_reach_only_literals() {
+        let ds = generate(&LubmConfig::default());
+        let g = &ds.graph;
+        // Universities have only attribute out-edges; their targets are
+        // sinks.
+        let sink_names: Vec<String> = g
+            .sinks()
+            .iter()
+            .map(|&n| g.node_term(n).lexical().to_string())
+            .collect();
+        assert!(sink_names.contains(&"University 0".to_string()));
+        assert!(sink_names.contains(&"University".to_string()));
+    }
+
+    #[test]
+    fn cross_seed_variation() {
+        let a = generate(&LubmConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = generate(&LubmConfig {
+            seed: 2,
+            ..Default::default()
+        });
+        // Advisor assignments differ between seeds.
+        assert_ne!(
+            a.graph.as_graph().to_sorted_lines(),
+            b.graph.as_graph().to_sorted_lines()
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! A power-law social-network dataset — the stand-in for the paper's
+//! `PBlog` corpus (the political-blogosphere network).
+//!
+//! Directed follower edges are attached preferentially (rich get
+//! richer), producing the hub-dominated, source-poor topology social
+//! graphs have. This is the corpus that exercises *hub promotion*: most
+//! accounts both follow and are followed, so the graph has few or no
+//! true sources and the extractor must fall back to hubs. Posts hang
+//! off accounts and mention topics, providing literal sinks.
+
+use crate::rng::Rng;
+use rdf_model::{DataGraph, Triple};
+
+/// Size knobs for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SocialConfig {
+    /// Number of accounts.
+    pub accounts: usize,
+    /// Follower edges per new account (preferentially attached).
+    pub follows_per_account: usize,
+    /// Posts per account.
+    pub posts_per_account: usize,
+    /// Number of distinct topics posts can mention.
+    pub topics: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SocialConfig {
+    fn default() -> Self {
+        SocialConfig {
+            accounts: 40,
+            follows_per_account: 3,
+            posts_per_account: 2,
+            topics: 8,
+            seed: 0x50C1A1,
+        }
+    }
+}
+
+impl SocialConfig {
+    /// A configuration sized to produce approximately `triples` triples.
+    pub fn sized_for(triples: usize, seed: u64) -> Self {
+        // Per account ≈ follows + posts×3 + 2 attribute triples.
+        let unit = SocialConfig::default();
+        let per_account = unit.follows_per_account + unit.posts_per_account * 3 + 2;
+        SocialConfig {
+            accounts: (triples / per_account).max(4),
+            seed,
+            ..unit
+        }
+    }
+}
+
+/// The generated dataset with entity registries.
+#[derive(Debug, Clone)]
+pub struct SocialDataset {
+    /// The data graph.
+    pub graph: DataGraph,
+    /// Account IRIs.
+    pub accounts: Vec<String>,
+    /// Topic IRIs.
+    pub topics: Vec<String>,
+}
+
+/// Generate a dataset.
+pub fn generate(config: &SocialConfig) -> SocialDataset {
+    let mut rng = Rng::new(config.seed);
+    let mut triples: Vec<Triple> = Vec::new();
+    let mut t = |s: &str, p: &str, o: String| {
+        triples.push(Triple::parse(s, p, &o));
+    };
+
+    let topics: Vec<String> = (0..config.topics).map(|i| format!("Topic{i}")).collect();
+    for (i, topic) in topics.iter().enumerate() {
+        t(topic, "label", format!("\"topic {i}\""));
+    }
+
+    let accounts: Vec<String> = (0..config.accounts)
+        .map(|i| format!("Account{i}"))
+        .collect();
+    // Preferential attachment: weight by (1 + in-degree so far).
+    let mut in_degree = vec![0usize; config.accounts];
+    for (i, account) in accounts.iter().enumerate() {
+        t(account, "name", format!("\"account {i}\""));
+        t(account, "type", "Account".to_string());
+        if i == 0 {
+            continue;
+        }
+        let mut chosen: Vec<usize> = Vec::new();
+        for _ in 0..config.follows_per_account.min(i) {
+            // Weighted draw over 0..i.
+            let total: usize = (0..i).map(|j| 1 + in_degree[j]).sum();
+            let mut ticket = rng.below(total);
+            let mut target = 0usize;
+            for (j, degree) in in_degree.iter().enumerate().take(i) {
+                let w = 1 + degree;
+                if ticket < w {
+                    target = j;
+                    break;
+                }
+                ticket -= w;
+            }
+            if chosen.contains(&target) {
+                continue;
+            }
+            chosen.push(target);
+            in_degree[target] += 1;
+            t(account, "follows", accounts[target].clone());
+        }
+        // Close the loop occasionally so early accounts are not sources
+        // (social graphs have mutual follows).
+        if rng.chance(0.5) {
+            let follower = rng.below(i);
+            t(&accounts[follower], "follows", account.clone());
+            in_degree[i] += 1;
+        }
+    }
+
+    for (i, account) in accounts.iter().enumerate() {
+        for p in 0..config.posts_per_account {
+            let post = format!("Post{i}_{p}");
+            t(account, "posted", post.clone());
+            t(
+                &post,
+                "mentions",
+                topics[(i * 3 + p) % topics.len()].clone(),
+            );
+            t(&post, "text", format!("\"post {i}-{p}\""));
+        }
+    }
+
+    let graph = DataGraph::from_triples(&triples).expect("generated triples are ground");
+    SocialDataset {
+        graph,
+        accounts,
+        topics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&SocialConfig::default());
+        let b = generate(&SocialConfig::default());
+        assert_eq!(
+            a.graph.as_graph().to_sorted_lines(),
+            b.graph.as_graph().to_sorted_lines()
+        );
+    }
+
+    #[test]
+    fn power_law_ish_hubs_exist() {
+        let ds = generate(&SocialConfig {
+            accounts: 120,
+            ..Default::default()
+        });
+        let g = ds.graph.as_graph();
+        let max_in = g.nodes().map(|n| g.in_degree(n)).max().unwrap();
+        // Preferential attachment concentrates in-degree well above the
+        // mean.
+        assert!(max_in >= 8, "max in-degree only {max_in}");
+    }
+
+    #[test]
+    fn few_account_sources() {
+        let ds = generate(&SocialConfig::default());
+        let g = &ds.graph;
+        let account_sources = g
+            .sources()
+            .iter()
+            .filter(|&&n| g.node_term(n).lexical().starts_with("Account"))
+            .count();
+        // Mutual-follow closure keeps most accounts out of the source
+        // set.
+        assert!(account_sources < ds.accounts.len() / 2);
+    }
+
+    #[test]
+    fn sized_for_in_band() {
+        let ds = generate(&SocialConfig::sized_for(3_000, 5));
+        let n = ds.graph.edge_count();
+        assert!((1_200..6_000).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn posts_reach_topics() {
+        let ds = generate(&SocialConfig::default());
+        assert!(ds
+            .graph
+            .triples()
+            .any(|t| t.predicate.lexical() == "mentions"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Query workload synthesis with known provenance — the ground-truth
+//! machinery behind the precision/recall experiment (Figure 9).
+//!
+//! The paper's effectiveness numbers rest on "experts of the domain"
+//! judging which returned matches are meaningful. For reproducibility
+//! we replace the experts with *provenance*: a query is extracted from
+//! a concrete region of the data graph (so the region is, by
+//! construction, the intended answer) and then perturbed with a known
+//! number of edits. An answer is relevant iff it recovers the seed
+//! region. This exercises exactly the paper's scenario — approximate
+//! queries whose intended answers exist but no longer match exactly.
+
+use crate::rng::Rng;
+use rdf_model::{DataGraph, EdgeId, NodeId, QueryGraph, Term, Triple};
+
+/// Configuration for query extraction.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtractConfig {
+    /// Number of data edges in the seed region (= query triple count).
+    pub edges: usize,
+    /// Fraction of region nodes replaced by variables.
+    pub variable_fraction: f64,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        ExtractConfig {
+            edges: 4,
+            variable_fraction: 0.5,
+        }
+    }
+}
+
+/// The kinds of perturbation applied to make a query approximate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// Replace one constant node label with a label absent from the
+    /// data (forces a node mismatch).
+    RelabelNode,
+    /// Replace one edge label with an absent label (edge mismatch).
+    RelabelEdge,
+    /// Contract one 2-hop chain into a single direct edge (forces an
+    /// insertion during alignment).
+    SkipHop,
+}
+
+/// A query with provenance: the seed region it was extracted from and
+/// the perturbations applied.
+#[derive(Debug, Clone)]
+pub struct ProvenancedQuery {
+    /// The (possibly perturbed) query graph.
+    pub query: QueryGraph,
+    /// The seed region's data edges.
+    pub seed_edges: Vec<EdgeId>,
+    /// The seed region's triples (for containment checks).
+    pub seed_triples: Vec<Triple>,
+    /// Perturbations applied, in order.
+    pub edits: Vec<Perturbation>,
+}
+
+/// Extract a connected region of `data` by a random walk over the
+/// undirected adjacency and turn it into a query; returns `None` when
+/// the graph is too small or the walk gets stuck immediately.
+pub fn extract_query(
+    data: &DataGraph,
+    rng: &mut Rng,
+    config: &ExtractConfig,
+) -> Option<ProvenancedQuery> {
+    let g = data.as_graph();
+    if g.edge_count() == 0 {
+        return None;
+    }
+    // Random starting edge; grow by picking edges incident to the
+    // region's node set.
+    let mut region: Vec<EdgeId> = Vec::new();
+    let mut nodes: Vec<NodeId> = Vec::new();
+    let start = EdgeId(rng.below(g.edge_count()) as u32);
+    region.push(start);
+    nodes.push(g.edge(start).from);
+    nodes.push(g.edge(start).to);
+
+    while region.len() < config.edges {
+        // Gather frontier edges.
+        let mut frontier: Vec<EdgeId> = Vec::new();
+        for &n in &nodes {
+            for &e in g.out_edges(n).iter().chain(g.in_edges(n)) {
+                if !region.contains(&e) {
+                    frontier.push(e);
+                }
+            }
+        }
+        if frontier.is_empty() {
+            break;
+        }
+        let e = *rng.pick(&frontier);
+        region.push(e);
+        for endpoint in [g.edge(e).from, g.edge(e).to] {
+            if !nodes.contains(&endpoint) {
+                nodes.push(endpoint);
+            }
+        }
+    }
+
+    // Choose which region nodes become variables.
+    let mut var_names: Vec<Option<String>> = Vec::with_capacity(nodes.len());
+    for (i, _) in nodes.iter().enumerate() {
+        if rng.chance(config.variable_fraction) {
+            var_names.push(Some(format!("v{i}")));
+        } else {
+            var_names.push(None);
+        }
+    }
+    let term_for = |n: NodeId| -> Term {
+        let idx = nodes.iter().position(|&x| x == n).expect("region node");
+        match &var_names[idx] {
+            Some(name) => Term::var(name.clone()),
+            None => g.node_term(n),
+        }
+    };
+
+    let seed_triples: Vec<Triple> = region
+        .iter()
+        .map(|&e| {
+            let edge = g.edge(e);
+            Triple::new(
+                g.node_term(edge.from),
+                g.vocab().term(edge.label),
+                g.node_term(edge.to),
+            )
+        })
+        .collect();
+    let query_triples: Vec<Triple> = region
+        .iter()
+        .map(|&e| {
+            let edge = g.edge(e);
+            Triple::new(
+                term_for(edge.from),
+                g.vocab().term(edge.label),
+                term_for(edge.to),
+            )
+        })
+        .collect();
+
+    let query = QueryGraph::from_triples(&query_triples).ok()?;
+    Some(ProvenancedQuery {
+        query,
+        seed_edges: region,
+        seed_triples,
+        edits: Vec::new(),
+    })
+}
+
+/// Apply `count` random-kind perturbations to a provenanced query.
+pub fn perturb(pq: &ProvenancedQuery, rng: &mut Rng, count: usize) -> ProvenancedQuery {
+    let kinds: Vec<Perturbation> = (0..count)
+        .map(|_| match rng.below(3) {
+            0 => Perturbation::RelabelNode,
+            1 => Perturbation::RelabelEdge,
+            _ => Perturbation::SkipHop,
+        })
+        .collect();
+    perturb_with(pq, rng, &kinds)
+}
+
+/// Apply an explicit sequence of perturbations. Each applied edit
+/// records itself in `edits` (an inapplicable edit — e.g. a hop skip
+/// on a single-edge query — is skipped silently).
+pub fn perturb_with(
+    pq: &ProvenancedQuery,
+    rng: &mut Rng,
+    kinds: &[Perturbation],
+) -> ProvenancedQuery {
+    let mut triples: Vec<Triple> = pq.query.triples().collect();
+    let mut edits = pq.edits.clone();
+    for &kind in kinds {
+        if triples.is_empty() {
+            break;
+        }
+        match kind {
+            Perturbation::RelabelNode => {
+                // Pick a triple with a constant subject or object.
+                let candidates: Vec<usize> = triples
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.subject.is_variable() || !t.object.is_variable())
+                    .map(|(i, _)| i)
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let i = *rng.pick(&candidates);
+                let bogus = Term::iri(format!("Unknown{}", rng.below(1_000_000)));
+                let old = triples[i].clone();
+                let target = if !old.subject.is_variable() {
+                    old.subject.clone()
+                } else {
+                    old.object.clone()
+                };
+                // Rename every occurrence so the query stays connected.
+                for t in &mut triples {
+                    if t.subject == target {
+                        t.subject = bogus.clone();
+                    }
+                    if t.object == target {
+                        t.object = bogus.clone();
+                    }
+                }
+            }
+            Perturbation::RelabelEdge => {
+                let i = rng.below(triples.len());
+                triples[i].predicate = Term::iri(format!("unknownRel{}", rng.below(1_000_000)));
+            }
+            Perturbation::SkipHop => {
+                // Find a chain t1: x→y, t2: y→z and contract to x→z,
+                // keeping t1's predicate.
+                let mut contracted = false;
+                'outer: for i in 0..triples.len() {
+                    for j in 0..triples.len() {
+                        if i == j {
+                            continue;
+                        }
+                        if triples[i].object == triples[j].subject {
+                            let merged = Triple::new(
+                                triples[i].subject.clone(),
+                                triples[i].predicate.clone(),
+                                triples[j].object.clone(),
+                            );
+                            let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                            triples.remove(hi);
+                            triples.remove(lo);
+                            triples.push(merged);
+                            contracted = true;
+                            break 'outer;
+                        }
+                    }
+                }
+                if !contracted {
+                    continue;
+                }
+            }
+        }
+        edits.push(kind);
+    }
+    let query = QueryGraph::from_triples(&triples).expect("perturbed triples remain well-formed");
+    ProvenancedQuery {
+        query,
+        seed_edges: pq.seed_edges.clone(),
+        seed_triples: pq.seed_triples.clone(),
+        edits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lubm::{generate, LubmConfig};
+
+    fn dataset() -> DataGraph {
+        generate(&LubmConfig::default()).graph
+    }
+
+    #[test]
+    fn extraction_produces_connected_query() {
+        let data = dataset();
+        let mut rng = Rng::new(17);
+        let pq = extract_query(&data, &mut rng, &ExtractConfig::default()).unwrap();
+        assert_eq!(pq.seed_edges.len(), pq.query.edge_count());
+        assert!(pq.query.edge_count() > 0);
+        assert!(pq.edits.is_empty());
+    }
+
+    #[test]
+    fn extraction_is_deterministic_per_seed() {
+        let data = dataset();
+        let a = extract_query(&data, &mut Rng::new(5), &ExtractConfig::default()).unwrap();
+        let b = extract_query(&data, &mut Rng::new(5), &ExtractConfig::default()).unwrap();
+        assert_eq!(a.seed_edges, b.seed_edges);
+    }
+
+    #[test]
+    fn unperturbed_query_matches_seed_exactly() {
+        // Without variables or perturbation, the query IS the region.
+        let data = dataset();
+        let mut rng = Rng::new(23);
+        let cfg = ExtractConfig {
+            edges: 3,
+            variable_fraction: 0.0,
+        };
+        let pq = extract_query(&data, &mut rng, &cfg).unwrap();
+        let qt: Vec<Triple> = pq.query.triples().collect();
+        for t in &pq.seed_triples {
+            assert!(qt.contains(t));
+        }
+    }
+
+    #[test]
+    fn perturbation_records_edits() {
+        let data = dataset();
+        let mut rng = Rng::new(31);
+        let pq = extract_query(&data, &mut rng, &ExtractConfig::default()).unwrap();
+        let perturbed = perturb(&pq, &mut rng, 2);
+        assert_eq!(perturbed.edits.len(), 2);
+        assert_eq!(perturbed.seed_edges, pq.seed_edges);
+    }
+
+    #[test]
+    fn relabel_node_introduces_absent_label() {
+        let data = dataset();
+        let mut rng = Rng::new(37);
+        let pq = extract_query(
+            &data,
+            &mut rng,
+            &ExtractConfig {
+                edges: 4,
+                variable_fraction: 0.0,
+            },
+        )
+        .unwrap();
+        let perturbed = perturb_with(&pq, &mut rng, &[Perturbation::RelabelNode]);
+        assert_eq!(perturbed.edits, vec![Perturbation::RelabelNode]);
+        let has_unknown = perturbed.query.triples().any(|t| {
+            t.subject.lexical().starts_with("Unknown") || t.object.lexical().starts_with("Unknown")
+        });
+        assert!(has_unknown);
+    }
+
+    #[test]
+    fn empty_graph_yields_none() {
+        let empty = DataGraph::default();
+        let mut rng = Rng::new(1);
+        assert!(extract_query(&empty, &mut rng, &ExtractConfig::default()).is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! The experiments runner: regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! ```text
+//! experiments <which> [--quick | --scale <f>] [--out <dir>]
+//!
+//! which: table1 | fig6 | fig7 | fig8 | fig9 | rr | all
+//! --quick    tiny sizes (CI-sized, seconds)
+//! --scale f  size multiplier for the default (paper/100) setting
+//! --out dir  also write each result to <dir>/<which>.txt
+//! ```
+
+use eval::experiments::{ablation, fig6, fig7, fig8, fig9, rr, table1};
+use std::io::Write;
+
+struct Options {
+    which: String,
+    scale: f64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut which = None;
+    let mut scale = 1.0f64;
+    let mut out = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = 0.02,
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+            }
+            "--out" => {
+                out = Some(args.next().ok_or("--out needs a directory")?);
+            }
+            other if which.is_none() && !other.starts_with('-') => {
+                which = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Options {
+        which: which.unwrap_or_else(|| "all".to_string()),
+        scale,
+        out,
+    })
+}
+
+fn emit(out: &Option<String>, name: &str, body: &str) {
+    println!("{body}");
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir).expect("create output directory");
+        let path = format!("{dir}/{name}.txt");
+        let mut f = std::fs::File::create(&path).expect("create output file");
+        f.write_all(body.as_bytes()).expect("write output file");
+        eprintln!("[written {path}]");
+    }
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: experiments [table1|fig6|fig7|fig8|fig9|rr|ablation|all] [--quick] [--scale f] [--out dir]");
+            std::process::exit(2);
+        }
+    };
+    let s = opts.scale;
+    // Base sizes at scale 1.0 (≈ paper/100 for Table 1; tens of
+    // thousands of triples for the query experiments).
+    let lubm_triples = ((20_000.0 * s) as usize).max(500);
+    let runs = if s < 0.1 { 2 } else { 10 };
+
+    let run_one = |name: &str| match name {
+        "table1" => emit(&opts.out, "table1", &table1::run(s).to_string()),
+        "fig6" => emit(
+            &opts.out,
+            "fig6",
+            &fig6::run(lubm_triples, runs, 10).to_string(),
+        ),
+        "fig7" => emit(
+            &opts.out,
+            "fig7",
+            &fig7::run(lubm_triples, runs.min(5), 10).to_string(),
+        ),
+        "fig8" => emit(
+            &opts.out,
+            "fig8",
+            &fig8::run(lubm_triples, 2_000).to_string(),
+        ),
+        "fig9" => emit(
+            &opts.out,
+            "fig9",
+            &fig9::run(lubm_triples.min(5_000), if s < 0.1 { 3 } else { 10 }, 50).to_string(),
+        ),
+        "rr" => emit(
+            &opts.out,
+            "rr",
+            &rr::run(lubm_triples.min(5_000), if s < 0.1 { 5 } else { 12 }, 10).to_string(),
+        ),
+        "ablation" => emit(
+            &opts.out,
+            "ablation",
+            &ablation::run(lubm_triples.min(5_000), if s < 0.1 { 4 } else { 12 }, 10).to_string(),
+        ),
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            std::process::exit(2);
+        }
+    };
+
+    if opts.which == "all" {
+        for name in ["table1", "fig6", "fig7", "fig8", "fig9", "rr", "ablation"] {
+            eprintln!("== running {name} (scale {s}) ==");
+            run_one(name);
+        }
+    } else {
+        run_one(&opts.which);
+    }
+}

@@ -1,0 +1,233 @@
+//! Effectiveness ablations (DESIGN.md §6) — the *quality* counterpart
+//! to the timing ablations in `bench/benches/ablations.rs`:
+//!
+//! * **Conformity** (`e = 1` vs `e = 0`): how much does the Ψ term
+//!   contribute to ranking the intended region first? Measured as mean
+//!   reciprocal rank over provenance queries.
+//! * **Alignment mode** (greedy vs optimal DP): does the linear-time
+//!   scan lose ranking quality against the exact alignment?
+//! * **Synonyms** (with/without a domain thesaurus): recall effect on
+//!   queries using related-but-different labels.
+
+use crate::metrics::reciprocal_rank;
+use crate::oracle::{region_relevant, DEFAULT_REGION_THRESHOLD};
+use datasets::lubm::{generate, LubmConfig};
+use datasets::workload::{extract_query, perturb, ExtractConfig};
+use datasets::Rng;
+use path_index::Thesaurus;
+use rdf_model::QueryGraph;
+use sama_core::{AlignmentMode, EngineConfig, SamaEngine, ScoreParams};
+use std::fmt;
+use std::sync::Arc;
+
+/// Mean reciprocal rank of one engine configuration over a query set.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub config: String,
+    /// Mean reciprocal rank.
+    pub mean_rr: f64,
+    /// Queries answered (non-empty result).
+    pub answered: usize,
+    /// Total queries attempted.
+    pub total: usize,
+}
+
+/// The full ablation report.
+#[derive(Debug, Clone)]
+pub struct AblationReport {
+    /// One row per configuration.
+    pub rows: Vec<AblationRow>,
+    /// Synonym ablation: answers found for the related-label probe
+    /// with and without the thesaurus, as (without, with) best scores.
+    pub synonym_scores: (f64, f64),
+}
+
+fn provenance_queries(
+    data: &rdf_model::DataGraph,
+    count: usize,
+    seed: u64,
+) -> Vec<datasets::ProvenancedQuery> {
+    let mut rng = Rng::new(seed);
+    let mut out = Vec::new();
+    let mut attempts = 0;
+    while out.len() < count && attempts < count * 20 {
+        attempts += 1;
+        let edges = rng.range(2, 6);
+        let Some(clean) = extract_query(
+            data,
+            &mut rng,
+            &ExtractConfig {
+                edges,
+                variable_fraction: 0.4,
+            },
+        ) else {
+            continue;
+        };
+        let edits = rng.range(0, 2);
+        out.push(perturb(&clean, &mut rng, edits));
+    }
+    out
+}
+
+fn mean_rr(engine: &SamaEngine, queries: &[datasets::ProvenancedQuery], k: usize) -> (f64, usize) {
+    let mut total = 0.0;
+    let mut answered = 0;
+    for pq in queries {
+        let result = engine.answer(&pq.query, k);
+        if result.answers.is_empty() {
+            continue;
+        }
+        answered += 1;
+        let relevance: Vec<bool> = result
+            .answers
+            .iter()
+            .map(|a| {
+                region_relevant(
+                    &a.subgraph(engine.index()),
+                    &pq.seed_triples,
+                    DEFAULT_REGION_THRESHOLD,
+                )
+            })
+            .collect();
+        total += reciprocal_rank(&relevance);
+    }
+    (
+        if answered == 0 {
+            0.0
+        } else {
+            total / answered as f64
+        },
+        answered,
+    )
+}
+
+/// Run the effectiveness ablations over a corpus of roughly `triples`
+/// triples and `queries` provenance queries.
+pub fn run(triples: usize, queries: usize, k: usize) -> AblationReport {
+    let ds = generate(&LubmConfig::sized_for(triples, 2024));
+    let data = &ds.graph;
+    let query_set = provenance_queries(data, queries, 0xAB1A);
+
+    let configs: Vec<(String, SamaEngine)> = vec![
+        (
+            "full (ψ on, greedy)".to_string(),
+            SamaEngine::new(data.clone()),
+        ),
+        (
+            "no conformity (e = 0)".to_string(),
+            SamaEngine::new(data.clone()).with_params(ScoreParams::paper().without_conformity()),
+        ),
+        (
+            "optimal alignment (DP)".to_string(),
+            SamaEngine::with_config(
+                data.clone(),
+                EngineConfig {
+                    alignment: AlignmentMode::Optimal,
+                    ..Default::default()
+                },
+            ),
+        ),
+    ];
+
+    let rows = configs
+        .iter()
+        .map(|(label, engine)| {
+            let (rr, answered) = mean_rr(engine, &query_set, k);
+            AblationRow {
+                config: label.clone(),
+                mean_rr: rr,
+                answered,
+                total: query_set.len(),
+            }
+        })
+        .collect();
+
+    // Synonym probe: ask for a type label that only exists through the
+    // thesaurus.
+    let mut probe = QueryGraph::builder();
+    probe
+        .triple_str("?s", "takesCourse", "?c")
+        .expect("well-formed");
+    probe
+        .triple_str("?c", "type", "Class")
+        .expect("well-formed");
+    let probe = probe.build();
+
+    let plain = SamaEngine::new(data.clone());
+    let without = plain
+        .answer(&probe, 1)
+        .best()
+        .map(|a| a.score())
+        .unwrap_or(f64::NAN);
+    let mut thesaurus = Thesaurus::new();
+    thesaurus.group(["Class", "Course"]);
+    let with_syn = SamaEngine::new(data.clone()).with_synonyms(Arc::new(thesaurus));
+    let with = with_syn
+        .answer(&probe, 1)
+        .best()
+        .map(|a| a.score())
+        .unwrap_or(f64::NAN);
+
+    AblationReport {
+        rows,
+        synonym_scores: (without, with),
+    }
+}
+
+impl fmt::Display for AblationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Effectiveness ablations")?;
+        writeln!(
+            f,
+            "{:<26} {:>8} {:>10}",
+            "configuration", "mean RR", "answered"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<26} {:>8.3} {:>7}/{}",
+                r.config, r.mean_rr, r.answered, r.total
+            )?;
+        }
+        writeln!(
+            f,
+            "synonym probe (type Class≡Course): best score {:.2} without thesaurus, {:.2} with",
+            self.synonym_scores.0, self.synonym_scores.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_three_config_rows() {
+        let report = run(800, 4, 10);
+        assert_eq!(report.rows.len(), 3);
+        for r in &report.rows {
+            assert!(r.answered > 0, "{} answered nothing", r.config);
+            assert!((0.0..=1.0).contains(&r.mean_rr));
+        }
+    }
+
+    #[test]
+    fn synonyms_strictly_improve_the_probe() {
+        let report = run(800, 1, 5);
+        let (without, with) = report.synonym_scores;
+        assert!(
+            with < without,
+            "thesaurus should lower the probe score: {with} !< {without}"
+        );
+        assert_eq!(with, 0.0, "synonym match is exact");
+    }
+
+    #[test]
+    fn display_renders() {
+        let report = run(600, 2, 5);
+        let text = report.to_string();
+        assert!(text.contains("mean RR"));
+        assert!(text.contains("synonym probe"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Figure 7: scalability of Sama with respect to (a) the number `I` of
+//! extracted paths, (b) the number of nodes in `Q`, and (c) the number
+//! of variables in `Q`.
+//!
+//! Each panel is a sweep producing `(x, ms)` points; the paper overlays
+//! quadratic trendlines, so we also report a least-squares quadratic
+//! fit for each series.
+
+use datasets::lubm::{generate, LubmConfig};
+use datasets::lubm_workload;
+use rdf_model::QueryGraph;
+use sama_core::SamaEngine;
+use std::fmt;
+use std::time::Instant;
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// The x-axis value (I, node count, or variable count).
+    pub x: f64,
+    /// Average response time in ms.
+    pub ms: f64,
+}
+
+/// One panel of Figure 7.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Panel name ("7a", "7b", "7c").
+    pub name: &'static str,
+    /// X-axis label.
+    pub axis: &'static str,
+    /// Measured points.
+    pub points: Vec<SweepPoint>,
+    /// Quadratic least-squares coefficients `(a, b, c)` of
+    /// `ms ≈ a·x² + b·x + c`.
+    pub fit: (f64, f64, f64),
+}
+
+/// The regenerated Figure 7.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Panels 7a, 7b, 7c.
+    pub sweeps: Vec<Sweep>,
+}
+
+/// Least-squares quadratic fit (normal equations; panels have few
+/// points, conditioning is fine).
+pub fn quadratic_fit(points: &[SweepPoint]) -> (f64, f64, f64) {
+    let n = points.len() as f64;
+    if points.len() < 3 {
+        return (0.0, 0.0, points.first().map(|p| p.ms).unwrap_or(0.0));
+    }
+    let (mut sx, mut sx2, mut sx3, mut sx4) = (0.0, 0.0, 0.0, 0.0);
+    let (mut sy, mut sxy, mut sx2y) = (0.0, 0.0, 0.0);
+    for p in points {
+        let (x, y) = (p.x, p.ms);
+        sx += x;
+        sx2 += x * x;
+        sx3 += x * x * x;
+        sx4 += x * x * x * x;
+        sy += y;
+        sxy += x * y;
+        sx2y += x * x * y;
+    }
+    // Solve the 3x3 system [sx4 sx3 sx2; sx3 sx2 sx; sx2 sx n] · [a b c]
+    // = [sx2y sxy sy] by Cramer's rule.
+    let det = |m: [[f64; 3]; 3]| -> f64 {
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    };
+    let m = [[sx4, sx3, sx2], [sx3, sx2, sx], [sx2, sx, n]];
+    let d = det(m);
+    if d.abs() < 1e-12 {
+        return (0.0, 0.0, sy / n);
+    }
+    let ma = [[sx2y, sx3, sx2], [sxy, sx2, sx], [sy, sx, n]];
+    let mb = [[sx4, sx2y, sx2], [sx3, sxy, sx], [sx2, sy, n]];
+    let mc = [[sx4, sx3, sx2y], [sx3, sx2, sxy], [sx2, sx, sy]];
+    (det(ma) / d, det(mb) / d, det(mc) / d)
+}
+
+fn time_query(engine: &SamaEngine, q: &QueryGraph, runs: usize, k: usize) -> (f64, usize) {
+    let mut retrieved = 0usize;
+    let start = Instant::now();
+    for _ in 0..runs {
+        let result = engine.answer(q, k);
+        retrieved = result.retrieved_paths;
+    }
+    (start.elapsed().as_secs_f64() * 1e3 / runs as f64, retrieved)
+}
+
+/// Panel 7a: fixed mid-size query, growing corpus → growing `I`.
+fn sweep_a(scales: &[usize], runs: usize, k: usize) -> Sweep {
+    let mut points = Vec::new();
+    for &triples in scales {
+        let ds = generate(&LubmConfig::sized_for(triples, 7));
+        let engine = SamaEngine::new(ds.graph.clone());
+        let workload = lubm_workload(&ds);
+        // Q5 — the 5-pattern triangle query — is the paper-style
+        // mid-complexity probe.
+        let q = &workload[4].query;
+        let (ms, retrieved) = time_query(&engine, q, runs, k);
+        points.push(SweepPoint {
+            x: retrieved as f64,
+            ms,
+        });
+    }
+    points.sort_by(|a, b| a.x.total_cmp(&b.x));
+    let fit = quadratic_fit(&points);
+    Sweep {
+        name: "7a",
+        axis: "I = #retrieved paths",
+        points,
+        fit,
+    }
+}
+
+/// A chain query with exactly `nodes` nodes over the LUBM schema:
+/// alternating student→course and student→advisor patterns stitched
+/// into one growing pattern.
+pub fn query_with_nodes(nodes: usize) -> QueryGraph {
+    let mut b = QueryGraph::builder();
+    // Start: ?s0 memberOf ?d0 (2 nodes), then grow one node at a time.
+    b.triple_str("?s0", "memberOf", "?d0").unwrap();
+    let mut count = 2;
+    let mut student = 0usize;
+    while count < nodes {
+        match count % 4 {
+            0 => {
+                b.triple_str(
+                    &format!("?s{student}"),
+                    "takesCourse",
+                    &format!("?c{count}"),
+                )
+                .unwrap();
+            }
+            1 => {
+                b.triple_str(&format!("?s{student}"), "advisor", &format!("?p{count}"))
+                    .unwrap();
+            }
+            2 => {
+                student += 1;
+                b.triple_str(&format!("?s{student}"), "memberOf", "?d0")
+                    .unwrap();
+            }
+            _ => {
+                b.triple_str(&format!("?s{student}"), "name", &format!("?n{count}"))
+                    .unwrap();
+            }
+        }
+        count += 1;
+    }
+    b.build()
+}
+
+/// A query with exactly `vars` variables: constants fill the remaining
+/// positions.
+pub fn query_with_vars(ds: &datasets::LubmDataset, vars: usize) -> QueryGraph {
+    let dept0 = ds.departments[0].as_str();
+    let prof0 = ds.professors[0].as_str();
+    let mut b = QueryGraph::builder();
+    let patterns: Vec<(String, String, String)> = vec![
+        ("?v1".into(), "worksFor".into(), dept0.into()),
+        ("?v2".into(), "advisor".into(), "?v1".into()),
+        ("?v2".into(), "takesCourse".into(), "?v3".into()),
+        ("?v4".into(), "publicationAuthor".into(), "?v1".into()),
+        ("?v2".into(), "name".into(), "?v5".into()),
+        ("?v6".into(), "teacherOf".into(), "?v3".into()),
+        ("?v6".into(), "emailAddress".into(), "?v7".into()),
+    ];
+    // Take enough patterns to introduce `vars` distinct variables.
+    let mut introduced = 0usize;
+    let mut seen: Vec<String> = Vec::new();
+    for (s, p, o) in patterns {
+        for term in [&s, &o] {
+            if term.starts_with("?") && !seen.contains(term) {
+                seen.push(term.clone());
+                introduced += 1;
+            }
+        }
+        b.triple_str(&s, &p, &o).unwrap();
+        if introduced >= vars {
+            break;
+        }
+    }
+    let _ = prof0;
+    b.build()
+}
+
+fn sweep_b(triples: usize, runs: usize, k: usize) -> Sweep {
+    let ds = generate(&LubmConfig::sized_for(triples, 7));
+    let engine = SamaEngine::new(ds.graph.clone());
+    let mut points = Vec::new();
+    for nodes in (3..=23).step_by(4) {
+        let q = query_with_nodes(nodes);
+        let (ms, _) = time_query(&engine, &q, runs, k);
+        points.push(SweepPoint {
+            x: q.node_count() as f64,
+            ms,
+        });
+    }
+    let fit = quadratic_fit(&points);
+    Sweep {
+        name: "7b",
+        axis: "#nodes in Q",
+        points,
+        fit,
+    }
+}
+
+fn sweep_c(triples: usize, runs: usize, k: usize) -> Sweep {
+    let ds = generate(&LubmConfig::sized_for(triples, 7));
+    let engine = SamaEngine::new(ds.graph.clone());
+    let mut points = Vec::new();
+    for vars in 1..=7 {
+        let q = query_with_vars(&ds, vars);
+        let (ms, _) = time_query(&engine, &q, runs, k);
+        points.push(SweepPoint {
+            x: q.variable_count() as f64,
+            ms,
+        });
+    }
+    let fit = quadratic_fit(&points);
+    Sweep {
+        name: "7c",
+        axis: "#variables in Q",
+        points,
+        fit,
+    }
+}
+
+/// Run all three panels. `base_triples` sizes panels 7b/7c and the
+/// largest point of 7a's corpus ladder.
+pub fn run(base_triples: usize, runs: usize, k: usize) -> Fig7 {
+    let scales: Vec<usize> = (1..=5).map(|i| base_triples * i / 5).collect();
+    Fig7 {
+        sweeps: vec![
+            sweep_a(&scales, runs, k),
+            sweep_b(base_triples, runs, k),
+            sweep_c(base_triples, runs, k),
+        ],
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 7 — Sama scalability")?;
+        for s in &self.sweeps {
+            writeln!(f, "panel {} ({}):", s.name, s.axis)?;
+            for p in &s.points {
+                writeln!(f, "  x={:<12.1} {:>10.3} ms", p.x, p.ms)?;
+            }
+            writeln!(
+                f,
+                "  trendline: ms ≈ {:.3e}·x² + {:.3e}·x + {:.3}",
+                s.fit.0, s.fit.1, s.fit.2
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_fit_recovers_exact_polynomial() {
+        let points: Vec<SweepPoint> = (0..8)
+            .map(|i| {
+                let x = i as f64;
+                SweepPoint {
+                    x,
+                    ms: 2.0 * x * x + 3.0 * x + 5.0,
+                }
+            })
+            .collect();
+        let (a, b, c) = quadratic_fit(&points);
+        assert!((a - 2.0).abs() < 1e-6);
+        assert!((b - 3.0).abs() < 1e-6);
+        assert!((c - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_degenerate_inputs() {
+        assert_eq!(quadratic_fit(&[]), (0.0, 0.0, 0.0));
+        let one = [SweepPoint { x: 1.0, ms: 7.0 }];
+        assert_eq!(quadratic_fit(&one), (0.0, 0.0, 7.0));
+    }
+
+    #[test]
+    fn query_with_nodes_hits_target() {
+        for n in [3usize, 7, 11, 15, 23] {
+            let q = query_with_nodes(n);
+            assert_eq!(q.node_count(), n, "requested {n}");
+        }
+    }
+
+    #[test]
+    fn query_with_vars_hits_target() {
+        let ds = generate(&LubmConfig::default());
+        for v in 1..=7 {
+            let q = query_with_vars(&ds, v);
+            assert_eq!(q.variable_count(), v, "requested {v}");
+        }
+    }
+
+    #[test]
+    fn quick_run_produces_three_panels() {
+        let fig = run(500, 1, 3);
+        assert_eq!(fig.sweeps.len(), 3);
+        for s in &fig.sweeps {
+            assert!(!s.points.is_empty(), "panel {} empty", s.name);
+        }
+        let text = fig.to_string();
+        assert!(text.contains("7a") && text.contains("7b") && text.contains("7c"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Experiment drivers — one module per table/figure of the paper's
+//! evaluation (Section 6), each producing a typed result with a
+//! `Display` that prints the same rows/series the paper reports.
+
+pub mod ablation;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod rr;
+pub mod setup;
+pub mod table1;

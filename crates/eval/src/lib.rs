@@ -1,0 +1,22 @@
+//! # eval
+//!
+//! The evaluation harness: effectiveness metrics, relevance oracles,
+//! and the per-table/figure experiment drivers that regenerate every
+//! result of the paper's Section 6.
+//!
+//! Run everything with the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p eval --bin experiments -- all --quick
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod oracle;
+
+pub use metrics::{
+    average_curves, interpolated_precision, pr_curve, precision, recall, reciprocal_rank,
+};
+pub use oracle::{ged_ranking, ged_relevance, region_relevant, DEFAULT_REGION_THRESHOLD};

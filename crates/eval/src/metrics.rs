@@ -1,0 +1,144 @@
+//! Retrieval-effectiveness metrics (paper, Section 6.3).
+//!
+//! * **Reciprocal rank** — "the ratio between 1 and the rank at which
+//!   the first correct answer is returned; or 0 if no correct answer is
+//!   returned."
+//! * **Interpolated precision/recall** — Figure 9's curves: for each
+//!   recall level the maximum precision achieved at that recall or
+//!   higher (the standard 11-point interpolation).
+
+/// Precision: fraction of returned items that are relevant.
+pub fn precision(relevant_returned: usize, returned: usize) -> f64 {
+    if returned == 0 {
+        0.0
+    } else {
+        relevant_returned as f64 / returned as f64
+    }
+}
+
+/// Recall: fraction of relevant items that were returned.
+pub fn recall(relevant_returned: usize, relevant_total: usize) -> f64 {
+    if relevant_total == 0 {
+        0.0
+    } else {
+        relevant_returned as f64 / relevant_total as f64
+    }
+}
+
+/// Reciprocal rank over a ranked relevance vector.
+pub fn reciprocal_rank(ranked_relevance: &[bool]) -> f64 {
+    ranked_relevance
+        .iter()
+        .position(|&r| r)
+        .map(|i| 1.0 / (i + 1) as f64)
+        .unwrap_or(0.0)
+}
+
+/// Precision at each rank where a relevant item appears, as
+/// `(recall, precision)` points — the raw P/R curve.
+pub fn pr_curve(ranked_relevance: &[bool], relevant_total: usize) -> Vec<(f64, f64)> {
+    let mut points = Vec::new();
+    let mut hits = 0usize;
+    for (i, &rel) in ranked_relevance.iter().enumerate() {
+        if rel {
+            hits += 1;
+            points.push((recall(hits, relevant_total), precision(hits, i + 1)));
+        }
+    }
+    points
+}
+
+/// 11-point interpolated precision: for each recall level `0.0, 0.1, …,
+/// 1.0`, the maximum precision at any recall ≥ that level.
+pub fn interpolated_precision(ranked_relevance: &[bool], relevant_total: usize) -> Vec<(f64, f64)> {
+    let curve = pr_curve(ranked_relevance, relevant_total);
+    (0..=10)
+        .map(|level| {
+            let r = level as f64 / 10.0;
+            let p = curve
+                .iter()
+                .filter(|&&(recall, _)| recall >= r - 1e-12)
+                .map(|&(_, precision)| precision)
+                .fold(0.0, f64::max);
+            (r, p)
+        })
+        .collect()
+}
+
+/// Average multiple interpolated curves point-wise (all curves must
+/// come from [`interpolated_precision`], i.e. share the 11 levels).
+pub fn average_curves(curves: &[Vec<(f64, f64)>]) -> Vec<(f64, f64)> {
+    if curves.is_empty() {
+        return Vec::new();
+    }
+    (0..=10)
+        .map(|level| {
+            let r = level as f64 / 10.0;
+            let sum: f64 = curves.iter().map(|c| c[level].1).sum();
+            (r, sum / curves.len() as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_recall_basics() {
+        assert_eq!(precision(2, 4), 0.5);
+        assert_eq!(precision(0, 0), 0.0);
+        assert_eq!(recall(2, 8), 0.25);
+        assert_eq!(recall(1, 0), 0.0);
+    }
+
+    #[test]
+    fn rr_first_hit() {
+        assert_eq!(reciprocal_rank(&[true, false]), 1.0);
+        assert_eq!(reciprocal_rank(&[false, true]), 0.5);
+        assert_eq!(reciprocal_rank(&[false, false, false, true]), 0.25);
+        assert_eq!(reciprocal_rank(&[false, false]), 0.0);
+        assert_eq!(reciprocal_rank(&[]), 0.0);
+    }
+
+    #[test]
+    fn pr_curve_points() {
+        // relevant at ranks 1 and 3, of 2 total relevant.
+        let curve = pr_curve(&[true, false, true], 2);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0], (0.5, 1.0));
+        assert_eq!(curve[1], (1.0, 2.0 / 3.0));
+    }
+
+    #[test]
+    fn interpolation_is_monotone_nonincreasing() {
+        let interp = interpolated_precision(&[true, false, true, false, true], 3);
+        assert_eq!(interp.len(), 11);
+        for w in interp.windows(2) {
+            assert!(w[0].1 >= w[1].1 - 1e-12);
+        }
+        // At recall 0 the interpolated precision is the max anywhere.
+        assert_eq!(interp[0].1, 1.0);
+    }
+
+    #[test]
+    fn perfect_ranking_is_flat_one() {
+        let interp = interpolated_precision(&[true, true, true], 3);
+        assert!(interp.iter().all(|&(_, p)| (p - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_ranking_is_zero() {
+        let interp = interpolated_precision(&[], 3);
+        assert!(interp.iter().all(|&(_, p)| p == 0.0));
+    }
+
+    #[test]
+    fn averaging_curves() {
+        let a = interpolated_precision(&[true, true], 2);
+        let b = interpolated_precision(&[false, false], 2);
+        let avg = average_curves(&[a, b]);
+        assert!(avg.iter().all(|&(_, p)| (p - 0.5).abs() < 1e-12));
+        assert!(average_curves(&[]).is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Relevance ground truth (replacing the paper's human domain experts).
+//!
+//! Two oracles, used by different experiments:
+//!
+//! * **Region oracle** — for provenance-tracked workloads (Figure 9):
+//!   a query was extracted from a known region of the data; an answer
+//!   is relevant iff it recovers at least a threshold fraction of that
+//!   region's triples. Deterministic and cheap.
+//! * **GED oracle** — for monotonicity checks: rank candidate answers
+//!   by their exact weighted graph-edit distance from the query
+//!   (Definition 4's `γ(τ)`), computed by [`mod@graph_match::ged`]. Exact
+//!   but exponential; only applied to answer-sized graphs.
+
+use graph_match::{ged_cost, GedCosts};
+use rdf_model::{FxHashSet, Graph, QueryGraph, Triple};
+
+/// Fraction of seed triples an answer must contain to count as
+/// relevant under the region oracle.
+pub const DEFAULT_REGION_THRESHOLD: f64 = 0.5;
+
+/// Region oracle: does `answer` contain at least `threshold` of the
+/// `seed` triples? Comparison is by rendered triple text, so graphs
+/// with different internal ids compare correctly.
+pub fn region_relevant(answer: &Graph, seed: &[Triple], threshold: f64) -> bool {
+    if seed.is_empty() {
+        return false;
+    }
+    let answer_lines: FxHashSet<String> = answer.to_sorted_lines().into_iter().collect();
+    let covered = seed
+        .iter()
+        .filter(|t| {
+            let line = format!("{} {} {}", t.subject, t.predicate, t.object);
+            answer_lines.contains(&line)
+        })
+        .count();
+    covered as f64 / seed.len() as f64 >= threshold - 1e-12
+}
+
+/// GED oracle: the weighted edit cost of turning the query into the
+/// answer, variables free (the paper's relevance cost `γ(τ)`).
+///
+/// Exponential in graph size — keep answers under ~12 nodes.
+pub fn ged_relevance(query: &QueryGraph, answer: &Graph) -> f64 {
+    let qg = query.as_graph();
+    let is_var = |l| !qg.vocab().is_constant(l);
+    ged_cost(qg, answer, &is_var, &GedCosts::paper())
+}
+
+/// Rank a list of answers by the GED oracle (ascending cost); returns
+/// the permutation of indices.
+pub fn ged_ranking(query: &QueryGraph, answers: &[Graph]) -> Vec<usize> {
+    let mut costs: Vec<(usize, f64)> = answers
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (i, ged_relevance(query, a)))
+        .collect();
+    costs.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    costs.into_iter().map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::DataGraph;
+
+    fn graph(triples: &[(&str, &str, &str)]) -> Graph {
+        let mut b = DataGraph::builder();
+        for &(s, p, o) in triples {
+            b.triple_str(s, p, o).unwrap();
+        }
+        b.build().as_graph().clone()
+    }
+
+    #[test]
+    fn region_full_coverage() {
+        let seed = vec![Triple::parse("a", "p", "b"), Triple::parse("b", "q", "c")];
+        let answer = graph(&[("a", "p", "b"), ("b", "q", "c"), ("x", "r", "y")]);
+        assert!(region_relevant(&answer, &seed, 1.0));
+    }
+
+    #[test]
+    fn region_partial_coverage() {
+        let seed = vec![Triple::parse("a", "p", "b"), Triple::parse("b", "q", "c")];
+        let answer = graph(&[("a", "p", "b")]);
+        assert!(region_relevant(&answer, &seed, 0.5));
+        assert!(!region_relevant(&answer, &seed, 0.9));
+    }
+
+    #[test]
+    fn region_empty_seed_is_irrelevant() {
+        let answer = graph(&[("a", "p", "b")]);
+        assert!(!region_relevant(&answer, &[], 0.5));
+    }
+
+    #[test]
+    fn ged_oracle_prefers_exact_answers() {
+        let mut b = QueryGraph::builder();
+        b.triple_str("CB", "sponsor", "?v").unwrap();
+        let q = b.build();
+        let exact = graph(&[("CB", "sponsor", "A1")]);
+        let relabeled = graph(&[("XX", "sponsor", "A1")]);
+        assert_eq!(ged_relevance(&q, &exact), 0.0);
+        assert!(ged_relevance(&q, &relabeled) > 0.0);
+    }
+
+    #[test]
+    fn ged_ranking_orders_by_cost() {
+        let mut b = QueryGraph::builder();
+        b.triple_str("CB", "sponsor", "?v").unwrap();
+        let q = b.build();
+        let answers = vec![
+            graph(&[("XX", "sponsor", "A1")]), // cost > 0
+            graph(&[("CB", "sponsor", "A1")]), // cost 0
+        ];
+        assert_eq!(ged_ranking(&q, &answers), vec![1, 0]);
+    }
+}

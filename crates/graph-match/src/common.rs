@@ -1,0 +1,289 @@
+//! Shared machinery for the baseline graph matchers.
+//!
+//! The paper compares Sama against three systems — SAPPER, BOUNDED and
+//! DOGMA — that all solve variants of subgraph matching: find mappings
+//! from query nodes to data nodes that (approximately) preserve labels
+//! and edges. This module provides the common vocabulary translation,
+//! candidate filtering and the [`Matcher`] trait the evaluation harness
+//! drives.
+
+use rdf_model::{DataGraph, FxHashMap, LabelId, NodeId, QueryGraph};
+
+/// One match: a total mapping from query nodes to data nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchResult {
+    /// `(query node, data node)` pairs, in query-node order.
+    pub mapping: Vec<(NodeId, NodeId)>,
+    /// Number of query edges not realized exactly (0 for exact
+    /// matchers; ≤ Δ for SAPPER-style approximate matching).
+    pub missing_edges: usize,
+}
+
+impl MatchResult {
+    /// The data node mapped to `query_node`, if any.
+    pub fn image(&self, query_node: NodeId) -> Option<NodeId> {
+        self.mapping
+            .iter()
+            .find(|&&(q, _)| q == query_node)
+            .map(|&(_, d)| d)
+    }
+
+    /// `true` if every query edge is realized (an exact match).
+    pub fn is_exact(&self) -> bool {
+        self.missing_edges == 0
+    }
+}
+
+/// A subgraph-matching system under comparison.
+pub trait Matcher {
+    /// Short system name for reports ("sapper", "bounded", "dogma", …).
+    fn name(&self) -> &'static str;
+
+    /// Enumerate up to `limit` matches of `query` in `data`.
+    fn find_matches(&self, data: &DataGraph, query: &QueryGraph, limit: usize) -> Vec<MatchResult>;
+
+    /// Convenience: the number of matches, up to `limit`.
+    fn count_matches(&self, data: &DataGraph, query: &QueryGraph, limit: usize) -> usize {
+        self.find_matches(data, query, limit).len()
+    }
+}
+
+/// The query-to-data label translation used by all matchers: for each
+/// query label, either "wildcard" (a variable) or the data label id it
+/// must equal (None = the constant is absent from the data).
+#[derive(Debug, Clone)]
+pub struct LabelMap {
+    resolved: FxHashMap<LabelId, Option<LabelId>>,
+}
+
+impl LabelMap {
+    /// Resolve every label of `query` against `data`'s vocabulary.
+    pub fn build(data: &DataGraph, query: &QueryGraph) -> Self {
+        let mut resolved = FxHashMap::default();
+        for (id, kind, lexical) in query.vocab().iter() {
+            if kind.is_constant() {
+                resolved.insert(id, data.vocab().get_constant(lexical));
+            }
+        }
+        LabelMap { resolved }
+    }
+
+    /// `true` if query label `q` is compatible with data label `d`:
+    /// variables match anything, constants must resolve to `d`.
+    #[inline]
+    pub fn compatible(&self, q: LabelId, d: LabelId) -> bool {
+        match self.resolved.get(&q) {
+            None => true, // variable (not in the map)
+            Some(Some(resolved)) => *resolved == d,
+            Some(None) => false, // constant absent from the data
+        }
+    }
+
+    /// The data label a constant query label resolves to.
+    pub fn resolve(&self, q: LabelId) -> Option<LabelId> {
+        self.resolved.get(&q).copied().flatten()
+    }
+
+    /// `true` if `q` is a variable label.
+    pub fn is_wildcard(&self, q: LabelId) -> bool {
+        !self.resolved.contains_key(&q)
+    }
+}
+
+/// Initial node candidates: for each query node, the data nodes with a
+/// compatible label. Degree filtering (a standard VF2-style refinement)
+/// additionally requires candidates to have at least the query node's
+/// out- and in-degree when `degree_filter` is set — sound for exact
+/// matchers, disabled for approximate ones.
+pub fn node_candidates(
+    data: &DataGraph,
+    query: &QueryGraph,
+    labels: &LabelMap,
+    degree_filter: bool,
+) -> Vec<Vec<NodeId>> {
+    let dg = data.as_graph();
+    let qg = query.as_graph();
+    // Bucket data nodes by label for constant lookups.
+    let mut by_label: FxHashMap<LabelId, Vec<NodeId>> = FxHashMap::default();
+    for n in dg.nodes() {
+        by_label.entry(dg.node_label(n)).or_default().push(n);
+    }
+    query
+        .nodes()
+        .map(|qn| {
+            let qlabel = qg.node_label(qn);
+            let base: Vec<NodeId> = if labels.is_wildcard(qlabel) {
+                dg.nodes().collect()
+            } else {
+                match labels.resolve(qlabel) {
+                    Some(dlabel) => by_label.get(&dlabel).cloned().unwrap_or_default(),
+                    None => Vec::new(),
+                }
+            };
+            if degree_filter {
+                base.into_iter()
+                    .filter(|&dn| {
+                        dg.out_degree(dn) >= qg.out_degree(qn)
+                            && dg.in_degree(dn) >= qg.in_degree(qn)
+                    })
+                    .collect()
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+/// Order query nodes most-constrained-first (fewest candidates), a
+/// classic search-ordering heuristic shared by the backtracking
+/// matchers.
+pub fn search_order(candidates: &[Vec<NodeId>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by_key(|&i| candidates[i].len());
+    order
+}
+
+/// A work cap for the backtracking matchers, making them *anytime*:
+/// when the budget runs out, the matches found so far are returned.
+/// The real systems bound work through their indexes; a step budget is
+/// the honest equivalent for re-implementations driven by a shared
+/// harness (Sama's own search has `max_expansions` for the same
+/// reason).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepBudget {
+    remaining: u64,
+    exhausted: bool,
+}
+
+impl StepBudget {
+    /// A budget of `steps` candidate trials.
+    pub fn new(steps: u64) -> Self {
+        StepBudget {
+            remaining: steps,
+            exhausted: false,
+        }
+    }
+
+    /// Spend one step; `false` once the budget is gone.
+    #[inline]
+    pub fn step(&mut self) -> bool {
+        if self.remaining == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        self.remaining -= 1;
+        true
+    }
+
+    /// `true` if the budget ran out at any point.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+/// Default step budget for the baseline matchers (~a few seconds of
+/// backtracking on commodity hardware).
+pub const DEFAULT_STEP_BUDGET: u64 = 20_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::Term;
+
+    fn data() -> DataGraph {
+        let mut b = DataGraph::builder();
+        b.triple_str("a", "p", "b").unwrap();
+        b.triple_str("a", "p", "c").unwrap();
+        b.triple_str("b", "q", "c").unwrap();
+        b.build()
+    }
+
+    fn query() -> QueryGraph {
+        let mut b = QueryGraph::builder();
+        b.triple_str("a", "p", "?x").unwrap();
+        b.triple_str("?x", "q", "?y").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn label_map_resolves_constants() {
+        let d = data();
+        let q = query();
+        let map = LabelMap::build(&d, &q);
+        let qa = q.vocab().get(&Term::iri("a")).unwrap();
+        let da = d.vocab().get(&Term::iri("a")).unwrap();
+        assert_eq!(map.resolve(qa), Some(da));
+        assert!(map.compatible(qa, da));
+        let db = d.vocab().get(&Term::iri("b")).unwrap();
+        assert!(!map.compatible(qa, db));
+    }
+
+    #[test]
+    fn variables_are_wildcards() {
+        let d = data();
+        let q = query();
+        let map = LabelMap::build(&d, &q);
+        let vx = q.vocab().get(&Term::var("x")).unwrap();
+        assert!(map.is_wildcard(vx));
+        let any = d.vocab().get(&Term::iri("c")).unwrap();
+        assert!(map.compatible(vx, any));
+    }
+
+    #[test]
+    fn absent_constant_matches_nothing() {
+        let d = data();
+        let mut b = QueryGraph::builder();
+        b.triple_str("zzz", "p", "?x").unwrap();
+        let q = b.build();
+        let map = LabelMap::build(&d, &q);
+        let qz = q.vocab().get(&Term::iri("zzz")).unwrap();
+        assert_eq!(map.resolve(qz), None);
+        let da = d.vocab().get(&Term::iri("a")).unwrap();
+        assert!(!map.compatible(qz, da));
+    }
+
+    #[test]
+    fn candidates_respect_labels_and_degrees() {
+        let d = data();
+        let q = query();
+        let map = LabelMap::build(&d, &q);
+        let cands = node_candidates(&d, &q, &map, true);
+        // Query node 0 is the constant `a` → exactly the data node a.
+        assert_eq!(cands[0].len(), 1);
+        // ?x needs out-degree ≥ 1 and in-degree ≥ 1 → only b qualifies.
+        assert_eq!(cands[1].len(), 1);
+        // ?y needs in-degree ≥ 1 → b and c.
+        assert_eq!(cands[2].len(), 2);
+    }
+
+    #[test]
+    fn no_degree_filter_keeps_all_label_matches() {
+        let d = data();
+        let q = query();
+        let map = LabelMap::build(&d, &q);
+        let cands = node_candidates(&d, &q, &map, false);
+        assert_eq!(cands[1].len(), 3); // all data nodes for ?x
+    }
+
+    #[test]
+    fn search_order_most_constrained_first() {
+        let cands = vec![
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(0)],
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+        ];
+        assert_eq!(search_order(&cands), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn match_result_accessors() {
+        let m = MatchResult {
+            mapping: vec![(NodeId(0), NodeId(5)), (NodeId(1), NodeId(7))],
+            missing_edges: 0,
+        };
+        assert_eq!(m.image(NodeId(1)), Some(NodeId(7)));
+        assert_eq!(m.image(NodeId(9)), None);
+        assert!(m.is_exact());
+    }
+}

@@ -1,0 +1,36 @@
+//! # graph-match
+//!
+//! Baseline graph-matching systems for the Sama evaluation (paper,
+//! Section 6): re-implementations of the three competitors plus the
+//! exactness and relevance oracles.
+//!
+//! * [`sapper::SapperMatcher`] — approximate subgraph matching with an
+//!   edge-miss budget Δ (Zhang et al., PVLDB 2010).
+//! * [`bounded::BoundedMatcher`] — bounded graph simulation (Fan et
+//!   al., PVLDB 2010).
+//! * [`dogma::DogmaMatcher`] — exact subgraph matching with a distance
+//!   index (Bröcheler et al., ISWC 2009).
+//! * [`vf2::Vf2Matcher`] — plain subgraph isomorphism, the correctness
+//!   oracle the exact matchers are validated against.
+//! * [`mod@ged`] — exact weighted graph edit distance, the formal ground
+//!   truth for the paper's relevance order (Definition 4) used by the
+//!   evaluation oracle.
+//!
+//! All matchers implement [`common::Matcher`], so the evaluation
+//! harness can drive them uniformly for Figures 6, 8 and 9.
+
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod common;
+pub mod dogma;
+pub mod ged;
+pub mod sapper;
+pub mod vf2;
+
+pub use bounded::BoundedMatcher;
+pub use common::{LabelMap, MatchResult, Matcher};
+pub use dogma::DogmaMatcher;
+pub use ged::{ged, ged_beam, ged_cost, GedCosts, GedResult};
+pub use sapper::SapperMatcher;
+pub use vf2::Vf2Matcher;

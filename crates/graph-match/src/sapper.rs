@@ -1,0 +1,420 @@
+//! SAPPER: approximate subgraph matching with an edge-miss budget.
+//!
+//! Re-implementation of the matching model of Zhang, Yang, Jin,
+//! *"SAPPER: Subgraph Indexing and Approximate Matching in Large
+//! Graphs"* (PVLDB 2010) — the paper's `Sapper` competitor (reference \[29\]).
+//!
+//! SAPPER finds occurrences of a query graph in a large data graph
+//! allowing up to `Δ` *missing edges*: a match maps every query node to
+//! a distinct, label-compatible data node, and at most `Δ` query edges
+//! may lack a corresponding data edge. SAPPER enumerates from a
+//! spanning tree of the query first (tree edges are cheap to verify)
+//! and patches in the remaining edges, charging misses against the
+//! budget; we reproduce that as backtracking over a spanning-tree-first
+//! node order where each unmatched query edge consumes budget.
+
+use crate::common::{
+    node_candidates, search_order, LabelMap, MatchResult, Matcher, StepBudget, DEFAULT_STEP_BUDGET,
+};
+use rdf_model::{DataGraph, FxHashSet, NodeId, QueryGraph};
+
+/// The SAPPER-style approximate matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct SapperMatcher {
+    /// Maximum number of missing query edges (`Δ`).
+    pub delta: usize,
+    /// Backtracking work cap (anytime behaviour; see
+    /// [`crate::common::StepBudget`]).
+    pub step_budget: u64,
+}
+
+impl Default for SapperMatcher {
+    fn default() -> Self {
+        SapperMatcher {
+            delta: 1,
+            step_budget: DEFAULT_STEP_BUDGET,
+        }
+    }
+}
+
+impl Matcher for SapperMatcher {
+    fn name(&self) -> &'static str {
+        "sapper"
+    }
+
+    fn find_matches(&self, data: &DataGraph, query: &QueryGraph, limit: usize) -> Vec<MatchResult> {
+        if query.node_count() == 0 || limit == 0 {
+            return Vec::new();
+        }
+        let labels = LabelMap::build(data, query);
+        // No degree filter: a candidate with smaller degree may still
+        // match within the miss budget.
+        let candidates = node_candidates(data, query, &labels, false);
+        if candidates.iter().any(Vec::is_empty) {
+            return Vec::new();
+        }
+        // Spanning-tree-first ordering: start from the most constrained
+        // node, then prefer nodes adjacent to already-ordered ones (the
+        // spanning-tree property), most-constrained first among those.
+        let order = spanning_tree_order(query, &candidates);
+
+        let mut state = SapperState {
+            data,
+            query,
+            labels: &labels,
+            candidates: &candidates,
+            order: &order,
+            delta: self.delta,
+            assignment: vec![None; query.node_count()],
+            used: FxHashSet::default(),
+            results: Vec::new(),
+            limit,
+            budget: StepBudget::new(self.step_budget),
+        };
+        state.recurse(0, 0);
+        state.results
+    }
+}
+
+/// Order query nodes so each next node is adjacent (in the undirected
+/// sense) to an already-ordered one when possible — SAPPER's
+/// spanning-tree enumeration — breaking ties by candidate-set size.
+fn spanning_tree_order(query: &QueryGraph, candidates: &[Vec<NodeId>]) -> Vec<usize> {
+    let qg = query.as_graph();
+    let n = qg.node_count();
+    let base = search_order(candidates);
+    let mut ordered: Vec<usize> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+
+    while ordered.len() < n {
+        // Candidates adjacent to the ordered prefix.
+        let next = base
+            .iter()
+            .copied()
+            .filter(|&q| !placed[q])
+            .min_by_key(|&q| {
+                let adjacent = qg
+                    .out_edges(NodeId(q as u32))
+                    .iter()
+                    .map(|&e| qg.edge(e).to)
+                    .chain(
+                        qg.in_edges(NodeId(q as u32))
+                            .iter()
+                            .map(|&e| qg.edge(e).from),
+                    )
+                    .any(|nb| placed[nb.index()]);
+                // Adjacent-to-prefix first (0), then by candidate count.
+                (
+                    usize::from(!adjacent && !ordered.is_empty()),
+                    candidates[q].len(),
+                )
+            })
+            .expect("unplaced node exists");
+        placed[next] = true;
+        ordered.push(next);
+    }
+    ordered
+}
+
+struct SapperState<'a> {
+    data: &'a DataGraph,
+    query: &'a QueryGraph,
+    labels: &'a LabelMap,
+    candidates: &'a [Vec<NodeId>],
+    order: &'a [usize],
+    delta: usize,
+    assignment: Vec<Option<NodeId>>,
+    used: FxHashSet<NodeId>,
+    results: Vec<MatchResult>,
+    limit: usize,
+    budget: StepBudget,
+}
+
+impl SapperState<'_> {
+    fn recurse(&mut self, depth: usize, misses: usize) {
+        if self.results.len() >= self.limit {
+            return;
+        }
+        if depth == self.order.len() {
+            self.results.push(MatchResult {
+                mapping: self
+                    .assignment
+                    .iter()
+                    .enumerate()
+                    .map(|(q, d)| (NodeId(q as u32), d.expect("complete")))
+                    .collect(),
+                missing_edges: misses,
+            });
+            return;
+        }
+        let qn = self.order[depth];
+        // SAPPER expands around the partial embedding: candidates that
+        // are data-graph neighbors of an already-assigned image come
+        // first — for realized edges they are the only exact options,
+        // and trying them first closes patterns (e.g. triangles) without
+        // wandering the whole candidate list.
+        let ordered = self.adjacency_ordered_candidates(qn);
+        for dn in ordered {
+            if !self.budget.step() {
+                return;
+            }
+            if self.used.contains(&dn) {
+                continue;
+            }
+            let Some(new_misses) = self.count_new_misses(NodeId(qn as u32), dn, misses) else {
+                continue;
+            };
+            // Budget-aware forward checking: edges toward *unassigned*
+            // neighbors that `dn` can never realize (no compatibly
+            // labelled adjacency at all) are inevitable misses. They
+            // are only used as a lower bound here — the actual miss is
+            // charged when the other endpoint is assigned — so nothing
+            // is double-counted.
+            if new_misses + self.inevitable_misses(NodeId(qn as u32), dn) > self.delta {
+                continue;
+            }
+            self.assignment[qn] = Some(dn);
+            self.used.insert(dn);
+            self.recurse(depth + 1, new_misses);
+            self.assignment[qn] = None;
+            self.used.remove(&dn);
+            if self.results.len() >= self.limit {
+                return;
+            }
+        }
+    }
+
+    /// Lower bound on future misses forced by mapping `qn → dn`: query
+    /// edges between `qn` and *unassigned* neighbors that `dn` cannot
+    /// realize with any of its adjacent data edges.
+    fn inevitable_misses(&self, qn: NodeId, dn: NodeId) -> usize {
+        let qg = self.query.as_graph();
+        let dg = self.data.as_graph();
+        let mut inevitable = 0usize;
+        for &qe in qg.out_edges(qn) {
+            let edge = qg.edge(qe);
+            if self.assignment[edge.to.index()].is_some() {
+                continue; // already charged by count_new_misses
+            }
+            let realizable = dg
+                .out_edges(dn)
+                .iter()
+                .any(|&de| self.labels.compatible(edge.label, dg.edge(de).label));
+            if !realizable {
+                inevitable += 1;
+            }
+        }
+        for &qe in qg.in_edges(qn) {
+            let edge = qg.edge(qe);
+            if self.assignment[edge.from.index()].is_some() {
+                continue;
+            }
+            let realizable = dg
+                .in_edges(dn)
+                .iter()
+                .any(|&de| self.labels.compatible(edge.label, dg.edge(de).label));
+            if !realizable {
+                inevitable += 1;
+            }
+        }
+        inevitable
+    }
+
+    /// The candidates of `qn`, reordered so data neighbors of already
+    /// assigned images come first (stable within each group).
+    fn adjacency_ordered_candidates(&self, qn: usize) -> Vec<NodeId> {
+        let qg = self.query.as_graph();
+        let dg = self.data.as_graph();
+        let qid = NodeId(qn as u32);
+        let mut preferred: FxHashSet<NodeId> = FxHashSet::default();
+        for &qe in qg.out_edges(qid) {
+            if let Some(target) = self.assignment[qg.edge(qe).to.index()] {
+                preferred.extend(dg.in_edges(target).iter().map(|&de| dg.edge(de).from));
+            }
+        }
+        for &qe in qg.in_edges(qid) {
+            if let Some(source) = self.assignment[qg.edge(qe).from.index()] {
+                preferred.extend(dg.out_edges(source).iter().map(|&de| dg.edge(de).to));
+            }
+        }
+        if preferred.is_empty() {
+            return self.candidates[qn].clone();
+        }
+        let mut ordered = Vec::with_capacity(self.candidates[qn].len());
+        ordered.extend(
+            self.candidates[qn]
+                .iter()
+                .copied()
+                .filter(|c| preferred.contains(c)),
+        );
+        ordered.extend(
+            self.candidates[qn]
+                .iter()
+                .copied()
+                .filter(|c| !preferred.contains(c)),
+        );
+        ordered
+    }
+
+    /// Misses added by placing `qn → dn` against assigned neighbors;
+    /// `None` if the budget would be exceeded.
+    fn count_new_misses(&self, qn: NodeId, dn: NodeId, misses: usize) -> Option<usize> {
+        let qg = self.query.as_graph();
+        let dg = self.data.as_graph();
+        let mut total = misses;
+        for &qe in qg.out_edges(qn) {
+            let edge = qg.edge(qe);
+            if let Some(target) = self.assignment[edge.to.index()] {
+                let ok = dg.out_edges(dn).iter().any(|&de| {
+                    let d = dg.edge(de);
+                    d.to == target && self.labels.compatible(edge.label, d.label)
+                });
+                if !ok {
+                    total += 1;
+                    if total > self.delta {
+                        return None;
+                    }
+                }
+            }
+        }
+        for &qe in qg.in_edges(qn) {
+            let edge = qg.edge(qe);
+            if let Some(source) = self.assignment[edge.from.index()] {
+                let ok = dg.in_edges(dn).iter().any(|&de| {
+                    let d = dg.edge(de);
+                    d.from == source && self.labels.compatible(edge.label, d.label)
+                });
+                if !ok {
+                    total += 1;
+                    if total > self.delta {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vf2::Vf2Matcher;
+
+    fn data() -> DataGraph {
+        let mut b = DataGraph::builder();
+        b.triple_str("CB", "sponsor", "A0056").unwrap();
+        b.triple_str("A0056", "aTo", "B1432").unwrap();
+        b.triple_str("B1432", "subject", "\"HC\"").unwrap();
+        b.triple_str("PD", "sponsor", "B1432").unwrap();
+        b.triple_str("PD", "gender", "\"Male\"").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn delta_zero_equals_exact_matching() {
+        let d = data();
+        let mut b = QueryGraph::builder();
+        b.triple_str("?x", "sponsor", "?y").unwrap();
+        b.triple_str("?y", "subject", "\"HC\"").unwrap();
+        let q = b.build();
+        let sapper = SapperMatcher {
+            delta: 0,
+            ..Default::default()
+        }
+        .find_matches(&d, &q, 100);
+        let vf2 = Vf2Matcher::default().find_matches(&d, &q, 100);
+        assert_eq!(sapper.len(), vf2.len());
+        assert!(sapper.iter().all(MatchResult::is_exact));
+    }
+
+    #[test]
+    fn budget_admits_approximate_matches() {
+        // ?x sponsors ?y AND ?y has subject HC: exact only for PD/B1432;
+        // with Δ=1, CB/A0056 also matches (A0056 lacks `subject`).
+        let d = data();
+        let mut b = QueryGraph::builder();
+        b.triple_str("?x", "sponsor", "?y").unwrap();
+        b.triple_str("?y", "subject", "\"HC\"").unwrap();
+        let q = b.build();
+        let exact = SapperMatcher {
+            delta: 0,
+            ..Default::default()
+        }
+        .find_matches(&d, &q, 100);
+        let approx = SapperMatcher {
+            delta: 1,
+            ..Default::default()
+        }
+        .find_matches(&d, &q, 100);
+        assert!(approx.len() > exact.len());
+        assert!(approx.iter().any(|m| m.missing_edges == 1));
+    }
+
+    #[test]
+    fn node_labels_still_required() {
+        // SAPPER misses edges, not node labels: an absent constant node
+        // label yields nothing regardless of Δ.
+        let d = data();
+        let mut b = QueryGraph::builder();
+        b.triple_str("Nobody", "sponsor", "?y").unwrap();
+        let q = b.build();
+        assert!(SapperMatcher {
+            delta: 5,
+            ..Default::default()
+        }
+        .find_matches(&d, &q, 10)
+        .is_empty());
+    }
+
+    #[test]
+    fn spanning_tree_order_visits_neighbors_first() {
+        let mut b = QueryGraph::builder();
+        b.triple_str("?a", "p", "?b").unwrap();
+        b.triple_str("?b", "q", "?c").unwrap();
+        b.triple_str("?d", "r", "?e").unwrap();
+        let q = b.build();
+        let candidates = vec![vec![NodeId(0)]; q.node_count()];
+        let order = spanning_tree_order(&q, &candidates);
+        // After the first node, its component is exhausted before the
+        // disconnected ?d-?e component begins.
+        let pos: Vec<usize> = (0..q.node_count())
+            .map(|n| order.iter().position(|&o| o == n).unwrap())
+            .collect();
+        let abc_max = pos[0].max(pos[1]).max(pos[2]);
+        let de_min = pos[3].min(pos[4]);
+        assert!(abc_max < de_min || de_min == 0);
+    }
+
+    #[test]
+    fn reported_misses_are_bounded() {
+        let d = data();
+        let mut b = QueryGraph::builder();
+        b.triple_str("?x", "sponsor", "?y").unwrap();
+        b.triple_str("?x", "gender", "\"Male\"").unwrap();
+        b.triple_str("?y", "subject", "\"HC\"").unwrap();
+        let q = b.build();
+        for delta in 0..3 {
+            let matches = SapperMatcher {
+                delta,
+                ..Default::default()
+            }
+            .find_matches(&d, &q, 100);
+            assert!(matches.iter().all(|m| m.missing_edges <= delta));
+        }
+    }
+
+    #[test]
+    fn limit_respected() {
+        let d = data();
+        let mut b = QueryGraph::builder();
+        b.triple_str("?x", "p", "?y").unwrap();
+        let q = b.build();
+        let capped = SapperMatcher {
+            delta: 1,
+            ..Default::default()
+        }
+        .find_matches(&d, &q, 2);
+        assert!(capped.len() <= 2);
+    }
+}

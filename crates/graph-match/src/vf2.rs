@@ -1,0 +1,249 @@
+//! VF2-style subgraph isomorphism (edge-preserving monomorphism).
+//!
+//! The exactness baseline underlying DOGMA (and the `graph-match`
+//! crate's correctness oracle): a match maps every query node to a
+//! *distinct* data node such that labels are compatible and every query
+//! edge is realized by a data edge with a compatible label.
+
+use crate::common::{
+    node_candidates, search_order, LabelMap, MatchResult, Matcher, StepBudget, DEFAULT_STEP_BUDGET,
+};
+use rdf_model::{DataGraph, FxHashSet, NodeId, QueryGraph};
+
+/// The exact subgraph-isomorphism matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct Vf2Matcher {
+    /// Allow two query nodes to map to the same data node (homomorphism
+    /// rather than isomorphism). Off by default.
+    pub allow_shared_images: bool,
+    /// Backtracking work cap (anytime).
+    pub step_budget: u64,
+}
+
+impl Default for Vf2Matcher {
+    fn default() -> Self {
+        Vf2Matcher {
+            allow_shared_images: false,
+            step_budget: DEFAULT_STEP_BUDGET,
+        }
+    }
+}
+
+impl Matcher for Vf2Matcher {
+    fn name(&self) -> &'static str {
+        "vf2"
+    }
+
+    fn find_matches(&self, data: &DataGraph, query: &QueryGraph, limit: usize) -> Vec<MatchResult> {
+        if query.node_count() == 0 || limit == 0 {
+            return Vec::new();
+        }
+        let labels = LabelMap::build(data, query);
+        // The degree filter requires distinct data edges per query edge,
+        // which only holds under node-injective matching.
+        let candidates = node_candidates(data, query, &labels, !self.allow_shared_images);
+        if candidates.iter().any(Vec::is_empty) {
+            return Vec::new();
+        }
+        let order = search_order(&candidates);
+
+        let mut state = SearchState {
+            data,
+            query,
+            labels: &labels,
+            candidates: &candidates,
+            order: &order,
+            allow_shared: self.allow_shared_images,
+            assignment: vec![None; query.node_count()],
+            used: FxHashSet::default(),
+            results: Vec::new(),
+            limit,
+            budget: StepBudget::new(self.step_budget),
+        };
+        state.recurse(0);
+        state.results
+    }
+}
+
+struct SearchState<'a> {
+    data: &'a DataGraph,
+    query: &'a QueryGraph,
+    labels: &'a LabelMap,
+    candidates: &'a [Vec<NodeId>],
+    order: &'a [usize],
+    allow_shared: bool,
+    assignment: Vec<Option<NodeId>>,
+    used: FxHashSet<NodeId>,
+    results: Vec<MatchResult>,
+    limit: usize,
+    budget: StepBudget,
+}
+
+impl SearchState<'_> {
+    fn recurse(&mut self, depth: usize) {
+        if self.results.len() >= self.limit {
+            return;
+        }
+        if depth == self.order.len() {
+            let mapping = self
+                .assignment
+                .iter()
+                .enumerate()
+                .map(|(q, d)| (NodeId(q as u32), d.expect("complete assignment")))
+                .collect();
+            self.results.push(MatchResult {
+                mapping,
+                missing_edges: 0,
+            });
+            return;
+        }
+        let qn = self.order[depth];
+        // Iterate by index to avoid borrowing issues with the mutable self.
+        for ci in 0..self.candidates[qn].len() {
+            let dn = self.candidates[qn][ci];
+            if !self.budget.step() {
+                return;
+            }
+            if !self.allow_shared && self.used.contains(&dn) {
+                continue;
+            }
+            if !self.consistent(NodeId(qn as u32), dn) {
+                continue;
+            }
+            self.assignment[qn] = Some(dn);
+            self.used.insert(dn);
+            self.recurse(depth + 1);
+            self.assignment[qn] = None;
+            self.used.remove(&dn);
+            if self.results.len() >= self.limit {
+                return;
+            }
+        }
+    }
+
+    /// Check every query edge between `qn` and already-assigned nodes.
+    fn consistent(&self, qn: NodeId, dn: NodeId) -> bool {
+        let qg = self.query.as_graph();
+        let dg = self.data.as_graph();
+        for &qe in qg.out_edges(qn) {
+            let edge = qg.edge(qe);
+            if let Some(target) = self.assignment[edge.to.index()] {
+                let ok = dg.out_edges(dn).iter().any(|&de| {
+                    let d = dg.edge(de);
+                    d.to == target && self.labels.compatible(edge.label, d.label)
+                });
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        for &qe in qg.in_edges(qn) {
+            let edge = qg.edge(qe);
+            if let Some(source) = self.assignment[edge.from.index()] {
+                let ok = dg.in_edges(dn).iter().any(|&de| {
+                    let d = dg.edge(de);
+                    d.from == source && self.labels.compatible(edge.label, d.label)
+                });
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> DataGraph {
+        let mut b = DataGraph::builder();
+        b.triple_str("CB", "sponsor", "A0056").unwrap();
+        b.triple_str("A0056", "aTo", "B1432").unwrap();
+        b.triple_str("B1432", "subject", "\"HC\"").unwrap();
+        b.triple_str("JR", "sponsor", "A1589").unwrap();
+        b.triple_str("A1589", "aTo", "B0532").unwrap();
+        b.triple_str("B0532", "subject", "\"HC\"").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn finds_both_chains() {
+        let d = data();
+        let mut b = QueryGraph::builder();
+        b.triple_str("?x", "sponsor", "?y").unwrap();
+        b.triple_str("?y", "aTo", "?z").unwrap();
+        let q = b.build();
+        let matches = Vf2Matcher::default().find_matches(&d, &q, 100);
+        assert_eq!(matches.len(), 2);
+        assert!(matches.iter().all(MatchResult::is_exact));
+    }
+
+    #[test]
+    fn constant_restricts() {
+        let d = data();
+        let mut b = QueryGraph::builder();
+        b.triple_str("CB", "sponsor", "?y").unwrap();
+        let q = b.build();
+        let matches = Vf2Matcher::default().find_matches(&d, &q, 100);
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn no_match_for_absent_pattern() {
+        let d = data();
+        let mut b = QueryGraph::builder();
+        b.triple_str("?x", "owns", "?y").unwrap();
+        let q = b.build();
+        assert!(Vf2Matcher::default().find_matches(&d, &q, 100).is_empty());
+    }
+
+    #[test]
+    fn limit_respected() {
+        let d = data();
+        let mut b = QueryGraph::builder();
+        b.triple_str("?x", "sponsor", "?y").unwrap();
+        let q = b.build();
+        let matches = Vf2Matcher::default().find_matches(&d, &q, 1);
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn injective_by_default() {
+        // Query ?x-p-?y, ?z-p-?y on a single data edge a-p-b:
+        // isomorphism needs ?x ≠ ?z so no match; homomorphism maps both
+        // to a.
+        let mut db = DataGraph::builder();
+        db.triple_str("a", "p", "b").unwrap();
+        let d = db.build();
+        let mut qb = QueryGraph::builder();
+        qb.triple_str("?x", "p", "?y").unwrap();
+        qb.triple_str("?z", "p", "?y").unwrap();
+        let q = qb.build();
+        assert!(Vf2Matcher::default().find_matches(&d, &q, 10).is_empty());
+        let homo = Vf2Matcher {
+            allow_shared_images: true,
+            ..Default::default()
+        };
+        assert_eq!(homo.find_matches(&d, &q, 10).len(), 1);
+    }
+
+    #[test]
+    fn edge_labels_must_match() {
+        let d = data();
+        let mut b = QueryGraph::builder();
+        b.triple_str("CB", "aTo", "?y").unwrap(); // CB has only `sponsor`
+        let q = b.build();
+        assert!(Vf2Matcher::default().find_matches(&d, &q, 10).is_empty());
+    }
+
+    #[test]
+    fn variable_edge_matches_any() {
+        let d = data();
+        let mut b = QueryGraph::builder();
+        b.triple_str("CB", "?p", "?y").unwrap();
+        let q = b.build();
+        assert_eq!(Vf2Matcher::default().find_matches(&d, &q, 10).len(), 1);
+    }
+}

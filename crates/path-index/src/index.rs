@@ -1,0 +1,310 @@
+//! The path index (paper, Section 6.1): the off-line structure that lets
+//! query answering "skip the expensive graph traversal at runtime".
+//!
+//! Three steps, as in the paper: (i) hashing of all node and edge labels
+//! (our inverted label map), (ii) identification of sources and sinks,
+//! and (iii) computation of all source→sink paths (kept with their
+//! materialized label sequences). A sink-label map supports the
+//! clustering step's "group the paths of `G` having a sink that matches
+//! the sink of `q`" lookup, and the full label map supports the fallback
+//! "paths containing a label matching `v`".
+
+use crate::extract::{extract_paths, ExtractionConfig};
+use crate::hypergraph::HyperGraphView;
+use crate::path::{Path, PathId, PathLabels};
+use crate::stats::IndexStats;
+use crate::synonyms::SynonymProvider;
+use rdf_model::{DataGraph, FxHashMap, LabelId};
+use std::time::Instant;
+
+/// A path plus its materialized label sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexedPath {
+    /// Node/edge ids in the data graph.
+    pub path: Path,
+    /// Node/edge label sequences (what alignment compares).
+    pub labels: PathLabels,
+}
+
+/// The complete off-line index over one data graph.
+#[derive(Debug, Clone)]
+pub struct PathIndex {
+    graph: DataGraph,
+    paths: Vec<IndexedPath>,
+    /// label → paths containing it (as node or edge label), ascending.
+    by_label: FxHashMap<LabelId, Vec<PathId>>,
+    /// sink label → paths ending in it, ascending.
+    by_sink: FxHashMap<LabelId, Vec<PathId>>,
+    stats: IndexStats,
+}
+
+impl PathIndex {
+    /// Build with default extraction limits.
+    pub fn build(graph: DataGraph) -> Self {
+        Self::build_with_config(graph, &ExtractionConfig::default())
+    }
+
+    /// Build with explicit extraction limits.
+    pub fn build_with_config(graph: DataGraph, config: &ExtractionConfig) -> Self {
+        let start = Instant::now();
+        let extraction = extract_paths(graph.as_graph(), config);
+        let mut paths = Vec::with_capacity(extraction.paths.len());
+        let mut by_label: FxHashMap<LabelId, Vec<PathId>> = FxHashMap::default();
+        let mut by_sink: FxHashMap<LabelId, Vec<PathId>> = FxHashMap::default();
+
+        for (i, path) in extraction.paths.into_iter().enumerate() {
+            let id = PathId(i as u32);
+            let labels = path.labels(graph.as_graph());
+            // Deduplicate per-path label occurrences so `by_label` lists
+            // each path at most once per label.
+            let mut seen: Vec<LabelId> = labels
+                .node_labels
+                .iter()
+                .chain(labels.edge_labels.iter())
+                .copied()
+                .collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for label in seen {
+                by_label.entry(label).or_default().push(id);
+            }
+            by_sink.entry(labels.sink_label()).or_default().push(id);
+            paths.push(IndexedPath { path, labels });
+        }
+
+        let hyper = HyperGraphView::build(
+            graph.as_graph(),
+            // Borrow the plain paths for the hypergraph accounting.
+            &paths.iter().map(|ip| ip.path.clone()).collect::<Vec<_>>(),
+        );
+        let stats = IndexStats {
+            triples: graph.edge_count(),
+            hyper_vertices: hyper.vertex_count,
+            hyper_edges: hyper.edge_count(),
+            path_count: paths.len(),
+            build_time: start.elapsed(),
+            serialized_bytes: None,
+            depth_truncated: extraction.depth_truncated,
+            dropped: extraction.dropped,
+        };
+
+        PathIndex {
+            graph,
+            paths,
+            by_label,
+            by_sink,
+            stats,
+        }
+    }
+
+    /// Reassemble an index from its parts (used by [`crate::storage`]).
+    pub(crate) fn from_parts(graph: DataGraph, paths: Vec<IndexedPath>, stats: IndexStats) -> Self {
+        let mut by_label: FxHashMap<LabelId, Vec<PathId>> = FxHashMap::default();
+        let mut by_sink: FxHashMap<LabelId, Vec<PathId>> = FxHashMap::default();
+        for (i, ip) in paths.iter().enumerate() {
+            let id = PathId(i as u32);
+            let mut seen: Vec<LabelId> = ip
+                .labels
+                .node_labels
+                .iter()
+                .chain(ip.labels.edge_labels.iter())
+                .copied()
+                .collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for label in seen {
+                by_label.entry(label).or_default().push(id);
+            }
+            by_sink.entry(ip.labels.sink_label()).or_default().push(id);
+        }
+        PathIndex {
+            graph,
+            paths,
+            by_label,
+            by_sink,
+            stats,
+        }
+    }
+
+    /// The indexed data graph.
+    #[inline]
+    pub fn graph(&self) -> &DataGraph {
+        &self.graph
+    }
+
+    /// Number of indexed paths.
+    #[inline]
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Look up one indexed path.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range; use ids produced by this index.
+    #[inline]
+    pub fn path(&self, id: PathId) -> &IndexedPath {
+        &self.paths[id.index()]
+    }
+
+    /// Iterate over all `(PathId, &IndexedPath)` pairs.
+    pub fn paths(&self) -> impl Iterator<Item = (PathId, &IndexedPath)> + '_ {
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PathId(i as u32), p))
+    }
+
+    /// Paths containing `label` anywhere (node or edge position).
+    pub fn paths_with_label(&self, label: LabelId) -> &[PathId] {
+        self.by_label.get(&label).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Paths whose sink carries `label`.
+    pub fn paths_with_sink(&self, label: LabelId) -> &[PathId] {
+        self.by_sink.get(&label).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Paths whose sink label matches `lexical` exactly *or via the
+    /// synonym provider* — the clustering step's admission rule.
+    pub fn paths_with_sink_matching(
+        &self,
+        lexical: &str,
+        synonyms: &dyn SynonymProvider,
+    ) -> Vec<PathId> {
+        self.match_via(lexical, synonyms, |label| self.paths_with_sink(label))
+    }
+
+    /// Paths containing a label matching `lexical` exactly or via the
+    /// synonym provider — the clustering fallback when the query path's
+    /// sink is a variable.
+    pub fn paths_with_label_matching(
+        &self,
+        lexical: &str,
+        synonyms: &dyn SynonymProvider,
+    ) -> Vec<PathId> {
+        self.match_via(lexical, synonyms, |label| self.paths_with_label(label))
+    }
+
+    fn match_via<'s>(
+        &'s self,
+        lexical: &str,
+        synonyms: &dyn SynonymProvider,
+        lookup: impl Fn(LabelId) -> &'s [PathId],
+    ) -> Vec<PathId> {
+        let vocab = self.graph.vocab();
+        let mut out: Vec<PathId> = Vec::new();
+        if let Some(label) = vocab.get_constant(lexical) {
+            out.extend_from_slice(lookup(label));
+        }
+        for synonym in synonyms.synonyms(lexical) {
+            if let Some(label) = vocab.get_constant(&synonym) {
+                out.extend_from_slice(lookup(label));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Build statistics (Table 1's row for this dataset).
+    #[inline]
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// Record the serialized size (called by [`crate::storage`]).
+    pub(crate) fn set_serialized_bytes(&mut self, bytes: usize) {
+        self.stats.serialized_bytes = Some(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synonyms::{NoSynonyms, Thesaurus};
+    use rdf_model::Term;
+
+    fn sample_index() -> PathIndex {
+        let mut b = DataGraph::builder();
+        b.triple_str("CB", "sponsor", "A0056").unwrap();
+        b.triple_str("A0056", "aTo", "B1432").unwrap();
+        b.triple_str("B1432", "subject", "\"HC\"").unwrap();
+        b.triple_str("PD", "sponsor", "B1432").unwrap();
+        b.triple_str("PD", "gender", "\"Male\"").unwrap();
+        PathIndex::build(b.build())
+    }
+
+    #[test]
+    fn builds_expected_paths() {
+        let idx = sample_index();
+        // Sources: CB, PD. Paths: CB-…-HC, PD-sponsor-B1432-subject-HC,
+        // PD-gender-Male.
+        assert_eq!(idx.path_count(), 3);
+        let rendered: Vec<String> = idx
+            .paths()
+            .map(|(_, ip)| ip.path.display(idx.graph().as_graph()).to_string())
+            .collect();
+        assert!(rendered.contains(&"PD-gender-\"Male\"".to_string()));
+    }
+
+    #[test]
+    fn sink_lookup() {
+        let idx = sample_index();
+        let hc = idx.graph().vocab().get(&Term::literal("HC")).unwrap();
+        assert_eq!(idx.paths_with_sink(hc).len(), 2);
+        let male = idx.graph().vocab().get(&Term::literal("Male")).unwrap();
+        assert_eq!(idx.paths_with_sink(male).len(), 1);
+    }
+
+    #[test]
+    fn label_lookup_deduplicates() {
+        let idx = sample_index();
+        let sponsor = idx.graph().vocab().get(&Term::iri("sponsor")).unwrap();
+        let hits = idx.paths_with_label(sponsor);
+        // Two paths contain `sponsor`, each listed once.
+        assert_eq!(hits.len(), 2);
+        let b1432 = idx.graph().vocab().get(&Term::iri("B1432")).unwrap();
+        assert_eq!(idx.paths_with_label(b1432).len(), 2);
+    }
+
+    #[test]
+    fn unknown_label_is_empty() {
+        let idx = sample_index();
+        assert!(idx.paths_with_sink_matching("Nope", &NoSynonyms).is_empty());
+    }
+
+    #[test]
+    fn synonym_widens_matching() {
+        let idx = sample_index();
+        let mut t = Thesaurus::new();
+        t.group(["Healthcare", "HC"]);
+        assert!(idx
+            .paths_with_sink_matching("Healthcare", &NoSynonyms)
+            .is_empty());
+        assert_eq!(idx.paths_with_sink_matching("Healthcare", &t).len(), 2);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let idx = sample_index();
+        let s = idx.stats();
+        assert_eq!(s.triples, 5);
+        assert_eq!(s.path_count, 3);
+        assert_eq!(s.hyper_vertices, idx.graph().node_count());
+        assert!(s.hyper_edges >= s.path_count);
+        assert!(!s.is_truncated());
+    }
+
+    #[test]
+    fn from_parts_rebuilds_maps() {
+        let idx = sample_index();
+        let rebuilt =
+            PathIndex::from_parts(idx.graph.clone(), idx.paths.clone(), idx.stats.clone());
+        let sponsor = rebuilt.graph().vocab().get(&Term::iri("sponsor")).unwrap();
+        assert_eq!(
+            rebuilt.paths_with_label(sponsor),
+            idx.paths_with_label(sponsor)
+        );
+    }
+}

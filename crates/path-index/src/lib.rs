@@ -1,0 +1,58 @@
+//! # path-index
+//!
+//! The off-line indexing substrate of the Sama workspace — the
+//! replacement for the paper's HyperGraphDB + Lucene stack (Section
+//! 6.1).
+//!
+//! Responsibilities:
+//!
+//! * enumerate every source→sink path of a data graph
+//!   ([`extract::extract_paths`]), with hub promotion for source-less
+//!   graphs, cycle-safe simple-path walks, and optional parallel
+//!   traversal per source exactly as the paper describes;
+//! * keep those paths with materialized label sequences, behind
+//!   inverted *label → paths* and *sink label → paths* maps
+//!   ([`PathIndex`]), so query answering can "skip the expensive graph
+//!   traversal at runtime";
+//! * account for the hypergraph representation (`|HV|`, `|HE|`) used by
+//!   Table 1 ([`hypergraph::HyperGraphView`]);
+//! * serialize the whole index to bytes ([`storage`]) — the paper's
+//!   disk boundary and the Table 1 *Space* column;
+//! * widen label matching through pluggable synonym providers
+//!   ([`synonyms`]), standing in for the paper's WordNet integration.
+//!
+//! ```
+//! use path_index::PathIndex;
+//! use rdf_model::DataGraph;
+//!
+//! let mut b = DataGraph::builder();
+//! b.triple_str("CarlaBunes", "sponsor", "A0056").unwrap();
+//! b.triple_str("A0056", "aTo", "B1432").unwrap();
+//! b.triple_str("B1432", "subject", "\"Health Care\"").unwrap();
+//! let index = PathIndex::build(b.build());
+//! assert_eq!(index.path_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compress;
+pub mod extract;
+pub mod hypergraph;
+pub mod index;
+pub mod path;
+pub mod shard;
+pub mod stats;
+pub mod storage;
+pub mod synonyms;
+pub mod update;
+
+pub use compress::{decode_any, decode_compressed, encode_compressed};
+pub use extract::{extract_paths, Extraction, ExtractionConfig};
+pub use hypergraph::{HyperEdge, HyperEdgeKind, HyperGraphView};
+pub use index::{IndexedPath, PathIndex};
+pub use path::{Path, PathDisplay, PathId, PathLabels};
+pub use shard::{IndexLike, ShardedIndex};
+pub use stats::{format_bytes, IndexStats};
+pub use storage::{decode, encode, serialize_index, StorageError};
+pub use synonyms::{NoSynonyms, SynonymProvider, Thesaurus};
+pub use update::UpdateStats;

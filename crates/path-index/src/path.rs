@@ -1,0 +1,234 @@
+//! Path representation (paper, Definition 5).
+//!
+//! A path is a sequence `ln1 - le1 - ln2 - … - le(k-1) - lnk` of node and
+//! edge labels from a source to a sink. We store the underlying node and
+//! edge *ids* (needed to assemble answers and to compute the common-node
+//! function `χ`) and materialize the label sequence once at indexing time
+//! so the hot alignment loop never touches the graph again.
+
+use rdf_model::EdgeId;
+use rdf_model::{Graph, LabelId, NodeId};
+use std::fmt;
+
+/// Identifier of a path within one [`crate::PathIndex`] (or extraction
+/// result). Dense, starting at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathId(pub u32);
+
+impl PathId {
+    /// The id as a `usize`, for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A concrete path through a graph: `k` nodes joined by `k-1` edges.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    /// Node ids `n1 … nk`; `n1` is the source end, `nk` the sink end.
+    pub nodes: Box<[NodeId]>,
+    /// Edge ids `e1 … e(k-1)`; `e_i` connects `n_i` to `n_{i+1}`.
+    pub edges: Box<[EdgeId]>,
+}
+
+impl Path {
+    /// Build a path from node and edge id sequences.
+    ///
+    /// # Panics
+    /// Panics if `edges.len() + 1 != nodes.len()` or `nodes` is empty —
+    /// those are construction bugs, not runtime conditions.
+    pub fn new(nodes: Vec<NodeId>, edges: Vec<EdgeId>) -> Self {
+        assert!(!nodes.is_empty(), "a path has at least one node");
+        assert_eq!(
+            edges.len() + 1,
+            nodes.len(),
+            "a path with k nodes has k-1 edges"
+        );
+        Path {
+            nodes: nodes.into_boxed_slice(),
+            edges: edges.into_boxed_slice(),
+        }
+    }
+
+    /// A single-node path (an isolated node that is both source and sink).
+    pub fn single(node: NodeId) -> Self {
+        Path {
+            nodes: Box::new([node]),
+            edges: Box::new([]),
+        }
+    }
+
+    /// The paper's *length*: the number of nodes.
+    ///
+    /// (The example path `JR-sponsor-A1589-aTo-B0532-subject-HC` has
+    /// length 4.)
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` only for the degenerate case forbidden by construction;
+    /// present for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The source-end node.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The sink-end node.
+    #[inline]
+    pub fn sink(&self) -> NodeId {
+        *self.nodes.last().expect("paths are non-empty")
+    }
+
+    /// The paper's 1-based *position* of a node in this path, if present.
+    pub fn position(&self, node: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&n| n == node).map(|i| i + 1)
+    }
+
+    /// Materialize the label sequences of this path against its graph.
+    pub fn labels(&self, graph: &Graph) -> PathLabels {
+        PathLabels {
+            node_labels: self.nodes.iter().map(|&n| graph.node_label(n)).collect(),
+            edge_labels: self.edges.iter().map(|&e| graph.edge(e).label).collect(),
+        }
+    }
+
+    /// Render as the paper's `label-label-…` display form.
+    pub fn display<'a>(&'a self, graph: &'a Graph) -> PathDisplay<'a> {
+        PathDisplay { path: self, graph }
+    }
+}
+
+/// The label sequences of a path: what alignment and scoring operate on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PathLabels {
+    /// Node labels `ln1 … lnk`.
+    pub node_labels: Box<[LabelId]>,
+    /// Edge labels `le1 … le(k-1)`.
+    pub edge_labels: Box<[LabelId]>,
+}
+
+impl PathLabels {
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// `true` if there are no node labels (cannot occur for well-formed
+    /// paths; present for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_labels.is_empty()
+    }
+
+    /// The label at the sink end.
+    #[inline]
+    pub fn sink_label(&self) -> LabelId {
+        *self.node_labels.last().expect("paths are non-empty")
+    }
+}
+
+/// Displays a path in the paper's `JR-sponsor-A1589-aTo-B0532` form.
+pub struct PathDisplay<'a> {
+    path: &'a Path,
+    graph: &'a Graph,
+}
+
+impl fmt::Display for PathDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, &n) in self.path.nodes.iter().enumerate() {
+            if i > 0 {
+                let e = self.path.edges[i - 1];
+                write!(f, "-{}-", self.graph.vocab().term(self.graph.edge(e).label))?;
+            }
+            write!(f, "{}", self.graph.vocab().term(self.graph.node_label(n)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::Term;
+
+    fn sample() -> (Graph, Path) {
+        let mut g = Graph::new();
+        let jr = g.add_node(&Term::iri("JR")).unwrap();
+        let a = g.add_node(&Term::iri("A1589")).unwrap();
+        let b = g.add_node(&Term::iri("B0532")).unwrap();
+        let hc = g.add_node(&Term::literal("HC")).unwrap();
+        let e1 = g.add_edge(jr, a, &Term::iri("sponsor")).unwrap();
+        let e2 = g.add_edge(a, b, &Term::iri("aTo")).unwrap();
+        let e3 = g.add_edge(b, hc, &Term::iri("subject")).unwrap();
+        let p = Path::new(vec![jr, a, b, hc], vec![e1, e2, e3]);
+        (g, p)
+    }
+
+    #[test]
+    fn length_is_node_count() {
+        let (_, p) = sample();
+        assert_eq!(p.len(), 4); // the paper's example pz has length 4
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let (_, p) = sample();
+        assert_eq!(p.position(NodeId(1)), Some(2)); // A1589 at position 2
+        assert_eq!(p.position(NodeId(0)), Some(1));
+        assert_eq!(p.position(NodeId(99)), None);
+    }
+
+    #[test]
+    fn endpoints() {
+        let (_, p) = sample();
+        assert_eq!(p.source(), NodeId(0));
+        assert_eq!(p.sink(), NodeId(3));
+    }
+
+    #[test]
+    fn labels_materialize() {
+        let (g, p) = sample();
+        let labels = p.labels(&g);
+        assert_eq!(labels.len(), 4);
+        assert_eq!(labels.edge_labels.len(), 3);
+        assert_eq!(g.vocab().lexical(labels.sink_label()), "HC");
+    }
+
+    #[test]
+    fn display_form() {
+        let (g, p) = sample();
+        assert_eq!(
+            p.display(&g).to_string(),
+            "JR-sponsor-A1589-aTo-B0532-subject-\"HC\""
+        );
+    }
+
+    #[test]
+    fn single_node_path() {
+        let p = Path::single(NodeId(7));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.source(), p.sink());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "k-1 edges")]
+    fn mismatched_arity_panics() {
+        let _ = Path::new(vec![NodeId(0), NodeId(1)], vec![]);
+    }
+}

@@ -1,0 +1,342 @@
+//! Sharded indexing — the paper's future work: "we plan to implement
+//! the approach in a Grid environment (for instance using
+//! Hadoop/Hbase)".
+//!
+//! The path model distributes naturally: every source→sink path lives
+//! entirely within the walk of one source, so partitioning the *source
+//! set* across shards partitions the *path set* with no replication
+//! and no cross-shard paths. A [`ShardedIndex`] builds one
+//! [`PathIndex`] per shard (in parallel — each shard stands in for a
+//! grid node), fans lookups out, and exposes a single global `PathId`
+//! space, so query answering over a sharded index produces *bit-equal
+//! scores* to the single-index engine (integration-tested).
+//!
+//! The shards share the global node-id space (each holds a replica of
+//! the data graph, as a distributed store would replicate its
+//! dictionary), which is what keeps the conformity function `χ` —
+//! common *nodes* between paths of different shards — exact.
+
+use crate::extract::{extract_paths_from_sources, ExtractionConfig};
+use crate::index::{IndexedPath, PathIndex};
+use crate::path::PathId;
+use crate::stats::IndexStats;
+use crate::synonyms::SynonymProvider;
+use rdf_model::DataGraph;
+
+/// The lookup interface shared by [`PathIndex`] and [`ShardedIndex`] —
+/// everything the query-answering pipeline needs from an index.
+pub trait IndexLike {
+    /// The indexed data graph.
+    fn data(&self) -> &DataGraph;
+
+    /// Total number of indexed paths.
+    fn total_paths(&self) -> usize;
+
+    /// Resolve a path id.
+    fn indexed(&self, id: PathId) -> &IndexedPath;
+
+    /// Paths whose sink label matches `lexical` (or a synonym).
+    fn sink_matching(&self, lexical: &str, synonyms: &dyn SynonymProvider) -> Vec<PathId>;
+
+    /// Paths containing a label matching `lexical` (or a synonym).
+    fn label_matching(&self, lexical: &str, synonyms: &dyn SynonymProvider) -> Vec<PathId>;
+
+    /// Every path id (the clustering full-scan fallback).
+    fn all_path_ids(&self) -> Vec<PathId>;
+}
+
+impl IndexLike for PathIndex {
+    fn data(&self) -> &DataGraph {
+        self.graph()
+    }
+
+    fn total_paths(&self) -> usize {
+        self.path_count()
+    }
+
+    fn indexed(&self, id: PathId) -> &IndexedPath {
+        self.path(id)
+    }
+
+    fn sink_matching(&self, lexical: &str, synonyms: &dyn SynonymProvider) -> Vec<PathId> {
+        self.paths_with_sink_matching(lexical, synonyms)
+    }
+
+    fn label_matching(&self, lexical: &str, synonyms: &dyn SynonymProvider) -> Vec<PathId> {
+        self.paths_with_label_matching(lexical, synonyms)
+    }
+
+    fn all_path_ids(&self) -> Vec<PathId> {
+        self.paths().map(|(id, _)| id).collect()
+    }
+}
+
+/// A collection of per-source-partition [`PathIndex`]es behind one
+/// global path-id space.
+#[derive(Debug, Clone)]
+pub struct ShardedIndex {
+    shards: Vec<PathIndex>,
+    /// `offsets[i]` = first global id of shard `i`; a final entry holds
+    /// the total, so `offsets.len() == shards.len() + 1`.
+    offsets: Vec<u32>,
+}
+
+impl ShardedIndex {
+    /// Partition the sources of `graph` round-robin into `shard_count`
+    /// shards and index each independently (one thread per shard —
+    /// the simulated grid).
+    ///
+    /// # Panics
+    /// Panics if `shard_count` is zero.
+    pub fn build(graph: DataGraph, shard_count: usize, config: &ExtractionConfig) -> Self {
+        assert!(shard_count > 0, "at least one shard");
+        let sources = graph.as_graph().effective_sources();
+        let mut partitions: Vec<Vec<rdf_model::NodeId>> = vec![Vec::new(); shard_count];
+        for (i, &s) in sources.iter().enumerate() {
+            partitions[i % shard_count].push(s);
+        }
+
+        let shards: Vec<PathIndex> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .into_iter()
+                .map(|partition| {
+                    let graph = graph.clone();
+                    scope.spawn(move || {
+                        let extraction =
+                            extract_paths_from_sources(graph.as_graph(), &partition, config);
+                        let paths: Vec<IndexedPath> = extraction
+                            .paths
+                            .into_iter()
+                            .map(|path| {
+                                let labels = path.labels(graph.as_graph());
+                                IndexedPath { path, labels }
+                            })
+                            .collect();
+                        let stats = IndexStats {
+                            triples: graph.edge_count(),
+                            path_count: paths.len(),
+                            depth_truncated: extraction.depth_truncated,
+                            dropped: extraction.dropped,
+                            ..Default::default()
+                        };
+                        PathIndex::from_parts(graph, paths, stats)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard build panicked"))
+                .collect()
+        });
+
+        let mut offsets = Vec::with_capacity(shards.len() + 1);
+        let mut total = 0u32;
+        for shard in &shards {
+            offsets.push(total);
+            total += shard.path_count() as u32;
+        }
+        offsets.push(total);
+        ShardedIndex { shards, offsets }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves (read-only).
+    pub fn shards(&self) -> &[PathIndex] {
+        &self.shards
+    }
+
+    /// `(shard, local id)` for a global id.
+    fn locate(&self, id: PathId) -> (usize, PathId) {
+        let shard = self
+            .offsets
+            .partition_point(|&off| off <= id.0)
+            .saturating_sub(1);
+        (shard, PathId(id.0 - self.offsets[shard]))
+    }
+
+    fn globalize(&self, shard: usize, ids: Vec<PathId>) -> Vec<PathId> {
+        let offset = self.offsets[shard];
+        ids.into_iter().map(|id| PathId(id.0 + offset)).collect()
+    }
+
+    fn fan_out(&self, lookup: impl Fn(&PathIndex) -> Vec<PathId>) -> Vec<PathId> {
+        let mut out = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            out.extend(self.globalize(i, lookup(shard)));
+        }
+        out
+    }
+}
+
+impl IndexLike for ShardedIndex {
+    fn data(&self) -> &DataGraph {
+        self.shards[0].graph()
+    }
+
+    fn total_paths(&self) -> usize {
+        *self.offsets.last().expect("offsets non-empty") as usize
+    }
+
+    fn indexed(&self, id: PathId) -> &IndexedPath {
+        let (shard, local) = self.locate(id);
+        self.shards[shard].path(local)
+    }
+
+    fn sink_matching(&self, lexical: &str, synonyms: &dyn SynonymProvider) -> Vec<PathId> {
+        self.fan_out(|shard| shard.paths_with_sink_matching(lexical, synonyms))
+    }
+
+    fn label_matching(&self, lexical: &str, synonyms: &dyn SynonymProvider) -> Vec<PathId> {
+        self.fan_out(|shard| shard.paths_with_label_matching(lexical, synonyms))
+    }
+
+    fn all_path_ids(&self) -> Vec<PathId> {
+        (0..self.total_paths() as u32).map(PathId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synonyms::NoSynonyms;
+    use rdf_model::Term;
+
+    fn sample_graph() -> DataGraph {
+        let mut b = DataGraph::builder();
+        for i in 0..12 {
+            b.triple_str(&format!("s{i}"), "p", &format!("m{}", i % 4))
+                .unwrap();
+        }
+        for m in 0..4 {
+            b.triple_str(&format!("m{m}"), "q", "\"leaf\"").unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sharding_partitions_all_paths() {
+        let graph = sample_graph();
+        let single = PathIndex::build(graph.clone());
+        for shard_count in [1usize, 2, 3, 5] {
+            let sharded =
+                ShardedIndex::build(graph.clone(), shard_count, &ExtractionConfig::default());
+            assert_eq!(sharded.shard_count(), shard_count);
+            assert_eq!(
+                sharded.total_paths(),
+                single.path_count(),
+                "{shard_count} shards"
+            );
+
+            // Same path multiset, possibly different order.
+            let render = |paths: Vec<String>| {
+                let mut v = paths;
+                v.sort();
+                v
+            };
+            let single_paths = render(
+                single
+                    .paths()
+                    .map(|(_, ip)| ip.path.display(single.graph().as_graph()).to_string())
+                    .collect(),
+            );
+            let sharded_paths = render(
+                (0..sharded.total_paths() as u32)
+                    .map(|i| {
+                        sharded
+                            .indexed(PathId(i))
+                            .path
+                            .display(sharded.data().as_graph())
+                            .to_string()
+                    })
+                    .collect(),
+            );
+            assert_eq!(single_paths, sharded_paths);
+        }
+    }
+
+    #[test]
+    fn lookups_agree_with_single_index() {
+        let graph = sample_graph();
+        let single = PathIndex::build(graph.clone());
+        let sharded = ShardedIndex::build(graph, 3, &ExtractionConfig::default());
+        let render = |index: &dyn Fn(PathId) -> String, ids: Vec<PathId>| -> Vec<String> {
+            let mut v: Vec<String> = ids.into_iter().map(index).collect();
+            v.sort();
+            v
+        };
+        let single_render = |id: PathId| {
+            single
+                .path(id)
+                .path
+                .display(single.graph().as_graph())
+                .to_string()
+        };
+        let sharded_render = |id: PathId| {
+            sharded
+                .indexed(id)
+                .path
+                .display(sharded.data().as_graph())
+                .to_string()
+        };
+        for probe in ["leaf", "m1", "p"] {
+            assert_eq!(
+                render(&single_render, single.sink_matching(probe, &NoSynonyms)),
+                render(&sharded_render, sharded.sink_matching(probe, &NoSynonyms)),
+                "sink {probe}"
+            );
+            assert_eq!(
+                render(&single_render, single.label_matching(probe, &NoSynonyms)),
+                render(&sharded_render, sharded.label_matching(probe, &NoSynonyms)),
+                "label {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn locate_roundtrips_every_id() {
+        let sharded = ShardedIndex::build(sample_graph(), 4, &ExtractionConfig::default());
+        for i in 0..sharded.total_paths() as u32 {
+            let (_, _) = sharded.locate(PathId(i)); // must not panic
+            let _ = sharded.indexed(PathId(i));
+        }
+    }
+
+    #[test]
+    fn single_shard_equals_plain_index() {
+        let graph = sample_graph();
+        let single = PathIndex::build(graph.clone());
+        let sharded = ShardedIndex::build(graph, 1, &ExtractionConfig::default());
+        assert_eq!(sharded.total_paths(), single.path_count());
+    }
+
+    #[test]
+    fn more_shards_than_sources_is_fine() {
+        let mut b = DataGraph::builder();
+        b.triple_str("a", "p", "b").unwrap();
+        let sharded = ShardedIndex::build(b.build(), 8, &ExtractionConfig::default());
+        assert_eq!(sharded.total_paths(), 1);
+        assert_eq!(sharded.shard_count(), 8);
+    }
+
+    #[test]
+    fn vocabulary_is_shared_across_shards() {
+        let graph = sample_graph();
+        let sharded = ShardedIndex::build(graph, 3, &ExtractionConfig::default());
+        let leaf = sharded
+            .data()
+            .vocab()
+            .get(&Term::literal("leaf"))
+            .expect("label interned");
+        // Every shard resolves the same label id identically.
+        for shard in sharded.shards() {
+            assert_eq!(
+                shard.graph().vocab().get(&Term::literal("leaf")),
+                Some(leaf)
+            );
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Synonym expansion for label matching (paper, Section 6.1).
+//!
+//! The paper extracts "semantically similar entries such as synonyms,
+//! hyponyms and hypernyms … from WordNet" to widen the label match
+//! during clustering. WordNet is not available offline, so we provide a
+//! pluggable [`SynonymProvider`] trait with two implementations: the
+//! no-op [`NoSynonyms`] and a [`Thesaurus`] populated explicitly (the
+//! dataset generators ship small domain thesauri). The code path
+//! exercised — cluster admission via non-identical but related labels —
+//! is identical to the paper's.
+
+use rdf_model::{FxHashMap, FxHashSet};
+
+/// Supplies the set of labels considered semantically equivalent to a
+/// probe label.
+pub trait SynonymProvider: Send + Sync {
+    /// All labels related to `label` (not including `label` itself).
+    fn synonyms(&self, label: &str) -> Vec<String>;
+
+    /// `true` if `a` and `b` are the same label or related.
+    fn related(&self, a: &str, b: &str) -> bool {
+        a == b || self.synonyms(a).iter().any(|s| s == b)
+    }
+}
+
+/// A provider with no synonyms: labels match only themselves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSynonyms;
+
+impl SynonymProvider for NoSynonyms {
+    fn synonyms(&self, _label: &str) -> Vec<String> {
+        Vec::new()
+    }
+
+    fn related(&self, a: &str, b: &str) -> bool {
+        a == b
+    }
+}
+
+/// An explicit thesaurus: groups of mutually equivalent labels.
+///
+/// Relations are symmetric and transitive within a group (each `group`
+/// call merges all members into one equivalence class).
+#[derive(Debug, Clone, Default)]
+pub struct Thesaurus {
+    /// label → group id.
+    membership: FxHashMap<String, u32>,
+    /// group id → members.
+    groups: Vec<Vec<String>>,
+}
+
+impl Thesaurus {
+    /// An empty thesaurus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare all `members` mutually synonymous (merging any groups
+    /// they already belong to).
+    pub fn group<I, S>(&mut self, members: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let members: Vec<String> = members.into_iter().map(Into::into).collect();
+        // Collect existing groups to merge.
+        let mut target: Option<u32> = None;
+        for m in &members {
+            if let Some(&g) = self.membership.get(m) {
+                target = Some(match target {
+                    None => g,
+                    Some(t) if t == g => t,
+                    Some(t) => {
+                        // Merge g into t.
+                        let moved = std::mem::take(&mut self.groups[g as usize]);
+                        for label in &moved {
+                            self.membership.insert(label.clone(), t);
+                        }
+                        self.groups[t as usize].extend(moved);
+                        t
+                    }
+                });
+            }
+        }
+        let gid = target.unwrap_or_else(|| {
+            self.groups.push(Vec::new());
+            (self.groups.len() - 1) as u32
+        });
+        for m in members {
+            if self.membership.get(&m) != Some(&gid) {
+                self.membership.insert(m.clone(), gid);
+                self.groups[gid as usize].push(m);
+            }
+        }
+        self
+    }
+
+    /// Number of equivalence classes (merged groups counted once).
+    pub fn group_count(&self) -> usize {
+        let live: FxHashSet<&u32> = self.membership.values().collect();
+        live.len()
+    }
+}
+
+impl SynonymProvider for Thesaurus {
+    fn synonyms(&self, label: &str) -> Vec<String> {
+        match self.membership.get(label) {
+            None => Vec::new(),
+            Some(&g) => self.groups[g as usize]
+                .iter()
+                .filter(|m| m.as_str() != label)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    fn related(&self, a: &str, b: &str) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.membership.get(a), self.membership.get(b)) {
+            (Some(ga), Some(gb)) => ga == gb,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_synonyms_matches_identity_only() {
+        let p = NoSynonyms;
+        assert!(p.related("a", "a"));
+        assert!(!p.related("a", "b"));
+        assert!(p.synonyms("a").is_empty());
+    }
+
+    #[test]
+    fn thesaurus_groups_are_symmetric() {
+        let mut t = Thesaurus::new();
+        t.group(["professor", "lecturer", "faculty"]);
+        assert!(t.related("professor", "lecturer"));
+        assert!(t.related("lecturer", "professor"));
+        assert!(t.related("faculty", "faculty"));
+        assert!(!t.related("professor", "student"));
+    }
+
+    #[test]
+    fn synonyms_exclude_self() {
+        let mut t = Thesaurus::new();
+        t.group(["car", "automobile"]);
+        let syns = t.synonyms("car");
+        assert_eq!(syns, vec!["automobile".to_string()]);
+    }
+
+    #[test]
+    fn groups_merge_transitively() {
+        let mut t = Thesaurus::new();
+        t.group(["a", "b"]);
+        t.group(["b", "c"]);
+        assert!(t.related("a", "c"));
+        assert_eq!(t.group_count(), 1);
+    }
+
+    #[test]
+    fn merging_two_existing_groups() {
+        let mut t = Thesaurus::new();
+        t.group(["a", "b"]);
+        t.group(["c", "d"]);
+        assert_eq!(t.group_count(), 2);
+        t.group(["a", "c"]);
+        assert!(t.related("b", "d"));
+        assert_eq!(t.group_count(), 1);
+    }
+
+    #[test]
+    fn unknown_labels_unrelated() {
+        let t = Thesaurus::new();
+        assert!(!t.related("x", "y"));
+        assert!(t.related("x", "x"));
+    }
+}

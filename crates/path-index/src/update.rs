@@ -1,0 +1,482 @@
+//! Incremental index maintenance — the paper's future work: "develop
+//! optimization techniques to speed-up the creation and the update of
+//! the index".
+//!
+//! Inserting triples into an indexed graph affects the path set in
+//! three ways:
+//!
+//! 1. **New paths through the new edges.** Every source→sink path that
+//!    traverses at least one inserted edge is new. We enumerate them
+//!    *locally*: backward walks from each new edge's tail to the true
+//!    sources, forward walks from its head to the true sinks, stitched
+//!    through the edge — no global re-traversal.
+//! 2. **Stale paths at demoted endpoints.** A node that used to be a
+//!    sink but gained out-edges no longer terminates paths; a node
+//!    that used to be a source but gained in-edges no longer starts
+//!    them. Paths anchored at demoted nodes are dropped.
+//! 3. **Fallbacks.** Hub-promoted graphs (no true sources), previously
+//!    truncated indexes, inserts that create cycles, and local walks
+//!    that hit extraction limits all make incremental maintenance as
+//!    expensive (or as semantics-shifting) as a rebuild — those cases
+//!    fall back to [`PathIndex::build_with_config`] and say so in the
+//!    returned stats.
+//!
+//! The inverted maps are rebuilt from the updated path set — linear in
+//! its size, cheap next to path enumeration — and every update is
+//! equivalent to a fresh build of the updated graph (property-tested).
+
+use crate::extract::ExtractionConfig;
+use crate::index::{IndexedPath, PathIndex};
+use crate::path::Path;
+use rdf_model::{EdgeId, FxHashSet, Graph, NodeId, RdfError, Triple};
+use std::time::Instant;
+
+/// What an incremental update did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Edges inserted into the graph.
+    pub inserted_edges: usize,
+    /// Paths added to the index.
+    pub added_paths: usize,
+    /// Stale paths removed.
+    pub removed_paths: usize,
+    /// `true` if the update fell back to a full rebuild.
+    pub rebuilt: bool,
+}
+
+/// A partial walk: node sequence plus the edges between them.
+type Walk = (Vec<NodeId>, Vec<EdgeId>);
+
+/// A fully-assembled candidate path, used to deduplicate discoveries.
+type PathKey = (Box<[NodeId]>, Box<[EdgeId]>);
+
+impl PathIndex {
+    /// Insert ground triples and bring the index up to date, preferring
+    /// local re-extraction over a full rebuild.
+    ///
+    /// # Errors
+    /// Fails (without modifying anything) if any triple contains a
+    /// variable.
+    pub fn insert_triples(
+        &mut self,
+        triples: &[Triple],
+        config: &ExtractionConfig,
+    ) -> Result<UpdateStats, RdfError> {
+        if let Some(bad) = triples.iter().find(|t| t.has_variable()) {
+            return Err(RdfError::VariableInDataGraph(bad.to_string()));
+        }
+        let start = Instant::now();
+        let had_sources = !self.graph().sources().is_empty();
+        let was_truncated = self.stats().is_truncated();
+
+        let mut graph = self.graph().clone();
+        let new_edge_ids = graph.insert_triples(triples)?;
+        let g = graph.as_graph();
+
+        // Cheap-rebuild cases (see module docs).
+        if !had_sources || was_truncated || g.sources().is_empty() {
+            return Ok(self.rebuild_with(graph, new_edge_ids.len(), config));
+        }
+
+        // Demoted anchors: endpoints of new edges whose role changed.
+        let new_edge_set: FxHashSet<EdgeId> = new_edge_ids.iter().copied().collect();
+        let mut demoted_sinks: FxHashSet<NodeId> = FxHashSet::default();
+        let mut demoted_sources: FxHashSet<NodeId> = FxHashSet::default();
+        for &e in &new_edge_ids {
+            let edge = g.edge(e);
+            let prior_out = g
+                .out_edges(edge.from)
+                .iter()
+                .filter(|oe| !new_edge_set.contains(oe))
+                .count();
+            if prior_out == 0 {
+                demoted_sinks.insert(edge.from);
+            }
+            let prior_in = g
+                .in_edges(edge.to)
+                .iter()
+                .filter(|ie| !new_edge_set.contains(ie))
+                .count();
+            if prior_in == 0 {
+                demoted_sources.insert(edge.to);
+            }
+        }
+
+        // New paths: everything traversing a new edge, discovered by
+        // local backward/forward walks stitched through it.
+        let mut discovered: FxHashSet<PathKey> = FxHashSet::default();
+        let mut added: Vec<IndexedPath> = Vec::new();
+        for &e in &new_edge_ids {
+            let edge = g.edge(e);
+            let Some(backs) = walk_backward(g, edge.from, config) else {
+                return Ok(self.rebuild_with(graph, new_edge_ids.len(), config));
+            };
+            let Some(fronts) = walk_forward(g, edge.to, config) else {
+                return Ok(self.rebuild_with(graph, new_edge_ids.len(), config));
+            };
+            if backs.len().saturating_mul(fronts.len()) > config.max_total_paths {
+                return Ok(self.rebuild_with(graph, new_edge_ids.len(), config));
+            }
+            for (back_nodes, back_edges) in &backs {
+                for (front_nodes, front_edges) in &fronts {
+                    if front_nodes.iter().any(|n| back_nodes.contains(n)) {
+                        continue; // would revisit a node
+                    }
+                    let total_nodes = back_nodes.len() + front_nodes.len();
+                    if total_nodes > config.max_depth {
+                        return Ok(self.rebuild_with(graph, new_edge_ids.len(), config));
+                    }
+                    let mut nodes = back_nodes.clone();
+                    let mut edges = back_edges.clone();
+                    edges.push(e);
+                    nodes.extend(front_nodes.iter().copied());
+                    edges.extend(front_edges.iter().copied());
+                    // A path using several new edges is produced once
+                    // per new edge; keep it only for the first one.
+                    let first_new = edges.iter().find(|pe| new_edge_set.contains(pe));
+                    if first_new != Some(&e) {
+                        continue;
+                    }
+                    let key = (
+                        nodes.clone().into_boxed_slice(),
+                        edges.clone().into_boxed_slice(),
+                    );
+                    if !discovered.insert(key) {
+                        continue;
+                    }
+                    let path = Path::new(nodes, edges);
+                    let labels = path.labels(g);
+                    added.push(IndexedPath { path, labels });
+                }
+            }
+        }
+
+        // Keep old paths that are still source/sink anchored.
+        let kept: Vec<IndexedPath> = self
+            .paths()
+            .filter(|(_, ip)| {
+                !demoted_sinks.contains(&ip.path.sink())
+                    && !demoted_sources.contains(&ip.path.source())
+            })
+            .map(|(_, ip)| ip.clone())
+            .collect();
+        let removed = self.path_count() - kept.len();
+        let added_count = added.len();
+        let mut all = kept;
+        all.extend(added);
+
+        let mut stats = self.stats().clone();
+        stats.triples = graph.edge_count();
+        stats.path_count = all.len();
+        stats.build_time += start.elapsed();
+        stats.serialized_bytes = None;
+        let plain: Vec<Path> = all.iter().map(|ip| ip.path.clone()).collect();
+        let hyper = crate::hypergraph::HyperGraphView::build(graph.as_graph(), &plain);
+        stats.hyper_vertices = hyper.vertex_count;
+        stats.hyper_edges = hyper.edge_count();
+
+        *self = PathIndex::from_parts(graph, all, stats);
+        Ok(UpdateStats {
+            inserted_edges: new_edge_ids.len(),
+            added_paths: added_count,
+            removed_paths: removed,
+            rebuilt: false,
+        })
+    }
+
+    fn rebuild_with(
+        &mut self,
+        graph: rdf_model::DataGraph,
+        inserted_edges: usize,
+        config: &ExtractionConfig,
+    ) -> UpdateStats {
+        let rebuilt = PathIndex::build_with_config(graph, config);
+        let stats = UpdateStats {
+            inserted_edges,
+            added_paths: rebuilt.path_count(),
+            removed_paths: self.path_count(),
+            rebuilt: true,
+        };
+        *self = rebuilt;
+        stats
+    }
+}
+
+/// All simple backward walks from `node` (exclusive of its own new
+/// edge) up to a *true source*, returned source-first, pivot-last.
+/// Returns `None` when a walk cannot anchor at a true source (cycle
+/// guard) or hits a limit — the caller falls back to a rebuild.
+fn walk_backward(g: &Graph, node: NodeId, config: &ExtractionConfig) -> Option<Vec<Walk>> {
+    let mut results: Vec<Walk> = Vec::new();
+    // Walks grow pivot-first; reversed on emission.
+    let mut stack: Vec<Walk> = vec![(vec![node], Vec::new())];
+    while let Some((rnodes, redges)) = stack.pop() {
+        let head = *rnodes.last().expect("non-empty walk");
+        let ins = g.in_edges(head);
+        if ins.is_empty() {
+            let mut nodes = rnodes;
+            let mut edges = redges;
+            nodes.reverse();
+            edges.reverse();
+            results.push((nodes, edges));
+            if results.len() > config.max_paths_per_source {
+                return None;
+            }
+            continue;
+        }
+        if rnodes.len() >= config.max_depth {
+            return None; // depth-cut semantics differ from a full build
+        }
+        for &ie in ins {
+            let from = g.edge(ie).from;
+            if rnodes.contains(&from) {
+                return None; // cycle: cannot anchor at a true source
+            }
+            let mut nodes = rnodes.clone();
+            let mut edges = redges.clone();
+            nodes.push(from);
+            edges.push(ie);
+            stack.push((nodes, edges));
+        }
+    }
+    Some(results)
+}
+
+/// All simple forward walks from `node` down to a *true sink*,
+/// pivot-first. `None` on cycle or limit (rebuild fallback).
+fn walk_forward(g: &Graph, node: NodeId, config: &ExtractionConfig) -> Option<Vec<Walk>> {
+    let mut results: Vec<Walk> = Vec::new();
+    let mut stack: Vec<Walk> = vec![(vec![node], Vec::new())];
+    while let Some((nodes, edges)) = stack.pop() {
+        let tail = *nodes.last().expect("non-empty walk");
+        let outs = g.out_edges(tail);
+        if outs.is_empty() {
+            results.push((nodes, edges));
+            if results.len() > config.max_paths_per_source {
+                return None;
+            }
+            continue;
+        }
+        if nodes.len() >= config.max_depth {
+            return None;
+        }
+        for &oe in outs {
+            let to = g.edge(oe).to;
+            if nodes.contains(&to) {
+                return None;
+            }
+            let mut n = nodes.clone();
+            let mut e = edges.clone();
+            n.push(to);
+            e.push(oe);
+            stack.push((n, e));
+        }
+    }
+    Some(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::DataGraph;
+
+    fn index_of(triples: &[(&str, &str, &str)]) -> PathIndex {
+        let mut b = DataGraph::builder();
+        for &(s, p, o) in triples {
+            b.triple_str(s, p, o).unwrap();
+        }
+        PathIndex::build(b.build())
+    }
+
+    fn sorted_paths(index: &PathIndex) -> Vec<String> {
+        let g = index.graph().as_graph();
+        let mut v: Vec<String> = index
+            .paths()
+            .map(|(_, ip)| ip.path.display(g).to_string())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The gold standard: incremental insert must equal a full rebuild
+    /// of the updated graph.
+    fn assert_matches_rebuild(mut index: PathIndex, extra: &[(&str, &str, &str)]) -> UpdateStats {
+        let triples: Vec<Triple> = extra
+            .iter()
+            .map(|&(s, p, o)| Triple::parse(s, p, o))
+            .collect();
+        let stats = index
+            .insert_triples(&triples, &ExtractionConfig::default())
+            .expect("insert succeeds");
+        let rebuilt = PathIndex::build(index.graph().clone());
+        assert_eq!(sorted_paths(&index), sorted_paths(&rebuilt));
+        stats
+    }
+
+    #[test]
+    fn extend_a_chain() {
+        // a-p-b, then add b-q-c: the old path a-p-b is stale (b demoted
+        // from sink), replaced by a-p-b-q-c.
+        let index = index_of(&[("a", "p", "b")]);
+        let stats = assert_matches_rebuild(index, &[("b", "q", "c")]);
+        assert!(!stats.rebuilt);
+        assert_eq!(stats.removed_paths, 1);
+        assert_eq!(stats.added_paths, 1);
+    }
+
+    #[test]
+    fn add_a_branch() {
+        // Chain a-b-c; adding b-r-d keeps a-p-b-q-c and adds a-p-b-r-d.
+        let index = index_of(&[("a", "p", "b"), ("b", "q", "c")]);
+        let stats = assert_matches_rebuild(index, &[("b", "r", "d")]);
+        assert!(!stats.rebuilt);
+        assert_eq!(stats.removed_paths, 0);
+        assert_eq!(stats.added_paths, 1);
+    }
+
+    #[test]
+    fn add_a_new_source() {
+        let index = index_of(&[("a", "p", "b"), ("b", "q", "c")]);
+        let stats = assert_matches_rebuild(index, &[("x", "p", "b")]);
+        assert!(!stats.rebuilt);
+        assert_eq!(stats.added_paths, 1); // x-p-b-q-c
+        assert_eq!(stats.removed_paths, 0);
+    }
+
+    #[test]
+    fn demote_a_source() {
+        // Adding z-p-a demotes source a: its old paths are re-rooted
+        // through z.
+        let index = index_of(&[("a", "p", "b"), ("a", "q", "c")]);
+        let stats = assert_matches_rebuild(index, &[("z", "p", "a")]);
+        assert!(!stats.rebuilt);
+        assert_eq!(stats.removed_paths, 2);
+        assert_eq!(stats.added_paths, 2);
+    }
+
+    #[test]
+    fn multi_edge_batch() {
+        let index = index_of(&[("a", "p", "b"), ("c", "p", "d")]);
+        let stats =
+            assert_matches_rebuild(index, &[("b", "q", "c"), ("d", "r", "e"), ("f", "s", "a")]);
+        assert!(!stats.rebuilt);
+    }
+
+    #[test]
+    fn insertion_into_diamond() {
+        let index = index_of(&[
+            ("a", "p", "b"),
+            ("a", "p", "c"),
+            ("b", "q", "d"),
+            ("c", "q", "d"),
+        ]);
+        assert_matches_rebuild(index, &[("d", "r", "e"), ("e", "r", "f")]);
+    }
+
+    #[test]
+    fn bridging_two_components() {
+        // Two disjoint chains joined in the middle: paths must cross.
+        let index = index_of(&[("a", "p", "b"), ("x", "q", "y")]);
+        let stats = assert_matches_rebuild(index, &[("b", "j", "x")]);
+        assert!(!stats.rebuilt);
+        // Old a-p-b (b demoted) and x-q-y (x demoted) both die; the
+        // joined a-p-b-j-x-q-y replaces them.
+        assert_eq!(stats.removed_paths, 2);
+        assert_eq!(stats.added_paths, 1);
+    }
+
+    #[test]
+    fn cycle_creating_insert_falls_back_to_rebuild() {
+        let index = index_of(&[("a", "p", "b"), ("b", "p", "c")]);
+        let triples = [Triple::parse("c", "p", "a")];
+        let mut index = index;
+        let stats = index
+            .insert_triples(&triples, &ExtractionConfig::default())
+            .unwrap();
+        assert!(stats.rebuilt);
+        let rebuilt = PathIndex::build(index.graph().clone());
+        assert_eq!(sorted_paths(&index), sorted_paths(&rebuilt));
+    }
+
+    #[test]
+    fn partial_cycle_still_handled() {
+        // A cycle that keeps other sources alive: b→c→b plus source a.
+        // The backward walk from c hits the cycle → rebuild fallback,
+        // still equivalent to a fresh build.
+        let index = index_of(&[("a", "p", "b"), ("b", "p", "c")]);
+        let mut index = index;
+        let stats = index
+            .insert_triples(
+                &[Triple::parse("c", "p", "b")],
+                &ExtractionConfig::default(),
+            )
+            .unwrap();
+        assert!(stats.rebuilt);
+        let rebuilt = PathIndex::build(index.graph().clone());
+        assert_eq!(sorted_paths(&index), sorted_paths(&rebuilt));
+    }
+
+    #[test]
+    fn variable_triple_rejected_without_mutation() {
+        let mut index = index_of(&[("a", "p", "b")]);
+        let before = sorted_paths(&index);
+        let err = index.insert_triples(
+            &[Triple::parse("?x", "p", "b")],
+            &ExtractionConfig::default(),
+        );
+        assert!(err.is_err());
+        assert_eq!(sorted_paths(&index), before);
+    }
+
+    #[test]
+    fn inverted_maps_stay_consistent() {
+        let mut index = index_of(&[("a", "p", "b")]);
+        index
+            .insert_triples(
+                &[Triple::parse("b", "q", "\"leaf\"")],
+                &ExtractionConfig::default(),
+            )
+            .unwrap();
+        let leaf = index
+            .graph()
+            .vocab()
+            .get_constant("leaf")
+            .expect("new label interned");
+        assert_eq!(index.paths_with_sink(leaf).len(), 1);
+        let q = index.graph().vocab().get_constant("q").unwrap();
+        assert_eq!(index.paths_with_label(q).len(), 1);
+    }
+
+    #[test]
+    fn stats_track_updates() {
+        let mut index = index_of(&[("a", "p", "b")]);
+        let t0 = index.stats().triples;
+        index
+            .insert_triples(
+                &[Triple::parse("b", "q", "c")],
+                &ExtractionConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(index.stats().triples, t0 + 1);
+        assert_eq!(index.stats().path_count, index.path_count());
+        assert!(index.stats().hyper_edges >= index.path_count());
+    }
+
+    #[test]
+    fn repeated_updates_stay_equivalent() {
+        let mut index = index_of(&[("a", "p", "b")]);
+        let batches: Vec<Vec<Triple>> = vec![
+            vec![Triple::parse("b", "q", "c")],
+            vec![Triple::parse("c", "r", "d"), Triple::parse("b", "s", "e")],
+            vec![Triple::parse("f", "t", "a")],
+            vec![Triple::parse("e", "u", "\"leaf\"")],
+        ];
+        for batch in batches {
+            index
+                .insert_triples(&batch, &ExtractionConfig::default())
+                .unwrap();
+            let rebuilt = PathIndex::build(index.graph().clone());
+            assert_eq!(sorted_paths(&index), sorted_paths(&rebuilt));
+        }
+    }
+}

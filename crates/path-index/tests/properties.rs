@@ -1,0 +1,111 @@
+//! Property-based tests for the index substrate: incremental updates
+//! must be indistinguishable from rebuilds, and both storage formats
+//! must round-trip.
+
+use path_index::{decode_any, encode, encode_compressed, ExtractionConfig, PathIndex};
+use proptest::prelude::*;
+use rdf_model::{DataGraph, Triple};
+
+/// Random ground triples over a small closed world (guaranteed
+/// cycle-free by making edges point from lower to higher node ids, so
+/// incremental updates take the local path, not the rebuild fallback).
+fn arb_dag_triples(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Vec<Triple>> {
+    proptest::collection::vec((0..max_nodes, 0..max_nodes, 0usize..3), 1..=max_edges)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .filter_map(|(a, b, p)| {
+                    let (lo, hi) = if a < b {
+                        (a, b)
+                    } else if b < a {
+                        (b, a)
+                    } else {
+                        return None; // no self-loops: keep it a DAG
+                    };
+                    Some(Triple::parse(
+                        &format!("n{lo}"),
+                        &format!("p{p}"),
+                        &format!("n{hi}"),
+                    ))
+                })
+                .collect()
+        })
+        .prop_filter("at least one triple", |v: &Vec<Triple>| !v.is_empty())
+}
+
+fn sorted_paths(index: &PathIndex) -> Vec<String> {
+    let g = index.graph().as_graph();
+    let mut v: Vec<String> = index
+        .paths()
+        .map(|(_, ip)| ip.path.display(g).to_string())
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Incremental insertion ≡ full rebuild, on random DAGs split into
+    /// a base batch and an update batch.
+    #[test]
+    fn incremental_update_equals_rebuild(
+        base in arb_dag_triples(8, 14),
+        extra in arb_dag_triples(8, 6),
+    ) {
+        let data = DataGraph::from_triples(&base).expect("ground");
+        let mut index = PathIndex::build(data);
+        index
+            .insert_triples(&extra, &ExtractionConfig::default())
+            .expect("insert succeeds");
+
+        let rebuilt = PathIndex::build(index.graph().clone());
+        prop_assert_eq!(sorted_paths(&index), sorted_paths(&rebuilt));
+        prop_assert_eq!(index.path_count(), rebuilt.path_count());
+        prop_assert_eq!(index.stats().triples, rebuilt.stats().triples);
+        prop_assert_eq!(index.stats().hyper_edges, rebuilt.stats().hyper_edges);
+    }
+
+    /// Both storage formats round-trip and agree with each other.
+    #[test]
+    fn both_formats_roundtrip(base in arb_dag_triples(10, 20)) {
+        let index = PathIndex::build(DataGraph::from_triples(&base).expect("ground"));
+        let plain = encode(&index);
+        let compressed = encode_compressed(&index);
+        let from_plain = decode_any(&plain).expect("plain decodes");
+        let from_compressed = decode_any(&compressed).expect("compressed decodes");
+        prop_assert_eq!(sorted_paths(&from_plain), sorted_paths(&index));
+        prop_assert_eq!(sorted_paths(&from_compressed), sorted_paths(&index));
+        prop_assert!(compressed.len() <= plain.len(),
+            "compression never inflates these indexes: {} > {}",
+            compressed.len(), plain.len());
+    }
+
+    /// Inverted maps agree with a linear scan after arbitrary updates.
+    #[test]
+    fn inverted_maps_complete_after_update(
+        base in arb_dag_triples(8, 12),
+        extra in arb_dag_triples(8, 5),
+    ) {
+        let data = DataGraph::from_triples(&base).expect("ground");
+        let mut index = PathIndex::build(data);
+        index
+            .insert_triples(&extra, &ExtractionConfig::default())
+            .expect("insert succeeds");
+
+        for (id, ip) in index.paths() {
+            // Every label of the path lists the path.
+            for &label in ip
+                .labels
+                .node_labels
+                .iter()
+                .chain(ip.labels.edge_labels.iter())
+            {
+                prop_assert!(
+                    index.paths_with_label(label).contains(&id),
+                    "path {id} missing from label list"
+                );
+            }
+            prop_assert!(index.paths_with_sink(ip.labels.sink_label()).contains(&id));
+        }
+    }
+}

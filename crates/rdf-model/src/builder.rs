@@ -1,0 +1,267 @@
+//! Builders that assemble [`DataGraph`](crate::DataGraph) and
+//! [`QueryGraph`](crate::QueryGraph) values from terms and triples,
+//! handling the RDF resource-identity rules:
+//!
+//! * IRI and blank-node labels identify resources — repeated occurrences
+//!   map to the *same* node;
+//! * literal labels are values — deduplicated by default (one shared
+//!   `Male` node, as in the paper's Figure 1), with an opt-out for
+//!   generators that want repeated distinct value nodes;
+//! * variables (query graphs only) are deduplicated by name.
+
+use crate::error::{RdfError, Result};
+use crate::graph::{Graph, NodeId};
+use crate::hash::FxHashMap;
+use crate::interner::LabelId;
+use crate::term::{Term, TermKind};
+use crate::triple::Triple;
+
+/// Shared assembly machinery for both builder front-ends.
+#[derive(Debug)]
+pub(crate) struct Assembler {
+    pub(crate) graph: Graph,
+    by_label: FxHashMap<LabelId, NodeId>,
+    dedup_literals: bool,
+    allow_variables: bool,
+}
+
+impl Assembler {
+    pub(crate) fn new(dedup_literals: bool, allow_variables: bool) -> Self {
+        Assembler {
+            graph: Graph::new(),
+            by_label: FxHashMap::default(),
+            dedup_literals,
+            allow_variables,
+        }
+    }
+
+    /// Resolve `term` to a node, creating it if needed and deduplicating
+    /// according to the term kind and builder configuration.
+    pub(crate) fn node(&mut self, term: &Term) -> Result<NodeId> {
+        match term.kind() {
+            TermKind::Variable if !self.allow_variables => {
+                return Err(RdfError::VariableInDataGraph(term.to_string()));
+            }
+            _ => {}
+        }
+        let label = self.graph.vocab_mut().intern(term);
+        let dedup = match term.kind() {
+            TermKind::Iri | TermKind::Blank | TermKind::Variable => true,
+            TermKind::Literal => self.dedup_literals,
+        };
+        if dedup {
+            if let Some(&existing) = self.by_label.get(&label) {
+                return Ok(existing);
+            }
+        }
+        let id = self.graph.add_node_with_label(label)?;
+        if dedup {
+            self.by_label.insert(label, id);
+        }
+        Ok(id)
+    }
+
+    pub(crate) fn triple(&mut self, triple: &Triple) -> Result<()> {
+        if triple.predicate.kind() == TermKind::Variable && !self.allow_variables {
+            return Err(RdfError::VariableInDataGraph(triple.predicate.to_string()));
+        }
+        let s = self.node(&triple.subject)?;
+        let o = self.node(&triple.object)?;
+        self.graph.add_edge(s, o, &triple.predicate)?;
+        Ok(())
+    }
+}
+
+/// Builds a [`crate::DataGraph`]; rejects variables anywhere.
+#[derive(Debug)]
+pub struct DataGraphBuilder {
+    inner: Assembler,
+}
+
+impl Default for DataGraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DataGraphBuilder {
+    /// A builder with default settings (literals deduplicated).
+    pub fn new() -> Self {
+        DataGraphBuilder {
+            inner: Assembler::new(true, false),
+        }
+    }
+
+    /// Configure whether equal literal labels share one node.
+    pub fn dedup_literals(mut self, dedup: bool) -> Self {
+        self.inner.dedup_literals = dedup;
+        self
+    }
+
+    /// Resolve a term to a node (creating it if necessary).
+    pub fn node(&mut self, term: &Term) -> Result<NodeId> {
+        self.inner.node(term)
+    }
+
+    /// Add one triple as an edge (creating endpoint nodes as necessary).
+    pub fn triple(&mut self, triple: &Triple) -> Result<&mut Self> {
+        self.inner.triple(triple)?;
+        Ok(self)
+    }
+
+    /// Add a triple given as three display-form strings
+    /// (see [`Term::parse`]).
+    pub fn triple_str(&mut self, s: &str, p: &str, o: &str) -> Result<&mut Self> {
+        self.triple(&Triple::parse(s, p, o))
+    }
+
+    /// Add many triples.
+    pub fn extend<'a>(
+        &mut self,
+        triples: impl IntoIterator<Item = &'a Triple>,
+    ) -> Result<&mut Self> {
+        for t in triples {
+            self.inner.triple(t)?;
+        }
+        Ok(self)
+    }
+
+    /// Finish building.
+    pub fn build(self) -> crate::DataGraph {
+        crate::DataGraph::from_graph_unchecked(self.inner.graph)
+    }
+}
+
+/// Builds a [`crate::QueryGraph`]; variables allowed in node and edge
+/// positions (paper, Definition 2).
+#[derive(Debug)]
+pub struct QueryGraphBuilder {
+    inner: Assembler,
+}
+
+impl Default for QueryGraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryGraphBuilder {
+    /// A builder with default settings (literals deduplicated).
+    pub fn new() -> Self {
+        QueryGraphBuilder {
+            inner: Assembler::new(true, true),
+        }
+    }
+
+    /// Resolve a term to a node (creating it if necessary).
+    pub fn node(&mut self, term: &Term) -> Result<NodeId> {
+        self.inner.node(term)
+    }
+
+    /// Add one triple pattern as an edge.
+    pub fn triple(&mut self, triple: &Triple) -> Result<&mut Self> {
+        self.inner.triple(triple)?;
+        Ok(self)
+    }
+
+    /// Add a triple pattern given as three display-form strings
+    /// (`"?v1"` parses as a variable; see [`Term::parse`]).
+    pub fn triple_str(&mut self, s: &str, p: &str, o: &str) -> Result<&mut Self> {
+        self.triple(&Triple::parse(s, p, o))
+    }
+
+    /// Add many triple patterns.
+    pub fn extend<'a>(
+        &mut self,
+        triples: impl IntoIterator<Item = &'a Triple>,
+    ) -> Result<&mut Self> {
+        for t in triples {
+            self.inner.triple(t)?;
+        }
+        Ok(self)
+    }
+
+    /// Finish building.
+    pub fn build(self) -> crate::QueryGraph {
+        crate::QueryGraph::from_graph(self.inner.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_nodes_are_shared() {
+        let mut b = DataGraphBuilder::new();
+        b.triple_str("a", "p", "b").unwrap();
+        b.triple_str("a", "q", "c").unwrap();
+        let g = b.build();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn literal_dedup_default_on() {
+        let mut b = DataGraphBuilder::new();
+        b.triple_str("jr", "gender", "\"Male\"").unwrap();
+        b.triple_str("pd", "gender", "\"Male\"").unwrap();
+        let g = b.build();
+        assert_eq!(g.node_count(), 3); // jr, pd, shared Male
+    }
+
+    #[test]
+    fn literal_dedup_can_be_disabled() {
+        let mut b = DataGraphBuilder::new().dedup_literals(false);
+        b.triple_str("t1", "starts", "\"10/21/94\"").unwrap();
+        b.triple_str("t2", "starts", "\"10/21/94\"").unwrap();
+        let g = b.build();
+        assert_eq!(g.node_count(), 4); // two distinct date nodes
+    }
+
+    #[test]
+    fn data_builder_rejects_variables() {
+        let mut b = DataGraphBuilder::new();
+        assert!(matches!(
+            b.triple_str("?x", "p", "b"),
+            Err(RdfError::VariableInDataGraph(_))
+        ));
+        let mut b = DataGraphBuilder::new();
+        assert!(matches!(
+            b.triple_str("a", "?p", "b"),
+            Err(RdfError::VariableInDataGraph(_))
+        ));
+        let mut b = DataGraphBuilder::new();
+        assert!(matches!(
+            b.triple_str("a", "p", "?o"),
+            Err(RdfError::VariableInDataGraph(_))
+        ));
+    }
+
+    #[test]
+    fn query_builder_accepts_variables_and_dedups_them() {
+        let mut b = QueryGraphBuilder::new();
+        b.triple_str("CarlaBunes", "sponsor", "?v1").unwrap();
+        b.triple_str("?v1", "aTo", "?v2").unwrap();
+        let q = b.build();
+        assert_eq!(q.node_count(), 3);
+        assert_eq!(q.edge_count(), 2);
+        assert_eq!(q.variable_count(), 2);
+    }
+
+    #[test]
+    fn query_variable_edge_labels() {
+        let mut b = QueryGraphBuilder::new();
+        b.triple_str("a", "?e1", "b").unwrap();
+        let q = b.build();
+        assert_eq!(q.variable_count(), 1);
+    }
+
+    #[test]
+    fn extend_adds_all() {
+        let triples = [Triple::parse("a", "p", "b"), Triple::parse("b", "p", "c")];
+        let mut b = DataGraphBuilder::new();
+        b.extend(&triples).unwrap();
+        assert_eq!(b.build().edge_count(), 2);
+    }
+}

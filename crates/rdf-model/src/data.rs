@@ -1,0 +1,248 @@
+//! [`DataGraph`] — the paper's Definition 1: a labelled directed graph
+//! whose node labels range over URIs and literals and whose edge labels
+//! range over URIs (no variables).
+
+use crate::builder::DataGraphBuilder;
+use crate::error::Result;
+use crate::graph::{Edge, EdgeId, Graph, NodeId};
+use crate::interner::{LabelId, Vocabulary};
+use crate::term::Term;
+use crate::triple::Triple;
+
+/// An RDF data graph: constants only.
+///
+/// Construct with [`DataGraph::builder`] or [`DataGraph::from_triples`];
+/// full read access to the underlying [`Graph`] is available via
+/// [`DataGraph::as_graph`], with the most common accessors delegated
+/// directly.
+#[derive(Debug, Clone, Default)]
+pub struct DataGraph {
+    graph: Graph,
+}
+
+impl DataGraph {
+    /// Start building a data graph.
+    pub fn builder() -> DataGraphBuilder {
+        DataGraphBuilder::new()
+    }
+
+    /// Build from a sequence of ground triples.
+    ///
+    /// # Errors
+    /// Fails if any triple contains a variable.
+    pub fn from_triples<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> Result<Self> {
+        let mut b = DataGraphBuilder::new();
+        b.extend(triples)?;
+        Ok(b.build())
+    }
+
+    /// Wrap an already-validated graph (crate-internal; used by builders).
+    pub(crate) fn from_graph_unchecked(graph: Graph) -> Self {
+        DataGraph { graph }
+    }
+
+    /// Wrap a raw [`Graph`], validating that no node or edge carries a
+    /// variable label. Used by deserializers that reconstruct graphs
+    /// id-for-id.
+    pub fn try_from_graph(graph: Graph) -> Result<Self> {
+        for n in graph.nodes() {
+            let label = graph.node_label(n);
+            if !graph.vocab().is_constant(label) {
+                return Err(crate::RdfError::VariableInDataGraph(
+                    graph.vocab().term(label).to_string(),
+                ));
+            }
+        }
+        for (_, e) in graph.edges() {
+            if !graph.vocab().is_constant(e.label) {
+                return Err(crate::RdfError::VariableInDataGraph(
+                    graph.vocab().term(e.label).to_string(),
+                ));
+            }
+        }
+        Ok(DataGraph { graph })
+    }
+
+    /// The underlying labelled directed graph.
+    #[inline]
+    pub fn as_graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges (= number of triples).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The label vocabulary.
+    #[inline]
+    pub fn vocab(&self) -> &Vocabulary {
+        self.graph.vocab()
+    }
+
+    /// The interned label of a node.
+    #[inline]
+    pub fn node_label(&self, n: NodeId) -> LabelId {
+        self.graph.node_label(n)
+    }
+
+    /// The owned term labelling a node.
+    #[inline]
+    pub fn node_term(&self, n: NodeId) -> Term {
+        self.graph.node_term(n)
+    }
+
+    /// The edge record for an id.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.graph.edge(e)
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes()
+    }
+
+    /// Iterate over all `(EdgeId, Edge)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        self.graph.edges()
+    }
+
+    /// Source nodes (no incoming edges).
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.graph.sources()
+    }
+
+    /// Sink nodes (no outgoing edges).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.graph.sinks()
+    }
+
+    /// Append ground triples to an existing data graph, following the
+    /// builder's identity rules (IRIs/blanks deduplicate against
+    /// existing nodes; literals deduplicate against the *first* node
+    /// carrying the label). Returns the new edge ids, in input order.
+    ///
+    /// # Errors
+    /// Fails on a variable term; the graph is left with any triples
+    /// added before the failing one (callers treating the batch as
+    /// atomic should validate first with [`Triple::has_variable`]).
+    pub fn insert_triples(&mut self, triples: &[Triple]) -> Result<Vec<EdgeId>> {
+        // Rebuild the label → node identity map (one scan per batch).
+        let mut by_label: crate::FxHashMap<LabelId, NodeId> = crate::FxHashMap::default();
+        for n in self.graph.nodes() {
+            by_label.entry(self.graph.node_label(n)).or_insert(n);
+        }
+        let mut resolve = |graph: &mut Graph, term: &Term| -> Result<NodeId> {
+            if term.is_variable() {
+                return Err(crate::RdfError::VariableInDataGraph(term.to_string()));
+            }
+            let label = graph.vocab_mut().intern(term);
+            if let Some(&existing) = by_label.get(&label) {
+                return Ok(existing);
+            }
+            let id = graph.add_node_with_label(label)?;
+            by_label.insert(label, id);
+            Ok(id)
+        };
+        let mut edge_ids = Vec::with_capacity(triples.len());
+        for t in triples {
+            if t.predicate.is_variable() {
+                return Err(crate::RdfError::VariableInDataGraph(
+                    t.predicate.to_string(),
+                ));
+            }
+            let s = resolve(&mut self.graph, &t.subject)?;
+            let o = resolve(&mut self.graph, &t.object)?;
+            edge_ids.push(self.graph.add_edge(s, o, &t.predicate)?);
+        }
+        Ok(edge_ids)
+    }
+
+    /// Reconstruct the triples of this graph (order = edge insertion).
+    pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.graph.edges().map(|(_, e)| {
+            Triple::new(
+                self.graph.node_term(e.from),
+                self.graph.vocab().term(e.label),
+                self.graph.node_term(e.to),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_triples_roundtrip() {
+        let triples = vec![
+            Triple::parse("a", "p", "b"),
+            Triple::parse("b", "q", "\"lit\""),
+        ];
+        let g = DataGraph::from_triples(&triples).unwrap();
+        let back: Vec<Triple> = g.triples().collect();
+        assert_eq!(back, triples);
+    }
+
+    #[test]
+    fn rejects_variables() {
+        let triples = vec![Triple::parse("?x", "p", "b")];
+        assert!(DataGraph::from_triples(&triples).is_err());
+    }
+
+    #[test]
+    fn insert_triples_dedups_against_existing_nodes() {
+        let mut g = DataGraph::from_triples(&[Triple::parse("a", "p", "b")]).unwrap();
+        let edges = g
+            .insert_triples(&[Triple::parse("b", "q", "c"), Triple::parse("a", "q", "c")])
+            .unwrap();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(g.node_count(), 3); // a, b reused; c added once
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn insert_triples_rejects_variables() {
+        let mut g = DataGraph::from_triples(&[Triple::parse("a", "p", "b")]).unwrap();
+        assert!(g.insert_triples(&[Triple::parse("?x", "p", "b")]).is_err());
+        assert!(g.insert_triples(&[Triple::parse("a", "?p", "b")]).is_err());
+    }
+
+    #[test]
+    fn insert_matches_building_in_one_go() {
+        let first = [
+            Triple::parse("a", "p", "b"),
+            Triple::parse("b", "q", "\"v\""),
+        ];
+        let second = [
+            Triple::parse("c", "r", "a"),
+            Triple::parse("b", "q", "\"w\""),
+        ];
+        let mut incremental = DataGraph::from_triples(&first).unwrap();
+        incremental.insert_triples(&second).unwrap();
+        let all: Vec<Triple> = first.iter().chain(second.iter()).cloned().collect();
+        let oneshot = DataGraph::from_triples(&all).unwrap();
+        assert_eq!(
+            incremental.as_graph().to_sorted_lines(),
+            oneshot.as_graph().to_sorted_lines()
+        );
+    }
+
+    #[test]
+    fn delegation_matches_graph() {
+        let g = DataGraph::from_triples(&[Triple::parse("a", "p", "b")]).unwrap();
+        assert_eq!(g.node_count(), g.as_graph().node_count());
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+}

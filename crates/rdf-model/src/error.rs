@@ -1,0 +1,77 @@
+//! Error types for the RDF model layer.
+
+use std::fmt;
+
+/// Errors raised while building or parsing RDF data and query graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A parser encountered malformed input.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// A graph operation referenced a node id that does not exist.
+    UnknownNode(u32),
+    /// A graph operation referenced an edge id that does not exist.
+    UnknownEdge(u32),
+    /// A variable term was used where only constants are allowed
+    /// (e.g. inside a [`crate::DataGraph`]).
+    VariableInDataGraph(String),
+    /// The graph exceeded an implementation limit (e.g. more than
+    /// `u32::MAX` nodes).
+    CapacityExceeded(&'static str),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            RdfError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            RdfError::UnknownEdge(id) => write!(f, "unknown edge id {id}"),
+            RdfError::VariableInDataGraph(name) => {
+                write!(f, "variable {name} is not allowed in a data graph")
+            }
+            RdfError::CapacityExceeded(what) => {
+                write!(f, "capacity exceeded: too many {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, RdfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = RdfError::Parse {
+            line: 3,
+            message: "missing dot".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: missing dot");
+        assert_eq!(RdfError::UnknownNode(7).to_string(), "unknown node id 7");
+        assert_eq!(
+            RdfError::VariableInDataGraph("?x".into()).to_string(),
+            "variable ?x is not allowed in a data graph"
+        );
+        assert_eq!(
+            RdfError::CapacityExceeded("nodes").to_string(),
+            "capacity exceeded: too many nodes"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(RdfError::UnknownEdge(0));
+    }
+}

@@ -1,0 +1,324 @@
+//! A line-oriented N-Triples parser and serializer.
+//!
+//! Supports the core N-Triples grammar: `<iri>`, `_:blank`, and
+//! `"literal"` terms with `\" \\ \n \r \t` escapes. Language tags
+//! (`@en`) and datatype annotations (`^^<iri>`) are *accepted and
+//! discarded*: the similarity measure compares plain labels only, so
+//! annotations carry no signal here. Comment lines (`#`) and blank lines
+//! are skipped.
+
+use crate::error::{RdfError, Result};
+use crate::term::Term;
+use crate::triple::Triple;
+
+/// Parse an N-Triples document into a list of triples.
+pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>> {
+    let mut triples = Vec::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        triples.push(parse_line(line, lineno + 1)?);
+    }
+    Ok(triples)
+}
+
+/// Serialize triples as N-Triples text. IRIs are wrapped in `<>`,
+/// literals quoted and escaped, blanks rendered `_:name`.
+///
+/// # Panics
+/// Panics if a triple contains a variable — N-Triples has no variable
+/// syntax; serialize query graphs with their `Display` form instead.
+pub fn to_ntriples<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> String {
+    let mut out = String::new();
+    for t in triples {
+        out.push_str(&term_to_nt(&t.subject));
+        out.push(' ');
+        out.push_str(&term_to_nt(&t.predicate));
+        out.push(' ');
+        out.push_str(&term_to_nt(&t.object));
+        out.push_str(" .\n");
+    }
+    out
+}
+
+fn term_to_nt(term: &Term) -> String {
+    match term {
+        Term::Iri(s) => format!("<{s}>"),
+        Term::Blank(s) => format!("_:{s}"),
+        Term::Literal(s) => format!("\"{}\"", escape_literal(s)),
+        Term::Variable(v) => panic!("variable ?{v} cannot be serialized as N-Triples"),
+    }
+}
+
+fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn parse_line(line: &str, lineno: usize) -> Result<Triple> {
+    let mut cursor = Cursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+        line: lineno,
+    };
+    let subject = cursor.term()?;
+    let predicate = cursor.term()?;
+    let object = cursor.term()?;
+    cursor.expect_dot()?;
+    Ok(Triple::new(subject, predicate, object))
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn error(&self, message: impl Into<String>) -> RdfError {
+        RdfError::Parse {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && (self.bytes[self.pos] as char).is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => self.iri(),
+            Some(b'_') => self.blank(),
+            Some(b'"') => self.literal(),
+            Some(other) => Err(self.error(format!("expected term, found {:?}", other as char))),
+            None => Err(self.error("unexpected end of line; expected term")),
+        }
+    }
+
+    fn iri(&mut self) -> Result<Term> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'>' {
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in IRI"))?;
+                self.pos += 1;
+                return Ok(Term::Iri(text.to_string()));
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated IRI (missing '>')"))
+    }
+
+    fn blank(&mut self) -> Result<Term> {
+        if !self.bytes[self.pos..].starts_with(b"_:") {
+            return Err(self.error("expected blank node '_:'"));
+        }
+        self.pos += 2;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if (b as char).is_ascii_whitespace() || b == b'.' {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("empty blank node label"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid UTF-8 in blank node label"))?;
+        Ok(Term::Blank(text.to_string()))
+    }
+
+    fn literal(&mut self) -> Result<Term> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated literal (missing '\"')")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => value.push('"'),
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'n') => value.push('\n'),
+                        Some(b'r') => value.push('\r'),
+                        Some(b't') => value.push('\t'),
+                        Some(other) => {
+                            return Err(
+                                self.error(format!("unsupported escape '\\{}'", other as char))
+                            )
+                        }
+                        None => return Err(self.error("dangling escape at end of literal")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8 in literal"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    value.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+        // Accept and discard a language tag or datatype annotation.
+        if self.peek() == Some(b'@') {
+            self.pos += 1;
+            while let Some(b) = self.peek() {
+                if (b as char).is_ascii_whitespace() {
+                    break;
+                }
+                self.pos += 1;
+            }
+        } else if self.bytes[self.pos..].starts_with(b"^^") {
+            self.pos += 2;
+            if self.peek() != Some(b'<') {
+                return Err(self.error("expected '<' after '^^'"));
+            }
+            self.iri()?; // consumed, discarded
+        }
+        Ok(Term::Literal(value))
+    }
+
+    fn expect_dot(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.peek() != Some(b'.') {
+            return Err(self.error("expected terminating '.'"));
+        }
+        self.pos += 1;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.error("trailing content after '.'"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_document() {
+        let doc = "\
+# US Congress fragment
+<CarlaBunes> <sponsor> <A0056> .
+<A0056> <aTo> <B1432> .
+<B1432> <subject> \"Health Care\" .
+";
+        let triples = parse_ntriples(doc).unwrap();
+        assert_eq!(triples.len(), 3);
+        assert_eq!(triples[0].subject, Term::iri("CarlaBunes"));
+        assert_eq!(triples[2].object, Term::literal("Health Care"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let triples = vec![
+            Triple::new(Term::iri("a"), Term::iri("p"), Term::literal("x \"y\" \\z")),
+            Triple::new(Term::iri("a"), Term::iri("q"), Term::Blank("b0".into())),
+            Triple::new(
+                Term::Blank("b0".into()),
+                Term::iri("r"),
+                Term::literal("line\nbreak\ttab"),
+            ),
+        ];
+        let text = to_ntriples(&triples);
+        let parsed = parse_ntriples(&text).unwrap();
+        assert_eq!(parsed, triples);
+    }
+
+    #[test]
+    fn language_tag_discarded() {
+        let triples = parse_ntriples("<a> <p> \"chat\"@en .").unwrap();
+        assert_eq!(triples[0].object, Term::literal("chat"));
+    }
+
+    #[test]
+    fn datatype_discarded() {
+        let triples =
+            parse_ntriples("<a> <p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .").unwrap();
+        assert_eq!(triples[0].object, Term::literal("5"));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let triples = parse_ntriples("\n# comment\n\n<a> <p> <b> .\n\n").unwrap();
+        assert_eq!(triples.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = parse_ntriples("<a> <p> <b> .\n<a> <p> .").unwrap_err();
+        match err {
+            RdfError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        assert!(parse_ntriples("<a> <p> <b>").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_ntriples("<a> <p> <b> . extra").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_iri() {
+        assert!(parse_ntriples("<a <p> <b> .").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_literal() {
+        assert!(parse_ntriples("<a> <p> \"oops .").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_escape() {
+        assert!(parse_ntriples("<a> <p> \"bad\\qescape\" .").is_err());
+    }
+
+    #[test]
+    fn unicode_literals() {
+        let triples = parse_ntriples("<a> <p> \"héllo wörld ☃\" .").unwrap();
+        assert_eq!(triples[0].object, Term::literal("héllo wörld ☃"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be serialized")]
+    fn serializing_variables_panics() {
+        let t = Triple::parse("?x", "p", "b");
+        let _ = to_ntriples(std::iter::once(&t));
+    }
+}

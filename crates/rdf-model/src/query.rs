@@ -1,0 +1,183 @@
+//! [`QueryGraph`] — the paper's Definition 2: a data graph whose node
+//! labels may additionally be variables (`?v1`) and whose edge labels may
+//! be variables too.
+
+use crate::builder::QueryGraphBuilder;
+use crate::error::Result;
+use crate::graph::{Edge, EdgeId, Graph, NodeId};
+use crate::interner::{LabelId, Vocabulary};
+use crate::term::{Term, TermKind};
+use crate::triple::Triple;
+
+/// An RDF query graph: constants plus variables.
+#[derive(Debug, Clone, Default)]
+pub struct QueryGraph {
+    graph: Graph,
+    /// Interned labels that are variables, in first-occurrence order.
+    variables: Vec<LabelId>,
+}
+
+impl QueryGraph {
+    /// Start building a query graph.
+    pub fn builder() -> QueryGraphBuilder {
+        QueryGraphBuilder::new()
+    }
+
+    /// Build from a sequence of triple patterns.
+    pub fn from_triples<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> Result<Self> {
+        let mut b = QueryGraphBuilder::new();
+        b.extend(triples)?;
+        Ok(b.build())
+    }
+
+    /// Wrap a graph, collecting its variable labels (crate-internal).
+    pub(crate) fn from_graph(graph: Graph) -> Self {
+        let variables = graph
+            .vocab()
+            .iter()
+            .filter(|&(_, kind, _)| kind == TermKind::Variable)
+            .map(|(id, _, _)| id)
+            .collect();
+        QueryGraph { graph, variables }
+    }
+
+    /// The underlying labelled directed graph.
+    #[inline]
+    pub fn as_graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges (= number of triple patterns).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The label vocabulary.
+    #[inline]
+    pub fn vocab(&self) -> &Vocabulary {
+        self.graph.vocab()
+    }
+
+    /// The interned label of a node.
+    #[inline]
+    pub fn node_label(&self, n: NodeId) -> LabelId {
+        self.graph.node_label(n)
+    }
+
+    /// The owned term labelling a node.
+    #[inline]
+    pub fn node_term(&self, n: NodeId) -> Term {
+        self.graph.node_term(n)
+    }
+
+    /// The edge record for an id.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.graph.edge(e)
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes()
+    }
+
+    /// Iterate over all `(EdgeId, Edge)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        self.graph.edges()
+    }
+
+    /// The distinct variable labels of this query, in first-occurrence
+    /// order.
+    #[inline]
+    pub fn variables(&self) -> &[LabelId] {
+        &self.variables
+    }
+
+    /// Number of distinct variables.
+    #[inline]
+    pub fn variable_count(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// `true` if the query has no variables (a fully ground pattern).
+    #[inline]
+    pub fn is_ground(&self) -> bool {
+        self.variables.is_empty()
+    }
+
+    /// `true` if `label` is one of this query's variables.
+    #[inline]
+    pub fn is_variable(&self, label: LabelId) -> bool {
+        self.graph.vocab().kind(label) == TermKind::Variable
+    }
+
+    /// Reconstruct the triple patterns of this query.
+    pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.graph.edges().map(|(_, e)| {
+            Triple::new(
+                self.graph.node_term(e.from),
+                self.graph.vocab().term(e.label),
+                self.graph.node_term(e.to),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's query Q1 (Figure 1b).
+    fn q1() -> QueryGraph {
+        let mut b = QueryGraph::builder();
+        b.triple_str("CarlaBunes", "sponsor", "?v1").unwrap();
+        b.triple_str("?v1", "aTo", "?v2").unwrap();
+        b.triple_str("?v2", "subject", "\"HealthCare\"").unwrap();
+        b.triple_str("?v3", "sponsor", "?v2").unwrap();
+        b.triple_str("?v3", "gender", "\"Male\"").unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn q1_shape() {
+        let q = q1();
+        assert_eq!(q.node_count(), 6); // CB, ?v1, ?v2, HC, ?v3, Male
+        assert_eq!(q.edge_count(), 5);
+        assert_eq!(q.variable_count(), 3);
+        assert!(!q.is_ground());
+    }
+
+    #[test]
+    fn variables_in_occurrence_order() {
+        let q = q1();
+        let names: Vec<String> = q
+            .variables()
+            .iter()
+            .map(|&v| q.vocab().lexical(v).to_string())
+            .collect();
+        assert_eq!(names, vec!["v1", "v2", "v3"]);
+    }
+
+    #[test]
+    fn ground_query() {
+        let q = QueryGraph::from_triples(&[Triple::parse("a", "p", "b")]).unwrap();
+        assert!(q.is_ground());
+        assert_eq!(q.variable_count(), 0);
+    }
+
+    #[test]
+    fn triples_roundtrip() {
+        let q = q1();
+        let q2 = QueryGraph::from_triples(&q.triples().collect::<Vec<_>>()).unwrap();
+        assert_eq!(q2.node_count(), q.node_count());
+        assert_eq!(q2.edge_count(), q.edge_count());
+        assert_eq!(q2.variable_count(), q.variable_count());
+    }
+}

@@ -1,0 +1,373 @@
+//! A SPARQL basic-graph-pattern parser.
+//!
+//! The paper's workloads are "12 queries in SPARQL of different
+//! complexities" — plain conjunctive triple patterns. This module parses
+//! exactly that fragment:
+//!
+//! ```sparql
+//! PREFIX ub: <http://lubm.example.org/>
+//! SELECT ?x ?y WHERE {
+//!   ?x ub:advisor ?y .
+//!   ?y ub:worksFor <Department0> .
+//!   ?x ub:name "Alice" .
+//! }
+//! ```
+//!
+//! Supported: `PREFIX` declarations, `SELECT` with an explicit variable
+//! list or `*`, a `WHERE` block of triple patterns separated by `.`,
+//! terms as `<iri>`, `prefix:name`, `?var`, `"literal"`, or bare
+//! identifiers (treated as IRIs, convenient for tests). Not supported
+//! (out of the paper's scope): `FILTER`, `OPTIONAL`, `UNION`, property
+//! paths, blank-node syntax sugar.
+
+use crate::error::{RdfError, Result};
+use crate::hash::FxHashMap;
+use crate::query::QueryGraph;
+use crate::term::Term;
+use crate::triple::Triple;
+
+/// A parsed SPARQL query: the projection list and the basic graph
+/// pattern, plus the [`QueryGraph`] assembled from the pattern.
+#[derive(Debug, Clone)]
+pub struct SparqlQuery {
+    /// Projected variable names (without `?`); empty means `SELECT *`.
+    pub projection: Vec<String>,
+    /// The triple patterns of the WHERE block, in source order.
+    pub patterns: Vec<Triple>,
+    /// The query graph built from `patterns`.
+    pub graph: QueryGraph,
+}
+
+/// Parse a SPARQL SELECT query over a basic graph pattern.
+pub fn parse_sparql(input: &str) -> Result<SparqlQuery> {
+    let mut tokens = tokenize(input)?;
+    tokens.reverse(); // pop() from the front
+
+    let mut prefixes: FxHashMap<String, String> = FxHashMap::default();
+    loop {
+        match tokens.last() {
+            Some(Token::Keyword(k)) if k == "PREFIX" => {
+                tokens.pop();
+                let name = match tokens.pop() {
+                    Some(Token::PrefixedName(p, n)) if n.is_empty() => p,
+                    other => return parse_err(format!("expected prefix name, got {other:?}")),
+                };
+                let iri = match tokens.pop() {
+                    Some(Token::Iri(iri)) => iri,
+                    other => {
+                        return parse_err(format!("expected <iri> after PREFIX, got {other:?}"))
+                    }
+                };
+                prefixes.insert(name, iri);
+            }
+            _ => break,
+        }
+    }
+
+    expect_keyword(&mut tokens, "SELECT")?;
+    let mut projection = Vec::new();
+    loop {
+        match tokens.last() {
+            Some(Token::Variable(_)) => {
+                if let Some(Token::Variable(v)) = tokens.pop() {
+                    projection.push(v);
+                }
+            }
+            Some(Token::Star) => {
+                tokens.pop();
+                break;
+            }
+            Some(Token::Keyword(k)) if k == "WHERE" => break,
+            other => return parse_err(format!("expected ?var, * or WHERE, got {other:?}")),
+        }
+    }
+
+    expect_keyword(&mut tokens, "WHERE")?;
+    match tokens.pop() {
+        Some(Token::OpenBrace) => {}
+        other => return parse_err(format!("expected '{{' after WHERE, got {other:?}")),
+    }
+
+    let mut patterns = Vec::new();
+    loop {
+        match tokens.last() {
+            Some(Token::CloseBrace) => {
+                tokens.pop();
+                break;
+            }
+            None => return parse_err("unexpected end of query; missing '}'".to_string()),
+            _ => {
+                let s = term(&mut tokens, &prefixes)?;
+                let p = term(&mut tokens, &prefixes)?;
+                let o = term(&mut tokens, &prefixes)?;
+                patterns.push(Triple::new(s, p, o));
+                // Triple separator: '.', optional before '}'.
+                if matches!(tokens.last(), Some(Token::Dot)) {
+                    tokens.pop();
+                }
+            }
+        }
+    }
+    if let Some(tok) = tokens.pop() {
+        return parse_err(format!("trailing content after '}}': {tok:?}"));
+    }
+
+    let graph = QueryGraph::from_triples(&patterns)?;
+    Ok(SparqlQuery {
+        projection,
+        patterns,
+        graph,
+    })
+}
+
+fn parse_err<T>(message: String) -> Result<T> {
+    Err(RdfError::Parse { line: 0, message })
+}
+
+fn expect_keyword(tokens: &mut Vec<Token>, kw: &str) -> Result<()> {
+    match tokens.pop() {
+        Some(Token::Keyword(k)) if k == kw => Ok(()),
+        other => parse_err(format!("expected {kw}, got {other:?}")),
+    }
+}
+
+fn term(tokens: &mut Vec<Token>, prefixes: &FxHashMap<String, String>) -> Result<Term> {
+    match tokens.pop() {
+        Some(Token::Iri(iri)) => Ok(Term::Iri(iri)),
+        Some(Token::Variable(v)) => Ok(Term::Variable(v)),
+        Some(Token::Literal(s)) => Ok(Term::Literal(s)),
+        Some(Token::PrefixedName(p, n)) => match prefixes.get(&p) {
+            Some(base) => Ok(Term::Iri(format!("{base}{n}"))),
+            None if n.is_empty() => Ok(Term::Iri(p)), // bare identifier
+            None => parse_err(format!("undeclared prefix '{p}:'")),
+        },
+        other => parse_err(format!("expected term, got {other:?}")),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Keyword(String),
+    Iri(String),
+    Variable(String),
+    Literal(String),
+    /// `name:local`; `local` may be empty (then it's a bare identifier or
+    /// a prefix declaration name).
+    PrefixedName(String, String),
+    OpenBrace,
+    CloseBrace,
+    Dot,
+    Star,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '{' => {
+                chars.next();
+                tokens.push(Token::OpenBrace);
+            }
+            '}' => {
+                chars.next();
+                tokens.push(Token::CloseBrace);
+            }
+            '.' => {
+                chars.next();
+                tokens.push(Token::Dot);
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token::Star);
+            }
+            '<' => {
+                chars.next();
+                let mut iri = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '>' {
+                        closed = true;
+                        break;
+                    }
+                    iri.push(c);
+                }
+                if !closed {
+                    return parse_err("unterminated IRI".to_string());
+                }
+                tokens.push(Token::Iri(iri));
+            }
+            '?' | '$' => {
+                chars.next();
+                let name = take_identifier(&mut chars);
+                if name.is_empty() {
+                    return parse_err("empty variable name".to_string());
+                }
+                tokens.push(Token::Variable(name));
+            }
+            '"' => {
+                chars.next();
+                let mut value = String::new();
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some('"') => value.push('"'),
+                            Some('\\') => value.push('\\'),
+                            Some('n') => value.push('\n'),
+                            Some('t') => value.push('\t'),
+                            other => {
+                                return parse_err(format!("unsupported escape {other:?}"));
+                            }
+                        },
+                        other => value.push(other),
+                    }
+                }
+                if !closed {
+                    return parse_err("unterminated literal".to_string());
+                }
+                tokens.push(Token::Literal(value));
+            }
+            c if is_identifier_char(c) => {
+                let word = take_identifier(&mut chars);
+                let upper = word.to_ascii_uppercase();
+                if upper == "SELECT" || upper == "WHERE" || upper == "PREFIX" {
+                    tokens.push(Token::Keyword(upper));
+                } else if chars.peek() == Some(&':') {
+                    chars.next();
+                    let local = take_identifier(&mut chars);
+                    tokens.push(Token::PrefixedName(word, local));
+                } else {
+                    tokens.push(Token::PrefixedName(word, String::new()));
+                }
+            }
+            other => {
+                return parse_err(format!("unexpected character {other:?}"));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn is_identifier_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-' || c == '/'
+}
+
+fn take_identifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
+    let mut out = String::new();
+    while let Some(&c) = chars.peek() {
+        if is_identifier_char(c) {
+            out.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_q1_style_query() {
+        let q = parse_sparql(
+            r#"SELECT ?v1 ?v2 ?v3 WHERE {
+                <CarlaBunes> <sponsor> ?v1 .
+                ?v1 <aTo> ?v2 .
+                ?v2 <subject> "Health Care" .
+                ?v3 <sponsor> ?v2 .
+                ?v3 <gender> "Male" .
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(q.projection, vec!["v1", "v2", "v3"]);
+        assert_eq!(q.patterns.len(), 5);
+        assert_eq!(q.graph.node_count(), 6);
+        assert_eq!(q.graph.variable_count(), 3);
+    }
+
+    #[test]
+    fn prefix_expansion() {
+        let q = parse_sparql(
+            "PREFIX ub: <http://lubm.org/> SELECT ?x WHERE { ?x ub:advisor ub:Prof0 . }",
+        )
+        .unwrap();
+        assert_eq!(
+            q.patterns[0].predicate,
+            Term::iri("http://lubm.org/advisor")
+        );
+        assert_eq!(q.patterns[0].object, Term::iri("http://lubm.org/Prof0"));
+    }
+
+    #[test]
+    fn select_star() {
+        let q = parse_sparql("SELECT * WHERE { ?x <p> ?y . }").unwrap();
+        assert!(q.projection.is_empty());
+        assert_eq!(q.graph.variable_count(), 2);
+    }
+
+    #[test]
+    fn bare_identifiers_are_iris() {
+        let q = parse_sparql("SELECT ?x WHERE { ?x sponsor CarlaBunes . }").unwrap();
+        assert_eq!(q.patterns[0].predicate, Term::iri("sponsor"));
+        assert_eq!(q.patterns[0].object, Term::iri("CarlaBunes"));
+    }
+
+    #[test]
+    fn final_dot_optional() {
+        let q = parse_sparql("SELECT ?x WHERE { ?x <p> <a> }").unwrap();
+        assert_eq!(q.patterns.len(), 1);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let q = parse_sparql("SELECT ?x WHERE { # match anything\n ?x <p> <a> . }").unwrap();
+        assert_eq!(q.patterns.len(), 1);
+    }
+
+    #[test]
+    fn undeclared_prefix_rejected() {
+        assert!(parse_sparql("SELECT ?x WHERE { ?x nope:advisor <a> . }").is_err());
+    }
+
+    #[test]
+    fn missing_brace_rejected() {
+        assert!(parse_sparql("SELECT ?x WHERE { ?x <p> <a> .").is_err());
+    }
+
+    #[test]
+    fn variable_edge_labels() {
+        // Query Q2 of the paper uses a variable edge ?e1.
+        let q = parse_sparql(r#"SELECT ?v2 WHERE { ?v3 ?e1 ?v2 . ?v2 <subject> "Health Care" . }"#)
+            .unwrap();
+        assert_eq!(q.graph.variable_count(), 3);
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_sparql("SELECT ?x WHERE { ?x <p> <a> . } garbage").is_err());
+    }
+
+    #[test]
+    fn dollar_variables_accepted() {
+        let q = parse_sparql("SELECT $x WHERE { $x <p> <a> . }").unwrap();
+        assert_eq!(q.projection, vec!["x"]);
+    }
+}

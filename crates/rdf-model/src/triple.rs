@@ -1,0 +1,75 @@
+//! RDF triples: the exchange format between parsers, generators and
+//! graph builders.
+
+use crate::term::Term;
+use std::fmt;
+
+/// A single RDF statement `(subject, predicate, object)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// The subject term (an IRI or blank node in data; may be a variable
+    /// in query patterns).
+    pub subject: Term,
+    /// The predicate term (an IRI; may be a variable in query patterns).
+    pub predicate: Term,
+    /// The object term (IRI, literal or blank node; may be a variable in
+    /// query patterns).
+    pub object: Term,
+}
+
+impl Triple {
+    /// Construct a triple from three terms.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// Parse each component with [`Term::parse`] — handy in tests and
+    /// generators: `Triple::parse("CarlaBunes", "sponsor", "A0056")`.
+    pub fn parse(subject: &str, predicate: &str, object: &str) -> Self {
+        Triple {
+            subject: Term::parse(subject),
+            predicate: Term::parse(predicate),
+            object: Term::parse(object),
+        }
+    }
+
+    /// `true` if any component is a variable.
+    pub fn has_variable(&self) -> bool {
+        self.subject.is_variable() || self.predicate.is_variable() || self.object.is_variable()
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_components() {
+        let t = Triple::parse("?v1", "sponsor", "\"Health Care\"");
+        assert!(t.subject.is_variable());
+        assert_eq!(t.predicate, Term::iri("sponsor"));
+        assert_eq!(t.object, Term::literal("Health Care"));
+        assert!(t.has_variable());
+    }
+
+    #[test]
+    fn display_is_ntriples_like() {
+        let t = Triple::parse("a", "b", "\"c\"");
+        assert_eq!(t.to_string(), "a b \"c\" .");
+    }
+
+    #[test]
+    fn ground_triple_has_no_variable() {
+        assert!(!Triple::parse("a", "b", "c").has_variable());
+    }
+}

@@ -1,0 +1,526 @@
+//! A Turtle parser for the commonly used subset.
+//!
+//! Supported: `@prefix`/`@base` directives (and SPARQL-style `PREFIX`/
+//! `BASE`), `<iri>` and `prefix:local` terms, the `a` keyword
+//! (rdf:type), predicate lists (`;`), object lists (`,`), labelled
+//! blank nodes (`_:b`), quoted literals with `\"`-style escapes,
+//! language tags and datatype annotations (accepted, discarded — as in
+//! [`crate::ntriples`]), numeric and boolean literal shorthands, and
+//! `#` comments.
+//!
+//! Not supported (rare in bulk data): anonymous blank nodes `[...]`,
+//! collections `(...)`, multiline `"""` literals.
+
+use crate::error::{RdfError, Result};
+use crate::hash::FxHashMap;
+use crate::term::Term;
+use crate::triple::Triple;
+
+/// Parse a Turtle document into triples.
+pub fn parse_turtle(input: &str) -> Result<Vec<Triple>> {
+    Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+        prefixes: FxHashMap::default(),
+        base: String::new(),
+        triples: Vec::new(),
+    }
+    .document()
+}
+
+const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Iri(String),
+    PrefixedName(String, String),
+    Blank(String),
+    Literal(String),
+    A,
+    Dot,
+    Semicolon,
+    Comma,
+    PrefixDirective,
+    BaseDirective,
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    prefixes: FxHashMap<String, String>,
+    base: String,
+    triples: Vec<Triple>,
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> RdfError {
+        let line = self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|&(_, line)| line)
+            .unwrap_or(0);
+        RdfError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_dot(&mut self) -> Result<()> {
+        match self.next() {
+            Some(Token::Dot) => Ok(()),
+            other => Err(self.error(format!("expected '.', got {other:?}"))),
+        }
+    }
+
+    fn document(mut self) -> Result<Vec<Triple>> {
+        while self.peek().is_some() {
+            match self.peek() {
+                Some(Token::PrefixDirective) => {
+                    self.pos += 1;
+                    let (name, expect_final_dot) = match self.next() {
+                        Some(Token::PrefixedName(p, local)) if local.is_empty() => (p, true),
+                        other => {
+                            return Err(self.error(format!("expected prefix name, got {other:?}")))
+                        }
+                    };
+                    let iri = match self.next() {
+                        Some(Token::Iri(iri)) => iri,
+                        other => return Err(self.error(format!("expected <iri>, got {other:?}"))),
+                    };
+                    self.prefixes.insert(name, iri);
+                    // `@prefix` requires a final dot; SPARQL `PREFIX`
+                    // forbids it — accept both by consuming an optional
+                    // dot.
+                    if expect_final_dot && matches!(self.peek(), Some(Token::Dot)) {
+                        self.pos += 1;
+                    }
+                }
+                Some(Token::BaseDirective) => {
+                    self.pos += 1;
+                    match self.next() {
+                        Some(Token::Iri(iri)) => self.base = iri,
+                        other => return Err(self.error(format!("expected <iri>, got {other:?}"))),
+                    }
+                    if matches!(self.peek(), Some(Token::Dot)) {
+                        self.pos += 1;
+                    }
+                }
+                _ => self.statement()?,
+            }
+        }
+        Ok(self.triples)
+    }
+
+    fn statement(&mut self) -> Result<()> {
+        let subject = self.term()?;
+        loop {
+            let predicate = self.predicate()?;
+            loop {
+                let object = self.term()?;
+                self.triples
+                    .push(Triple::new(subject.clone(), predicate.clone(), object));
+                match self.peek() {
+                    Some(Token::Comma) => {
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                Some(Token::Semicolon) => {
+                    self.pos += 1;
+                    // Trailing semicolon before '.' is legal Turtle.
+                    if matches!(self.peek(), Some(Token::Dot)) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.expect_dot()
+    }
+
+    fn predicate(&mut self) -> Result<Term> {
+        match self.peek() {
+            Some(Token::A) => {
+                self.pos += 1;
+                Ok(Term::Iri(RDF_TYPE.to_string()))
+            }
+            _ => self.term(),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        match self.next() {
+            Some(Token::Iri(iri)) => Ok(Term::Iri(self.resolve(&iri))),
+            Some(Token::PrefixedName(prefix, local)) => match self.prefixes.get(&prefix) {
+                Some(base) => Ok(Term::Iri(format!("{base}{local}"))),
+                None => Err(self.error(format!("undeclared prefix '{prefix}:'"))),
+            },
+            Some(Token::Blank(b)) => Ok(Term::Blank(b)),
+            Some(Token::Literal(s)) => Ok(Term::Literal(s)),
+            other => Err(self.error(format!("expected term, got {other:?}"))),
+        }
+    }
+
+    /// Resolve against `@base` for relative IRIs (a pragmatic
+    /// concatenation; full RFC 3986 resolution is out of scope).
+    fn resolve(&self, iri: &str) -> String {
+        if self.base.is_empty() || iri.contains("://") || iri.starts_with("urn:") {
+            iri.to_string()
+        } else {
+            format!("{}{}", self.base, iri)
+        }
+    }
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Token, usize)>> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    let err = |line: usize, message: String| RdfError::Parse { line, message };
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '.' => {
+                chars.next();
+                tokens.push((Token::Dot, line));
+            }
+            ';' => {
+                chars.next();
+                tokens.push((Token::Semicolon, line));
+            }
+            ',' => {
+                chars.next();
+                tokens.push((Token::Comma, line));
+            }
+            '<' => {
+                chars.next();
+                let mut iri = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '>' {
+                        closed = true;
+                        break;
+                    }
+                    iri.push(c);
+                }
+                if !closed {
+                    return Err(err(line, "unterminated IRI".into()));
+                }
+                tokens.push((Token::Iri(iri), line));
+            }
+            '"' => {
+                chars.next();
+                let mut value = String::new();
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some('"') => value.push('"'),
+                            Some('\\') => value.push('\\'),
+                            Some('n') => value.push('\n'),
+                            Some('r') => value.push('\r'),
+                            Some('t') => value.push('\t'),
+                            other => {
+                                return Err(err(line, format!("unsupported escape {other:?}")))
+                            }
+                        },
+                        '\n' => return Err(err(line, "newline in literal".into())),
+                        other => value.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(err(line, "unterminated literal".into()));
+                }
+                // Discard @lang / ^^<dt> annotations.
+                if chars.peek() == Some(&'@') {
+                    chars.next();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_alphanumeric() || c == '-' {
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                } else if chars.peek() == Some(&'^') {
+                    chars.next();
+                    if chars.next() != Some('^') {
+                        return Err(err(line, "expected '^^'".into()));
+                    }
+                    match chars.peek() {
+                        Some('<') => {
+                            chars.next();
+                            let mut closed = false;
+                            for c in chars.by_ref() {
+                                if c == '>' {
+                                    closed = true;
+                                    break;
+                                }
+                            }
+                            if !closed {
+                                return Err(err(line, "unterminated datatype IRI".into()));
+                            }
+                        }
+                        _ => {
+                            // prefixed datatype: consume a name token.
+                            while let Some(&c) = chars.peek() {
+                                if c.is_alphanumeric() || c == ':' || c == '_' || c == '-' {
+                                    chars.next();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                tokens.push((Token::Literal(value), line));
+            }
+            '_' => {
+                chars.next();
+                if chars.next() != Some(':') {
+                    return Err(err(line, "expected '_:'".into()));
+                }
+                let name = take_name(&mut chars);
+                if name.is_empty() {
+                    return Err(err(line, "empty blank node label".into()));
+                }
+                tokens.push((Token::Blank(name), line));
+            }
+            '@' => {
+                chars.next();
+                let word = take_name(&mut chars);
+                match word.as_str() {
+                    "prefix" => tokens.push((Token::PrefixDirective, line)),
+                    "base" => tokens.push((Token::BaseDirective, line)),
+                    other => return Err(err(line, format!("unknown directive @{other}"))),
+                }
+            }
+            c if c.is_ascii_digit() || c == '+' || c == '-' => {
+                chars.next();
+                let mut number = String::from(c);
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit()
+                        || c == '.'
+                        || c == 'e'
+                        || c == 'E'
+                        || c == '+'
+                        || c == '-'
+                    {
+                        // A '.' followed by non-digit is the statement dot.
+                        if c == '.' {
+                            let mut ahead = chars.clone();
+                            ahead.next();
+                            if !ahead.peek().is_some_and(|d| d.is_ascii_digit()) {
+                                break;
+                            }
+                        }
+                        number.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push((Token::Literal(number), line));
+            }
+            c if is_name_char(c) => {
+                let word = take_name(&mut chars);
+                if chars.peek() == Some(&':') {
+                    chars.next();
+                    let local = take_name(&mut chars);
+                    tokens.push((Token::PrefixedName(word, local), line));
+                } else if word == "a" {
+                    tokens.push((Token::A, line));
+                } else if word == "true" || word == "false" {
+                    tokens.push((Token::Literal(word), line));
+                } else if word.eq_ignore_ascii_case("prefix") {
+                    tokens.push((Token::PrefixDirective, line));
+                } else if word.eq_ignore_ascii_case("base") {
+                    tokens.push((Token::BaseDirective, line));
+                } else {
+                    return Err(err(line, format!("bare word {word:?} is not Turtle")));
+                }
+            }
+            other => return Err(err(line, format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(tokens)
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+fn take_name(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
+    let mut out = String::new();
+    while let Some(&c) = chars.peek() {
+        if is_name_char(c) {
+            out.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_triples() {
+        let doc = r#"
+            @prefix ex: <http://example.org/> .
+            ex:CarlaBunes ex:sponsor ex:A0056 .
+            ex:A0056 ex:aTo ex:B1432 .
+        "#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples.len(), 2);
+        assert_eq!(
+            triples[0].subject,
+            Term::iri("http://example.org/CarlaBunes")
+        );
+    }
+
+    #[test]
+    fn predicate_and_object_lists() {
+        let doc = r#"
+            @prefix ex: <http://ex.org/> .
+            ex:s ex:p ex:o1 , ex:o2 ;
+                 ex:q "v" ;
+                 a ex:Thing .
+        "#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples.len(), 4);
+        assert_eq!(triples[3].predicate, Term::iri(RDF_TYPE));
+    }
+
+    #[test]
+    fn trailing_semicolon_is_legal() {
+        let doc = "@prefix e: <u:> . e:s e:p e:o ; .";
+        assert_eq!(parse_turtle(doc).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sparql_style_prefix() {
+        let doc = "PREFIX ex: <http://ex.org/>\nex:a ex:p ex:b .";
+        assert_eq!(parse_turtle(doc).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn base_resolution() {
+        let doc = "@base <http://ex.org/> . <a> <p> <b> .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].subject, Term::iri("http://ex.org/a"));
+        // Absolute IRIs pass through.
+        let doc = "@base <http://ex.org/> . <urn:x> <p> <http://y/> .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].subject, Term::iri("urn:x"));
+        assert_eq!(triples[0].object, Term::iri("http://y/"));
+    }
+
+    #[test]
+    fn literals_with_annotations() {
+        let doc = r#"
+            @prefix e: <u:> .
+            e:s e:p "plain" .
+            e:s e:p "tagged"@en .
+            e:s e:p "5"^^<http://www.w3.org/2001/XMLSchema#int> .
+            e:s e:p "7"^^e:num .
+            e:s e:p 42 .
+            e:s e:p -3.25 .
+            e:s e:p true .
+        "#;
+        let triples = parse_turtle(doc).unwrap();
+        let values: Vec<&str> = triples.iter().map(|t| t.object.lexical()).collect();
+        assert_eq!(
+            values,
+            vec!["plain", "tagged", "5", "7", "42", "-3.25", "true"]
+        );
+    }
+
+    #[test]
+    fn blank_nodes() {
+        let doc = "@prefix e: <u:> . _:b0 e:p _:b1 .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].subject, Term::Blank("b0".into()));
+        assert_eq!(triples[0].object, Term::Blank("b1".into()));
+    }
+
+    #[test]
+    fn comments_anywhere() {
+        let doc = "# header\n@prefix e: <u:> . # trailing\ne:a e:p e:b . # done";
+        assert_eq!(parse_turtle(doc).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn number_then_statement_dot() {
+        let doc = "@prefix e: <u:> . e:s e:p 42 .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].object, Term::literal("42"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let doc = "@prefix e: <u:> .\ne:s e:p ???";
+        match parse_turtle(doc) {
+            Err(RdfError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_prefix_rejected() {
+        assert!(parse_turtle("x:a x:p x:b .").is_err());
+    }
+
+    #[test]
+    fn missing_dot_rejected() {
+        assert!(parse_turtle("@prefix e: <u:> . e:a e:p e:b").is_err());
+    }
+
+    #[test]
+    fn roundtrip_into_data_graph() {
+        let doc = r#"
+            @prefix gov: <http://gov.example/> .
+            gov:CarlaBunes gov:sponsor gov:A0056 .
+            gov:A0056 gov:aTo gov:B1432 .
+            gov:B1432 gov:subject "Health Care" .
+        "#;
+        let triples = parse_turtle(doc).unwrap();
+        let graph = crate::DataGraph::from_triples(&triples).unwrap();
+        assert_eq!(graph.edge_count(), 3);
+    }
+}

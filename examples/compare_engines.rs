@@ -1,0 +1,64 @@
+//! Compare Sama against the three baseline systems (SAPPER, BOUNDED,
+//! DOGMA) on one workload: match counts and wall-clock per query.
+//!
+//! ```text
+//! cargo run --release --example compare_engines [triples]
+//! ```
+
+use sama::data::{lubm, lubm_workload};
+use sama::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let triples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000);
+    let dataset = lubm::generate(&lubm::LubmConfig::sized_for(triples, 7));
+    let data = &dataset.graph;
+    println!("corpus: {} triples\n", data.edge_count());
+
+    let engine = SamaEngine::new(data.clone());
+    let sapper = SapperMatcher {
+        delta: 1,
+        ..Default::default()
+    };
+    let bounded = BoundedMatcher {
+        hops: 2,
+        ..Default::default()
+    };
+    let dogma = DogmaMatcher::default();
+    let cap = 500;
+
+    println!(
+        "{:<5} | {:>6} {:>9} | {:>6} {:>9} | {:>6} {:>9} | {:>6} {:>9}",
+        "query", "sama", "time", "sapper", "time", "bound", "time", "dogma", "time"
+    );
+    for nq in lubm_workload(&dataset) {
+        let q = &nq.query;
+
+        let t = Instant::now();
+        let sama_result = engine.answer(q, cap);
+        let sama_n = sama_result
+            .answers
+            .iter()
+            .filter(|a| a.choices.iter().all(|c| c.entry.is_some()))
+            .count();
+        let sama_t = t.elapsed();
+
+        let mut row = vec![(sama_n, sama_t)];
+        for matcher in [&sapper as &dyn Matcher, &bounded, &dogma] {
+            let t = Instant::now();
+            let n = matcher.count_matches(data, q, cap);
+            row.push((n, t.elapsed()));
+        }
+        println!(
+            "{:<5} | {:>6} {:>9.2?} | {:>6} {:>9.2?} | {:>6} {:>9.2?} | {:>6} {:>9.2?}",
+            nq.name, row[0].0, row[0].1, row[1].0, row[1].1, row[2].0, row[2].1, row[3].0, row[3].1,
+        );
+    }
+
+    println!("\nExact systems (DOGMA; BOUNDED beyond its hop bound) return zero");
+    println!("matches on the approximate queries; Sama and SAPPER degrade");
+    println!("gracefully — the Figure 8 effect.");
+}

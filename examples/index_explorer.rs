@@ -1,0 +1,79 @@
+//! Build a path index over a generated corpus, serialize it to disk,
+//! reload it, and inspect its contents — the off-line half of the
+//! system (paper, Section 6.1).
+//!
+//! ```text
+//! cargo run --release --example index_explorer [triples]
+//! ```
+
+use sama::data::bsbm;
+use sama::index::{decode, serialize_index, HyperGraphView, PathIndex};
+
+fn main() {
+    let triples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+
+    let dataset = bsbm::generate(&bsbm::BsbmConfig::sized_for(triples, 11));
+    println!(
+        "BSBM-style corpus: {} triples, {} products, {} vendors",
+        dataset.graph.edge_count(),
+        dataset.products.len(),
+        dataset.vendors.len()
+    );
+
+    // Build and serialize.
+    let mut index = PathIndex::build(dataset.graph.clone());
+    let bytes = serialize_index(&mut index);
+    let stats = index.stats();
+    println!("\nindex statistics (one Table 1 row):");
+    println!("  paths          : {}", stats.path_count);
+    println!("  |HV|           : {}", stats.hyper_vertices);
+    println!("  |HE|           : {}", stats.hyper_edges);
+    println!("  build time     : {:.2?}", stats.build_time);
+    println!(
+        "  serialized     : {}",
+        sama::index::format_bytes(bytes.len())
+    );
+    println!("  truncated      : {}", stats.is_truncated());
+
+    // The hypergraph view behind |HV|/|HE|.
+    let paths: Vec<_> = index.paths().map(|(_, ip)| ip.path.clone()).collect();
+    let hv = HyperGraphView::build(index.graph().as_graph(), &paths);
+    println!(
+        "  hyperedges     : {} stars + {} paths",
+        hv.star_count(),
+        hv.path_count()
+    );
+
+    // Round-trip through the disk format.
+    let path = std::env::temp_dir().join("sama_index.bin");
+    std::fs::write(&path, &bytes).expect("write index file");
+    let loaded =
+        decode(&std::fs::read(&path).expect("read index file")).expect("index file decodes");
+    assert_eq!(loaded.path_count(), index.path_count());
+    println!("\nround-trip through {} OK", path.display());
+
+    // Label lookups, the clustering primitive.
+    let vocab = loaded.graph().vocab();
+    for probe in ["Product0_0", "Vendor0", "feature 1"] {
+        match vocab.get_constant(probe) {
+            Some(label) => {
+                println!(
+                    "paths containing {probe:?}: {} (of {} total); ending there: {}",
+                    loaded.paths_with_label(label).len(),
+                    loaded.path_count(),
+                    loaded.paths_with_sink(label).len(),
+                );
+            }
+            None => println!("label {probe:?} not present"),
+        }
+    }
+
+    // A few example paths.
+    println!("\nsample paths:");
+    for (id, ip) in loaded.paths().take(5) {
+        println!("  {id}: {}", ip.path.display(loaded.graph().as_graph()));
+    }
+}

@@ -1,0 +1,396 @@
+//! The `sama` command-line tool: index N-Triples data, run SPARQL
+//! basic-graph-pattern queries approximately, inspect indexes.
+//!
+//! ```text
+//! sama index  <data.nt> -o <index.bin>      build and save an index
+//! sama query  <index.bin> <query.rq|-> [-k N] [--explain]
+//! sama stats  <index.bin>                   print Table-1-style stats
+//! sama paths  <index.bin> [--limit N]       dump indexed paths
+//! ```
+
+use sama::engine::SamaEngine;
+use sama::index::{decode_any, encode_compressed, serialize_index, ExtractionConfig, PathIndex};
+use sama::model::{parse_ntriples, parse_sparql, parse_turtle, DataGraph};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("index") => cmd_index(&args[1..]),
+        Some("update") => cmd_update(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("paths") => cmd_paths(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+sama — approximate RDF querying by path alignment (EDBT 2013)
+
+USAGE:
+  sama index <data.nt|data.ttl> -o <index.bin> [--compress]
+  sama update <index.bin> <more.nt|more.ttl> [-o <out.bin>] [--compress]
+  sama query <index.bin> <query.rq|-> [-k N] [--explain] [--json]
+  sama stats <index.bin>                    indexing statistics
+  sama paths <index.bin> [--limit N]        dump indexed paths";
+
+fn load_index(path: &str) -> Result<PathIndex, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read index {path:?}: {e}"))?;
+    // Accepts both the plain and the compressed format, by magic.
+    decode_any(&bytes).map_err(|e| format!("cannot decode index {path:?}: {e}"))
+}
+
+fn parse_rdf_file(path: &str) -> Result<Vec<sama::model::Triple>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    if path.ends_with(".ttl") || path.ends_with(".turtle") {
+        parse_turtle(&text).map_err(|e| e.to_string())
+    } else {
+        parse_ntriples(&text).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    let mut input = None;
+    let mut output = None;
+    let mut compress = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-o" | "--output" => {
+                output = Some(iter.next().ok_or("-o needs a path")?.clone());
+            }
+            "--compress" => compress = true,
+            other if input.is_none() => input = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let input = input.ok_or("missing input .nt/.ttl file")?;
+    let output = output.ok_or("missing -o <index.bin>")?;
+
+    let triples = parse_rdf_file(&input)?;
+    let data = DataGraph::from_triples(&triples).map_err(|e| e.to_string())?;
+    eprintln!(
+        "parsed {} triples ({} nodes)",
+        data.edge_count(),
+        data.node_count()
+    );
+
+    let mut index = PathIndex::build(data);
+    let bytes = if compress {
+        encode_compressed(&index)
+    } else {
+        serialize_index(&mut index)
+    };
+    std::fs::write(&output, &bytes).map_err(|e| format!("cannot write {output:?}: {e}"))?;
+    let stats = index.stats();
+    eprintln!(
+        "indexed {} paths in {:.2?}; wrote {} to {output}",
+        stats.path_count,
+        stats.build_time,
+        sama::index::format_bytes(bytes.len()),
+    );
+    if stats.is_truncated() {
+        eprintln!(
+            "warning: extraction limits truncated the path set \
+             ({} depth cuts, {} dropped)",
+            stats.depth_truncated, stats.dropped
+        );
+    }
+    Ok(())
+}
+
+fn cmd_update(args: &[String]) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut output = None;
+    let mut compress = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-o" | "--output" => {
+                output = Some(iter.next().ok_or("-o needs a path")?.clone());
+            }
+            "--compress" => compress = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [index_path, data_path] = positional.as_slice() else {
+        return Err("usage: sama update <index.bin> <more.nt|more.ttl> [-o out.bin]".into());
+    };
+    let output = output.unwrap_or_else(|| index_path.clone());
+
+    let mut index = load_index(index_path)?;
+    let triples = parse_rdf_file(data_path)?;
+    let stats = index
+        .insert_triples(&triples, &ExtractionConfig::default())
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "inserted {} edges: +{} paths, -{} paths{}",
+        stats.inserted_edges,
+        stats.added_paths,
+        stats.removed_paths,
+        if stats.rebuilt {
+            " (full rebuild)"
+        } else {
+            " (incremental)"
+        }
+    );
+    let bytes = if compress {
+        encode_compressed(&index)
+    } else {
+        serialize_index(&mut index)
+    };
+    std::fs::write(&output, &bytes).map_err(|e| format!("cannot write {output:?}: {e}"))?;
+    eprintln!(
+        "wrote {} to {output}",
+        sama::index::format_bytes(bytes.len())
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut k = 10usize;
+    let mut explain = false;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-k" => {
+                k = iter
+                    .next()
+                    .ok_or("-k needs a number")?
+                    .parse()
+                    .map_err(|_| "bad -k value")?;
+            }
+            "--explain" => explain = true,
+            "--json" => json = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [index_path, query_path] = positional.as_slice() else {
+        return Err("usage: sama query <index.bin> <query.rq|-> [-k N] [--explain]".into());
+    };
+
+    let query_text = if query_path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        text
+    } else {
+        std::fs::read_to_string(query_path)
+            .map_err(|e| format!("cannot read {query_path:?}: {e}"))?
+    };
+    let query = parse_sparql(&query_text).map_err(|e| e.to_string())?;
+
+    let engine = SamaEngine::from_index(load_index(index_path)?);
+    let result = engine.answer(&query.graph, k);
+
+    if json {
+        print!("{}", render_json(&engine, &query, &result));
+        return Ok(());
+    }
+
+    if explain {
+        println!("query paths (PQ):");
+        for qp in &result.query_paths {
+            println!(
+                "  q{}: {}",
+                qp.index,
+                qp.path.display(query.graph.as_graph())
+            );
+        }
+        println!("clusters:");
+        for c in &result.clusters {
+            println!(
+                "  cl{}: {} entries (best λ = {}){}",
+                c.qpath_index,
+                c.entries.len(),
+                c.best_lambda(),
+                if c.candidates_dropped > 0 {
+                    format!(" [{} candidates dropped]", c.candidates_dropped)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        println!(
+            "search: {} paths retrieved, truncated: {}",
+            result.retrieved_paths, result.truncated
+        );
+        println!(
+            "timings: preprocess {:.2?}, cluster {:.2?}, search {:.2?}",
+            result.timings.preprocessing, result.timings.clustering, result.timings.search
+        );
+        println!();
+    }
+
+    for (rank, answer) in result.answers.iter().enumerate() {
+        if explain {
+            if let Some(text) = result.explain_answer(rank, engine.index(), &query.graph) {
+                print!("{text}");
+                continue;
+            }
+        }
+        println!(
+            "-- answer {} (score {:.2}, Λ {:.2}, Ψ {:.2}{})",
+            rank + 1,
+            answer.score(),
+            answer.lambda(),
+            answer.psi(),
+            if answer.is_exact() { ", exact" } else { "" }
+        );
+        for line in answer.subgraph(engine.index()).to_sorted_lines() {
+            println!("   {line}");
+        }
+        let bindings = answer.bindings();
+        if !bindings.is_empty() {
+            let rendered: Vec<String> = bindings
+                .iter()
+                .map(|&(v, value)| {
+                    format!(
+                        "?{}={}",
+                        query.graph.vocab().lexical(v),
+                        engine.index().graph().vocab().lexical(value)
+                    )
+                })
+                .collect();
+            println!("   bindings: {}", rendered.join(" "));
+        }
+    }
+    if result.answers.is_empty() {
+        eprintln!("no answers");
+    }
+    Ok(())
+}
+
+/// Minimal JSON writer for machine-readable query output (the allowed
+/// dependency set has no serde_json; answers are flat enough to render
+/// by hand).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(
+    engine: &SamaEngine,
+    query: &sama::model::SparqlQuery,
+    result: &sama::engine::QueryResult,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    out.push_str("{\"answers\":[");
+    for (i, answer) in result.answers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rank\":{},\"score\":{},\"lambda\":{},\"psi\":{},\"exact\":{},",
+            i,
+            answer.score(),
+            answer.lambda(),
+            answer.psi(),
+            answer.is_exact()
+        );
+        out.push_str("\"triples\":[");
+        let lines = answer.subgraph(engine.index()).to_sorted_lines();
+        for (j, line) in lines.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(line));
+        }
+        out.push_str("],\"bindings\":{");
+        for (j, (var, value)) in answer.bindings().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":\"{}\"",
+                json_escape(query.graph.vocab().lexical(*var)),
+                json_escape(engine.index().graph().vocab().lexical(*value))
+            );
+        }
+        out.push_str("}}");
+    }
+    let _ = writeln!(
+        out,
+        "],\"truncated\":{},\"retrieved_paths\":{}}}",
+        result.truncated, result.retrieved_paths
+    );
+    out
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let [index_path] = args else {
+        return Err("usage: sama stats <index.bin>".into());
+    };
+    let index = load_index(index_path)?;
+    let s = index.stats();
+    println!("triples        : {}", s.triples);
+    println!("|HV|           : {}", s.hyper_vertices);
+    println!("|HE|           : {}", s.hyper_edges);
+    println!("paths          : {}", s.path_count);
+    println!("build time     : {:.2?}", s.build_time);
+    if let Some(bytes) = s.serialized_bytes {
+        println!("space          : {}", sama::index::format_bytes(bytes));
+    }
+    println!("truncated      : {}", s.is_truncated());
+    Ok(())
+}
+
+fn cmd_paths(args: &[String]) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut limit = 50usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--limit" => {
+                limit = iter
+                    .next()
+                    .ok_or("--limit needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --limit value")?;
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [index_path] = positional.as_slice() else {
+        return Err("usage: sama paths <index.bin> [--limit N]".into());
+    };
+    let index = load_index(index_path)?;
+    let graph = index.graph().as_graph();
+    for (id, ip) in index.paths().take(limit) {
+        println!("{id}: {}", ip.path.display(graph));
+    }
+    if index.path_count() > limit {
+        eprintln!("… {} more (use --limit)", index.path_count() - limit);
+    }
+    Ok(())
+}

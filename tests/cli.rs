@@ -1,0 +1,200 @@
+//! End-to-end tests of the `sama` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn sama() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sama"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sama_cli_test_{}_{name}", std::process::id()))
+}
+
+const DEMO_NT: &str = r#"
+<CarlaBunes> <sponsor> <A0056> .
+<A0056> <aTo> <B1432> .
+<B1432> <subject> "Health Care" .
+<PierceDickes> <sponsor> <B1432> .
+<PierceDickes> <gender> "Male" .
+"#;
+
+const DEMO_TTL: &str = r#"
+@prefix g: <http://gov.example/> .
+g:CarlaBunes g:sponsor g:A0056 .
+g:A0056 g:aTo g:B1432 ; a g:Amendment .
+"#;
+
+const DEMO_RQ: &str = r#"
+SELECT ?v1 ?v2 WHERE {
+  <CarlaBunes> <sponsor> ?v1 .
+  ?v1 <aTo> ?v2 .
+  ?v2 <subject> "Health Care" .
+}
+"#;
+
+struct Cleanup(Vec<PathBuf>);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        for p in &self.0 {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+#[test]
+fn index_query_stats_paths_roundtrip() {
+    let nt = temp_path("data.nt");
+    let rq = temp_path("query.rq");
+    let idx = temp_path("index.bin");
+    let _cleanup = Cleanup(vec![nt.clone(), rq.clone(), idx.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    std::fs::write(&rq, DEMO_RQ).unwrap();
+
+    // index
+    let out = sama()
+        .args(["index", nt.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // stats
+    let out = sama()
+        .args(["stats", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("triples        : 5"));
+    assert!(text.contains("paths"));
+
+    // paths
+    let out = sama()
+        .args(["paths", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("CarlaBunes-sponsor-A0056"));
+
+    // query (human output)
+    let out = sama()
+        .args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "-k",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("score 0.00"));
+    assert!(text.contains("bindings:"));
+
+    // query (--json is machine-parseable: flat checks, no serde_json)
+    let out = sama()
+        .args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "-k",
+            "2",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("{\"answers\":["));
+    assert!(text.contains("\"score\":0"));
+    assert!(text.contains("\"exact\":true"));
+    assert!(text.trim_end().ends_with('}'));
+}
+
+#[test]
+fn compressed_index_and_incremental_update() {
+    let nt = temp_path("data2.nt");
+    let more = temp_path("more.nt");
+    let idx = temp_path("index2.bin");
+    let _cleanup = Cleanup(vec![nt.clone(), more.clone(), idx.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    std::fs::write(&more, "<B1432> <reviewedBy> <Committee7> .\n").unwrap();
+
+    let out = sama()
+        .args([
+            "index",
+            nt.to_str().unwrap(),
+            "-o",
+            idx.to_str().unwrap(),
+            "--compress",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = sama()
+        .args(["update", idx.to_str().unwrap(), more.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("inserted 1 edges"), "{log}");
+
+    let out = sama()
+        .args(["stats", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("triples        : 6"));
+}
+
+#[test]
+fn turtle_input_accepted() {
+    let ttl = temp_path("data.ttl");
+    let idx = temp_path("index3.bin");
+    let _cleanup = Cleanup(vec![ttl.clone(), idx.clone()]);
+    std::fs::write(&ttl, DEMO_TTL).unwrap();
+    let out = sama()
+        .args(["index", ttl.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parsed 3 triples"));
+}
+
+#[test]
+fn helpful_errors() {
+    // Unknown command.
+    let out = sama().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing index file.
+    let out = sama()
+        .args(["stats", "/nonexistent/idx.bin"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read index"));
+
+    // No arguments prints usage.
+    let out = sama().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}

@@ -1,0 +1,102 @@
+//! Concurrency: the engine is an immutable index plus pure query
+//! machinery, so concurrent queries from many threads must be safe and
+//! agree with sequential execution.
+
+use sama::data::{lubm, lubm_workload};
+use sama::engine::EngineConfig;
+use sama::prelude::*;
+use std::sync::Arc;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn engine_is_send_and_sync() {
+    assert_send_sync::<SamaEngine>();
+    assert_send_sync::<PathIndex>();
+    assert_send_sync::<DataGraph>();
+    assert_send_sync::<QueryGraph>();
+}
+
+#[test]
+fn concurrent_queries_agree_with_sequential() {
+    let ds = lubm::generate(&lubm::LubmConfig::sized_for(1_200, 5));
+    let engine = Arc::new(SamaEngine::new(ds.graph.clone()));
+    let workload = lubm_workload(&ds);
+
+    // Sequential reference.
+    let reference: Vec<Vec<f64>> = workload
+        .iter()
+        .map(|nq| {
+            engine
+                .answer(&nq.query, 5)
+                .answers
+                .iter()
+                .map(|a| a.score())
+                .collect()
+        })
+        .collect();
+
+    // The same workload, one thread per query, twice over.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workload
+            .iter()
+            .enumerate()
+            .flat_map(|(i, nq)| {
+                let engine = &engine;
+                (0..2).map(move |_| {
+                    let engine = Arc::clone(engine);
+                    let query = nq.query.clone();
+                    scope.spawn(move || {
+                        let scores: Vec<f64> = engine
+                            .answer(&query, 5)
+                            .answers
+                            .iter()
+                            .map(|a| a.score())
+                            .collect();
+                        (i, scores)
+                    })
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (i, scores) = handle.join().expect("query thread panicked");
+            assert_eq!(scores, reference[i], "query {} diverged", i + 1);
+        }
+    });
+}
+
+#[test]
+fn parallel_clustering_is_deterministic_under_contention() {
+    let ds = lubm::generate(&lubm::LubmConfig::sized_for(1_000, 9));
+    let engine = Arc::new(SamaEngine::with_config(
+        ds.graph.clone(),
+        EngineConfig {
+            parallel_clustering: true,
+            ..Default::default()
+        },
+    ));
+    let q = lubm_workload(&ds)[9].query.clone(); // Q10, multi-path
+
+    let runs: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let q = q.clone();
+                scope.spawn(move || {
+                    engine
+                        .answer(&q, 8)
+                        .answers
+                        .iter()
+                        .map(|a| a.score())
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("thread panicked"))
+            .collect()
+    });
+    for r in &runs[1..] {
+        assert_eq!(r, &runs[0]);
+    }
+}

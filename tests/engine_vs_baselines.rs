@@ -1,0 +1,151 @@
+//! Cross-system integration: Sama against the exactness oracles and
+//! the baseline matchers on shared workloads.
+
+use sama::data::{lubm, lubm_workload};
+use sama::prelude::*;
+
+fn small_fixture() -> (lubm::LubmDataset, SamaEngine) {
+    let ds = lubm::generate(&lubm::LubmConfig::sized_for(1_500, 21));
+    let engine = SamaEngine::new(ds.graph.clone());
+    (ds, engine)
+}
+
+#[test]
+fn exact_queries_have_exact_sama_answers() {
+    let (ds, engine) = small_fixture();
+    for nq in lubm_workload(&ds).iter().filter(|nq| !nq.approximate) {
+        // Q5's triangle may or may not close at tiny scale; skip it.
+        if nq.name == "Q5" {
+            continue;
+        }
+        let result = engine.answer(&nq.query, 3);
+        let best = result.best().unwrap_or_else(|| panic!("{} empty", nq.name));
+        assert_eq!(best.score(), 0.0, "{} should have an exact answer", nq.name);
+        assert!(best.is_exact(), "{}", nq.name);
+    }
+}
+
+#[test]
+fn approximate_queries_have_no_exact_answer_anywhere() {
+    let (ds, engine) = small_fixture();
+    let vf2 = Vf2Matcher::default();
+    for nq in lubm_workload(&ds).iter().filter(|nq| nq.approximate) {
+        // The exactness oracle agrees there is no exact match…
+        assert_eq!(
+            vf2.count_matches(&ds.graph, &nq.query, 1),
+            0,
+            "{} should have no isomorphic match",
+            nq.name
+        );
+        // …while Sama still answers, with a strictly positive score.
+        let result = engine.answer(&nq.query, 3);
+        assert!(!result.answers.is_empty(), "{} unanswered", nq.name);
+        assert!(result.best().unwrap().score() > 0.0, "{}", nq.name);
+    }
+}
+
+#[test]
+fn dogma_agrees_with_vf2_on_every_query() {
+    let (ds, _) = small_fixture();
+    let dogma = DogmaMatcher::default();
+    let vf2 = Vf2Matcher::default();
+    for nq in lubm_workload(&ds) {
+        let a = dogma.count_matches(&ds.graph, &nq.query, 500);
+        let b = vf2.count_matches(&ds.graph, &nq.query, 500);
+        assert_eq!(a, b, "{}: dogma {a} != vf2 {b}", nq.name);
+    }
+}
+
+#[test]
+fn sapper_zero_budget_equals_exact_matching() {
+    let (ds, _) = small_fixture();
+    let sapper = SapperMatcher {
+        delta: 0,
+        ..Default::default()
+    };
+    let vf2 = Vf2Matcher::default();
+    for nq in lubm_workload(&ds) {
+        assert_eq!(
+            sapper.count_matches(&ds.graph, &nq.query, 200),
+            vf2.count_matches(&ds.graph, &nq.query, 200),
+            "{}",
+            nq.name
+        );
+    }
+}
+
+#[test]
+fn sapper_budget_is_monotone() {
+    let (ds, _) = small_fixture();
+    for nq in lubm_workload(&ds) {
+        let mut previous = 0usize;
+        for delta in 0..3 {
+            let count = SapperMatcher {
+                delta,
+                ..Default::default()
+            }
+            .count_matches(&ds.graph, &nq.query, 300);
+            assert!(
+                count >= previous,
+                "{}: Δ={delta} found {count} < {previous}",
+                nq.name
+            );
+            previous = count;
+        }
+    }
+}
+
+#[test]
+fn bounded_hops_are_monotone() {
+    let (ds, _) = small_fixture();
+    for nq in lubm_workload(&ds).iter().take(6) {
+        let one = BoundedMatcher {
+            hops: 1,
+            ..Default::default()
+        }
+        .count_matches(&ds.graph, &nq.query, 300);
+        let two = BoundedMatcher {
+            hops: 2,
+            ..Default::default()
+        }
+        .count_matches(&ds.graph, &nq.query, 300);
+        assert!(two >= one, "{}: 2-hop {two} < 1-hop {one}", nq.name);
+    }
+}
+
+#[test]
+fn sama_matches_cover_every_exact_match_region() {
+    // For an exact query, every VF2 match region should appear among
+    // Sama's score-0 answers (both enumerate the same solution space).
+    let (ds, engine) = small_fixture();
+    let workload = lubm_workload(&ds);
+    let q1 = &workload[0]; // ?s memberOf dept0 . dept0 type Department
+    let vf2 = Vf2Matcher::default();
+    let matches = vf2.count_matches(&ds.graph, &q1.query, 10_000);
+    let result = engine.answer(&q1.query, 10_000);
+    let exact_answers = result.answers.iter().filter(|a| a.score() == 0.0).count();
+    assert_eq!(
+        exact_answers, matches,
+        "score-0 Sama answers must equal isomorphic matches"
+    );
+}
+
+#[test]
+fn scoring_ranks_less_perturbed_regions_higher() {
+    // Theorem-1 flavored end-to-end check: a query matching a region
+    // exactly scores lower than the same query with one mismatch.
+    let (ds, engine) = small_fixture();
+    let dept0 = ds.departments[0].as_str();
+
+    let mut exact = QueryGraph::builder();
+    exact.triple_str("?s", "memberOf", dept0).unwrap();
+    exact.triple_str(dept0, "type", "Department").unwrap();
+    let exact_score = engine.answer(&exact.build(), 1).best().unwrap().score();
+
+    let mut perturbed = QueryGraph::builder();
+    perturbed.triple_str("?s", "memberOf", dept0).unwrap();
+    perturbed.triple_str(dept0, "type", "Dept").unwrap(); // absent label
+    let perturbed_score = engine.answer(&perturbed.build(), 1).best().unwrap().score();
+
+    assert!(exact_score < perturbed_score);
+}

@@ -1,0 +1,68 @@
+//! The simulated grid deployment (paper future work): a sharded index
+//! must answer every query with scores identical to the single-index
+//! engine.
+
+use sama::data::{govtrack, lubm, lubm_workload};
+use sama::engine::SamaEngine;
+use sama::index::{IndexLike, ShardedIndex};
+
+#[test]
+fn sharded_scores_equal_single_index_on_govtrack() {
+    let data = govtrack::data_graph();
+    let single = SamaEngine::new(data.clone());
+    for shards in [1usize, 2, 3, 7] {
+        let sharded = SamaEngine::sharded(data.clone(), shards);
+        for query in [govtrack::query_q1(), govtrack::query_q2()] {
+            let a = single.answer(&query, 10);
+            let b = sharded.answer(&query, 10);
+            let scores = |r: &Vec<f64>| r.iter().map(|s| (s * 1e9) as i64).collect::<Vec<_>>();
+            let sa: Vec<f64> = a.answers.iter().map(|x| x.score()).collect();
+            let sb: Vec<f64> = b.answers.iter().map(|x| x.score()).collect();
+            assert_eq!(scores(&sa), scores(&sb), "{shards} shards");
+            assert_eq!(a.retrieved_paths, b.retrieved_paths, "{shards} shards");
+        }
+    }
+}
+
+#[test]
+fn sharded_scores_equal_single_index_on_lubm() {
+    let ds = lubm::generate(&lubm::LubmConfig::sized_for(4_000, 13));
+    let single = SamaEngine::new(ds.graph.clone());
+    let sharded = SamaEngine::sharded(ds.graph.clone(), 4);
+    assert_eq!(single.index().total_paths(), sharded.index().total_paths());
+    for nq in lubm_workload(&ds) {
+        let a = single.answer(&nq.query, 8);
+        let b = sharded.answer(&nq.query, 8);
+        let sa: Vec<f64> = a.answers.iter().map(|x| x.score()).collect();
+        let sb: Vec<f64> = b.answers.iter().map(|x| x.score()).collect();
+        assert_eq!(sa, sb, "{} diverged under sharding", nq.name);
+    }
+}
+
+#[test]
+fn sharded_answers_assemble_identical_subgraphs() {
+    let data = govtrack::data_graph();
+    let single = SamaEngine::new(data.clone());
+    let sharded = SamaEngine::sharded(data, 3);
+    let q = govtrack::query_q1();
+    let a = single.answer(&q, 1);
+    let b = sharded.answer(&q, 1);
+    assert_eq!(
+        a.best().unwrap().subgraph(single.index()).to_sorted_lines(),
+        b.best()
+            .unwrap()
+            .subgraph(sharded.index())
+            .to_sorted_lines()
+    );
+}
+
+#[test]
+fn sharded_index_builds_directly_too() {
+    let data = govtrack::data_graph();
+    let index = ShardedIndex::build(data, 2, &Default::default());
+    assert_eq!(index.shard_count(), 2);
+    assert!(index.total_paths() > 0);
+    let engine = SamaEngine::from_index(index);
+    let result = engine.answer(&govtrack::query_q1(), 3);
+    assert_eq!(result.best().unwrap().score(), 0.0);
+}
