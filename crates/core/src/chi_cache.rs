@@ -1,0 +1,187 @@
+//! Query-scoped memoization of the common-node function `χ`.
+//!
+//! The combination search prices every expansion against the choices of
+//! IG-adjacent clusters, so the same *pair of data paths* is fed to
+//! `|χ(p_i, p_j)|` over and over — once per state that re-combines the
+//! pair (the paper's Figure 4 forest draws exactly these repeated
+//! edges). A [`ChiCache`] lives for one query run, keys on the
+//! unordered path-id pair, and resolves repeats to a hash lookup; the
+//! misses are computed by the allocation-free merge-intersection over
+//! the index's precomputed [`path_index::IndexedPath::sorted_nodes`].
+//!
+//! The cache is *query-scoped* by design: path ids are only stable
+//! relative to one index, sizes stay bounded by the pairs one query
+//! actually touches, and no locking or invalidation is ever needed.
+
+use crate::score::chi_count_sorted;
+use path_index::{IndexLike, PathId};
+use rdf_model::FxHashMap;
+use std::time::{Duration, Instant};
+
+/// Hit/miss counters and χ compute time of one query run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChiCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that computed `χ` (every lookup, when disabled).
+    pub misses: u64,
+    /// Wall-clock time spent computing `χ` on misses.
+    pub chi_time: Duration,
+}
+
+impl ChiCacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// A query-scoped `|χ|` memo over unordered pairs of indexed paths.
+#[derive(Debug, Default)]
+pub struct ChiCache {
+    /// `(min id, max id)` → `|χ|`. Node counts fit `u32` comfortably
+    /// (a path has far fewer nodes than `u32::MAX`).
+    map: FxHashMap<(PathId, PathId), u32>,
+    stats: ChiCacheStats,
+    disabled: bool,
+}
+
+impl ChiCache {
+    /// A fresh, enabled cache (one per query run). Pre-sized so the
+    /// first few thousand misses insert without rehashing.
+    pub fn new() -> Self {
+        ChiCache {
+            map: FxHashMap::with_capacity_and_hasher(4096, Default::default()),
+            ..ChiCache::default()
+        }
+    }
+
+    /// A pass-through instance: every lookup recomputes `χ` (for A/B
+    /// comparison; counters and timing still accumulate).
+    pub fn disabled() -> Self {
+        ChiCache {
+            disabled: true,
+            ..ChiCache::default()
+        }
+    }
+
+    /// `|χ(a, b)|` via the index's sorted node sets, memoized on the
+    /// unordered `(a, b)` pair.
+    pub fn chi_count<I: IndexLike + ?Sized>(&mut self, index: &I, a: PathId, b: PathId) -> usize {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if !self.disabled {
+            if let Some(&count) = self.map.get(&key) {
+                self.stats.hits += 1;
+                return count as usize;
+            }
+        }
+        let start = Instant::now();
+        let count = chi_count_sorted(
+            index.indexed(key.0).sorted_nodes(),
+            index.indexed(key.1).sorted_nodes(),
+        );
+        self.stats.chi_time += start.elapsed();
+        self.stats.misses += 1;
+        if !self.disabled {
+            self.map.insert(key, count as u32);
+        }
+        count
+    }
+
+    /// Counters and timing so far.
+    pub fn stats(&self) -> ChiCacheStats {
+        self.stats
+    }
+
+    /// Number of distinct pairs currently memoized.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if no pair has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use path_index::PathIndex;
+    use rdf_model::DataGraph;
+
+    fn small_index() -> PathIndex {
+        let mut b = DataGraph::builder();
+        b.triple_str("a", "p", "b").unwrap();
+        b.triple_str("b", "q", "c").unwrap();
+        b.triple_str("d", "p", "b").unwrap();
+        PathIndex::build(b.build())
+    }
+
+    #[test]
+    fn caches_symmetric_pairs() {
+        let index = small_index();
+        assert!(index.path_count() >= 2);
+        let mut cache = ChiCache::new();
+        let (a, b) = (PathId(0), PathId(1));
+        let first = cache.chi_count(&index, a, b);
+        let swapped = cache.chi_count(&index, b, a);
+        assert_eq!(first, swapped);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(cache.len(), 1);
+        assert!(stats.hit_rate() > 0.49 && stats.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn agrees_with_uncached_chi() {
+        let index = small_index();
+        let mut cache = ChiCache::new();
+        for i in 0..index.path_count() as u32 {
+            for j in 0..index.path_count() as u32 {
+                let expected = crate::score::chi_count(
+                    &index.path(PathId(i)).path,
+                    &index.path(PathId(j)).path,
+                );
+                assert_eq!(cache.chi_count(&index, PathId(i), PathId(j)), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_cache_recomputes() {
+        let index = small_index();
+        let mut cache = ChiCache::disabled();
+        let (a, b) = (PathId(0), PathId(1));
+        let first = cache.chi_count(&index, a, b);
+        assert_eq!(cache.chi_count(&index, a, b), first);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert!(cache.is_empty());
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn self_pair_counts_distinct_nodes() {
+        let index = small_index();
+        let mut cache = ChiCache::new();
+        for (id, ip) in index.paths() {
+            assert_eq!(
+                cache.chi_count(&index, id, id),
+                ip.sorted_nodes().len(),
+                "χ(p, p) is the path's distinct node count"
+            );
+        }
+    }
+}

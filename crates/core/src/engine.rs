@@ -3,6 +3,7 @@
 
 use crate::align::AlignmentMode;
 use crate::answer::Answer;
+use crate::chi_cache::ChiCacheStats;
 use crate::cluster::{build_clusters, build_clusters_parallel, Cluster, ClusterConfig};
 use crate::igraph::IntersectionGraph;
 use crate::params::ScoreParams;
@@ -43,6 +44,10 @@ pub struct QueryTimings {
     pub clustering: Duration,
     /// Top-k combination search.
     pub search: Duration,
+    /// Time spent computing `χ` inside the search (a sub-measure of
+    /// [`QueryTimings::search`], *not* an additional phase — excluded
+    /// from [`QueryTimings::total`]).
+    pub chi: Duration,
 }
 
 impl QueryTimings {
@@ -72,6 +77,9 @@ pub struct QueryResult {
     pub truncated: bool,
     /// Phase timings.
     pub timings: QueryTimings,
+    /// χ-cache counters of the combination search (see
+    /// [`crate::ChiCache`]).
+    pub chi_stats: ChiCacheStats,
 }
 
 impl QueryResult {
@@ -341,7 +349,9 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
                 preprocessing,
                 clustering,
                 search,
+                chi: outcome.chi_stats.chi_time,
             },
+            chi_stats: outcome.chi_stats,
         }
     }
 }
@@ -462,8 +472,7 @@ mod tests {
     #[test]
     fn engine_from_serialized_index_agrees() {
         let engine = SamaEngine::new(figure1_data());
-        let mut index = engine.index().clone();
-        let bytes = path_index::serialize_index(&mut index);
+        let bytes = path_index::encode(engine.index());
         let loaded = path_index::decode(&bytes).unwrap();
         let cold = SamaEngine::from_index(loaded);
         let warm_result = engine.answer(&q1(), 5);

@@ -49,6 +49,7 @@
 
 pub mod align;
 pub mod answer;
+pub mod chi_cache;
 pub mod cluster;
 pub mod engine;
 pub mod forest;
@@ -61,6 +62,7 @@ pub mod search;
 
 pub use align::{align, Alignment, AlignmentCounts, AlignmentMode};
 pub use answer::{Answer, ChosenPath};
+pub use chi_cache::{ChiCache, ChiCacheStats};
 pub use cluster::{
     build_clusters, build_clusters_parallel, AnchorSelection, Cluster, ClusterConfig, ClusterEntry,
 };
@@ -71,7 +73,7 @@ pub use params::ScoreParams;
 pub use qpath::{decompose_query, QueryLabel, QueryPath};
 pub use relevance::{more_relevant, ops_of_counts, transformation_cost, EditOp};
 pub use score::{
-    chi, chi_count, conformity_penalty, conformity_ratio, deletion_lambda, PairConformity,
-    ScoreBreakdown,
+    chi, chi_count, chi_count_sorted, chi_sorted, conformity_penalty, conformity_ratio,
+    deletion_lambda, PairConformity, ScoreBreakdown,
 };
 pub use search::{search_top_k, SearchConfig, SearchOutcome, SearchStream};

@@ -29,23 +29,33 @@ use crate::params::ScoreParams;
 use path_index::Path;
 use rdf_model::{FxHashSet, NodeId};
 
+/// Below this `len(p1) · len(p2)` product a quadratic scan beats
+/// building a hash set (paths are short — typically 2–6 nodes — so
+/// this covers almost every real pair).
+const CHI_SMALL_PRODUCT: usize = 64;
+
 /// `χ`: the set of nodes two paths have in common (paper, Section 4.1).
 pub fn chi(p1: &Path, p2: &Path) -> Vec<NodeId> {
-    let smaller: FxHashSet<NodeId> = if p1.nodes.len() <= p2.nodes.len() {
-        p1.nodes.iter().copied().collect()
+    let (a, b) = if p1.nodes.len() <= p2.nodes.len() {
+        (&p1.nodes, &p2.nodes)
     } else {
-        p2.nodes.iter().copied().collect()
+        (&p2.nodes, &p1.nodes)
     };
-    let larger = if p1.nodes.len() <= p2.nodes.len() {
-        &p2.nodes
+    // Fast path: a single-node path intersects by membership alone.
+    if a.len() == 1 {
+        return if b.contains(&a[0]) {
+            vec![a[0]]
+        } else {
+            Vec::new()
+        };
+    }
+    let mut out: Vec<NodeId> = if a.len() * b.len() <= CHI_SMALL_PRODUCT {
+        // Fast path: quadratic scan without hashing.
+        a.iter().copied().filter(|n| b.contains(n)).collect()
     } else {
-        &p1.nodes
+        let smaller: FxHashSet<NodeId> = a.iter().copied().collect();
+        b.iter().copied().filter(|n| smaller.contains(n)).collect()
     };
-    let mut out: Vec<NodeId> = larger
-        .iter()
-        .copied()
-        .filter(|n| smaller.contains(n))
-        .collect();
     out.sort_unstable();
     out.dedup();
     out
@@ -53,7 +63,50 @@ pub fn chi(p1: &Path, p2: &Path) -> Vec<NodeId> {
 
 /// `|χ|` without materializing the set.
 pub fn chi_count(p1: &Path, p2: &Path) -> usize {
+    // Fast path: single-node paths need no allocation at all.
+    let (a, b) = if p1.nodes.len() <= p2.nodes.len() {
+        (&p1.nodes, &p2.nodes)
+    } else {
+        (&p2.nodes, &p1.nodes)
+    };
+    if a.len() == 1 {
+        return usize::from(b.contains(&a[0]));
+    }
     chi(p1, p2).len()
+}
+
+/// `χ` over pre-sorted, deduplicated node-id slices (the
+/// [`path_index::IndexedPath::sorted_nodes`] representation): a linear
+/// merge-intersection with no hashing, sorting, or deduplication.
+pub fn chi_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    merge_intersect(a, b, |n| out.push(n));
+    out
+}
+
+/// `|χ|` over pre-sorted, deduplicated node-id slices, allocation-free.
+pub fn chi_count_sorted(a: &[NodeId], b: &[NodeId]) -> usize {
+    let mut count = 0usize;
+    merge_intersect(a, b, |_| count += 1);
+    count
+}
+
+/// Linear merge over two sorted deduplicated slices, invoking `emit`
+/// for each common element in ascending order.
+#[inline]
+fn merge_intersect(a: &[NodeId], b: &[NodeId], mut emit: impl FnMut(NodeId)) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                emit(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
 }
 
 /// The paper's displayed ψ ratio: `|χ(p_i,p_j)| / |χ(q_i,q_j)|`, capped
@@ -163,6 +216,55 @@ mod tests {
     #[test]
     fn chi_disjoint() {
         assert_eq!(chi_count(&path(&[1, 2]), &path(&[3, 4])), 0);
+    }
+
+    #[test]
+    fn chi_single_node_fast_path() {
+        assert_eq!(chi(&path(&[3]), &path(&[1, 2, 3])), vec![NodeId(3)]);
+        assert_eq!(chi(&path(&[9]), &path(&[1, 2, 3])), vec![]);
+        assert_eq!(chi_count(&path(&[3]), &path(&[1, 2, 3])), 1);
+        assert_eq!(chi_count(&path(&[1, 2, 3]), &path(&[9])), 0);
+        assert_eq!(chi(&path(&[7]), &path(&[7])), vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn chi_large_paths_use_hash_path() {
+        // Two paths long enough to exceed the small-product cutoff.
+        let a: Vec<u32> = (0..20).collect();
+        let b: Vec<u32> = (15..40).collect();
+        let common = chi(&path(&a), &path(&b));
+        assert_eq!(
+            common,
+            (15..20).map(NodeId).collect::<Vec<_>>(),
+            "hash and scan paths must agree"
+        );
+    }
+
+    fn sorted(nodes: &[u32]) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = nodes.iter().map(|&n| NodeId(n)).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn chi_sorted_matches_chi() {
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[1, 2, 3, 4], &[9, 3, 4]),
+            (&[1, 2], &[3, 4]),
+            (&[5], &[5]),
+            (&[7, 1, 7], &[7, 2]),
+            (&[1, 2, 3], &[1, 2, 3]),
+        ];
+        for &(n1, n2) in cases {
+            let p1 = path(n1);
+            let p2 = path(n2);
+            let expected = chi(&p1, &p2);
+            assert_eq!(chi_sorted(&sorted(n1), &sorted(n2)), expected);
+            assert_eq!(chi_count_sorted(&sorted(n1), &sorted(n2)), expected.len());
+            // Symmetry.
+            assert_eq!(chi_sorted(&sorted(n2), &sorted(n1)), expected);
+        }
     }
 
     #[test]

@@ -26,11 +26,12 @@
 //! instead of multiplying by cluster width.
 
 use crate::answer::{Answer, ChosenPath};
+use crate::chi_cache::{ChiCache, ChiCacheStats};
 use crate::cluster::Cluster;
 use crate::igraph::IntersectionGraph;
 use crate::params::ScoreParams;
 use crate::qpath::QueryPath;
-use crate::score::{chi_count, PairConformity, ScoreBreakdown};
+use crate::score::{PairConformity, ScoreBreakdown};
 use path_index::IndexLike;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -50,6 +51,11 @@ pub struct SearchConfig {
     /// An answer-construction improvement the paper lists as future
     /// work; off by default to match the paper's enumeration.
     pub distinct_paths: bool,
+    /// Memoize `|χ|` per unordered data-path pair for the lifetime of
+    /// the search (see [`ChiCache`]). Purely an optimization — answers
+    /// and scores are identical either way; disable only for A/B
+    /// measurement.
+    pub use_chi_cache: bool,
 }
 
 impl Default for SearchConfig {
@@ -58,6 +64,7 @@ impl Default for SearchConfig {
             max_expansions: 200_000,
             max_frontier: 1 << 20,
             distinct_paths: false,
+            use_chi_cache: true,
         }
     }
 }
@@ -74,6 +81,8 @@ pub struct SearchOutcome {
     pub expansions: usize,
     /// `true` if a limit stopped the exact search early.
     pub truncated: bool,
+    /// χ-cache counters and compute time for this search.
+    pub chi_stats: ChiCacheStats,
 }
 
 /// A frontier state: the first `choices.len()` clusters are assigned.
@@ -153,6 +162,11 @@ pub struct SearchStream<'a, I: IndexLike> {
     emitted_sets: Vec<Vec<u32>>,
     expansions: usize,
     truncated: bool,
+    /// Query-scoped `|χ|` memo shared by every expansion.
+    chi: ChiCache,
+    /// Retired `choices` vectors, reused by later pushes so the steady
+    /// state of the expansion loop allocates nothing.
+    pool: Vec<Vec<u32>>,
 }
 
 impl<'a, I: IndexLike> SearchStream<'a, I> {
@@ -184,6 +198,12 @@ impl<'a, I: IndexLike> SearchStream<'a, I> {
             emitted_sets: Vec::new(),
             expansions: 0,
             truncated: false,
+            chi: if config.use_chi_cache {
+                ChiCache::new()
+            } else {
+                ChiCache::disabled()
+            },
+            pool: Vec::new(),
         };
         if n > 0 {
             let first = first_choice(&stream.clusters[0]);
@@ -216,6 +236,11 @@ impl<'a, I: IndexLike> SearchStream<'a, I> {
     /// answers will be produced by [`SearchStream::next_answer`]).
     pub fn is_truncated(&self) -> bool {
         self.truncated
+    }
+
+    /// χ-cache counters and compute time so far.
+    pub fn chi_stats(&self) -> ChiCacheStats {
+        self.chi.stats()
     }
 
     /// The sorted multiset of data paths an assignment uses (for
@@ -264,8 +289,11 @@ impl<'a, I: IndexLike> SearchStream<'a, I> {
                 &self.clusters,
                 self.index,
                 &self.params,
+                &mut self.chi,
             );
-        let mut choices = prefix.to_vec();
+        let mut choices = self.pool.pop().unwrap_or_default();
+        choices.clear();
+        choices.extend_from_slice(prefix);
         choices.push(choice);
         let state = State {
             choices,
@@ -323,8 +351,10 @@ impl<'a, I: IndexLike> SearchStream<'a, I> {
                 if last_choice != DELETED
                     && (last_choice as usize + 1) < self.clusters[last_slot].entries.len()
                 {
-                    let prefix: Vec<u32> = state.choices[..last_slot].to_vec();
-                    self.push_state(&prefix, state.g_before_last, last_slot, last_choice + 1);
+                    // `state` was moved out of the heap, so its prefix
+                    // can be borrowed directly across the push.
+                    let (prefix, _) = state.choices.split_at(last_slot);
+                    self.push_state(prefix, state.g_before_last, last_slot, last_choice + 1);
                 }
                 state.sibling_pushed = true;
             }
@@ -354,23 +384,30 @@ impl<'a, I: IndexLike> SearchStream<'a, I> {
                     true
                 };
                 if emit {
-                    return Some(materialize(
+                    let answer = materialize(
                         &state,
                         &self.qpaths,
                         &self.ig,
                         &self.clusters,
                         self.index,
                         &self.params,
-                    ));
+                        &mut self.chi,
+                    );
+                    self.pool.push(state.choices);
+                    return Some(answer);
                 }
+                self.pool.push(state.choices);
             } else {
-                // Child: assign the next cluster its best entry.
+                // Child: assign the next cluster its best entry. The
+                // child copies the prefix out of `state` itself, so no
+                // intermediate clone is needed.
                 let first = first_choice(&self.clusters[t]);
-                self.push_state(&state.choices.clone(), state.g, t, first);
+                self.push_state(&state.choices, state.g, t, first);
+                self.pool.push(state.choices);
             }
 
             if self.heap.len() > self.config.max_frontier {
-                shrink_frontier(&mut self.heap, self.config.max_frontier / 2);
+                self.shrink_frontier(self.config.max_frontier / 2);
                 self.truncated = true;
             }
         }
@@ -388,6 +425,95 @@ impl<'a, I: IndexLike> SearchStream<'a, I> {
             }
         }
         frontier
+    }
+
+    /// Keep the best `keep` frontier items, recycling the rest.
+    fn shrink_frontier(&mut self, keep: usize) {
+        let mut kept: Vec<QueueItem> = Vec::with_capacity(keep);
+        for _ in 0..keep {
+            match self.heap.pop() {
+                Some(item) => kept.push(item),
+                None => break,
+            }
+        }
+        self.pool
+            .extend(self.heap.drain().map(|item| item.state.choices));
+        self.heap.extend(kept);
+    }
+
+    /// Greedily complete `frontier` states (per remaining cluster, the
+    /// entry with the cheapest incremental cost) and append the
+    /// results, deduplicated and sorted, to `outcome.answers` — the
+    /// anytime fallback after truncation.
+    fn fill_greedy(&mut self, outcome: &mut SearchOutcome, frontier: Vec<State>, k: usize) {
+        let n = self.clusters.len();
+        let mut filled: Vec<State> = Vec::new();
+        for mut state in frontier {
+            while state.choices.len() < n {
+                let slot = state.choices.len();
+                let cluster = &self.clusters[slot];
+                let (best_choice, best_cost) = if cluster.is_empty() {
+                    (
+                        DELETED,
+                        choice_cost(
+                            &state.choices,
+                            DELETED,
+                            slot,
+                            &self.ig,
+                            &self.clusters,
+                            self.index,
+                            &self.params,
+                            &mut self.chi,
+                        ),
+                    )
+                } else {
+                    // Entries are λ-sorted; scanning a bounded prefix finds
+                    // a low-penalty choice without quadratic blowup.
+                    (0..cluster.entries.len().min(32) as u32)
+                        .map(|c| {
+                            (
+                                c,
+                                choice_cost(
+                                    &state.choices,
+                                    c,
+                                    slot,
+                                    &self.ig,
+                                    &self.clusters,
+                                    self.index,
+                                    &self.params,
+                                    &mut self.chi,
+                                ),
+                            )
+                        })
+                        .min_by(|a, b| a.1.total_cmp(&b.1))
+                        .expect("cluster is non-empty")
+                };
+                state.g_before_last = state.g;
+                state.g += best_cost;
+                state.choices.push(best_choice);
+            }
+            filled.push(state);
+        }
+        filled.sort_by(|a, b| a.g.total_cmp(&b.g));
+        let mut added: Vec<Vec<u32>> = Vec::new();
+        for state in &filled {
+            if outcome.answers.len() >= k {
+                break;
+            }
+            if added.contains(&state.choices) {
+                continue;
+            }
+            added.push(state.choices.clone());
+            outcome.answers.push(materialize(
+                state,
+                &self.qpaths,
+                &self.ig,
+                &self.clusters,
+                self.index,
+                &self.params,
+                &mut self.chi,
+            ));
+        }
     }
 }
 
@@ -414,6 +540,7 @@ pub fn search_top_k<I: IndexLike>(
         answers: Vec::with_capacity(k.min(1024)),
         expansions: 0,
         truncated: false,
+        chi_stats: ChiCacheStats::default(),
     };
     if clusters.is_empty() || k == 0 {
         return outcome;
@@ -440,17 +567,9 @@ pub fn search_top_k<I: IndexLike>(
         // itself a bounded heuristic combination).
         let budget = (k - outcome.answers.len()).saturating_mul(2);
         let frontier = stream.drain_frontier(budget);
-        fill_greedy(
-            &mut outcome,
-            frontier,
-            qpaths,
-            ig,
-            clusters,
-            index,
-            params,
-            k,
-        );
+        stream.fill_greedy(&mut outcome, frontier, k);
     }
+    outcome.chi_stats = stream.chi_stats();
     outcome
 }
 
@@ -466,7 +585,8 @@ fn first_choice(cluster: &Cluster) -> u32 {
 /// Exact cost contribution of assigning `choice` to cluster `slot`
 /// given the `prefix` choices of clusters `0..slot`: the entry's λ plus
 /// conformity penalties against assigned IG neighbors.
-fn choice_cost<I: IndexLike>(
+#[allow(clippy::too_many_arguments)]
+fn choice_cost<I: IndexLike + ?Sized>(
     prefix: &[u32],
     choice: u32,
     slot: usize,
@@ -474,6 +594,7 @@ fn choice_cost<I: IndexLike>(
     clusters: &[Cluster],
     index: &I,
     params: &ScoreParams,
+    chi: &mut ChiCache,
 ) -> f64 {
     let cluster = &clusters[slot];
     let mut cost = if choice == DELETED {
@@ -487,36 +608,39 @@ fn choice_cost<I: IndexLike>(
         if other >= prefix.len() {
             continue;
         }
-        let chi_p = pair_chi_p(prefix[other], other, choice, slot, clusters, index);
+        let chi_p = pair_chi_p(prefix[other], other, choice, slot, clusters, index, chi);
         cost += crate::score::conformity_penalty(edge.chi_q(), chi_p, params.e);
     }
     cost
 }
 
 /// `|χ(p_i, p_j)|` for two cluster choices (0 if either is deleted).
-fn pair_chi_p<I: IndexLike>(
+#[allow(clippy::too_many_arguments)]
+fn pair_chi_p<I: IndexLike + ?Sized>(
     choice_a: u32,
     cluster_a: usize,
     choice_b: u32,
     cluster_b: usize,
     clusters: &[Cluster],
     index: &I,
+    chi: &mut ChiCache,
 ) -> usize {
     if choice_a == DELETED || choice_b == DELETED {
         return 0;
     }
     let pa = clusters[cluster_a].entries[choice_a as usize].path_id;
     let pb = clusters[cluster_b].entries[choice_b as usize].path_id;
-    chi_count(&index.indexed(pa).path, &index.indexed(pb).path)
+    chi.chi_count(index, pa, pb)
 }
 
-fn materialize<I: IndexLike>(
+fn materialize<I: IndexLike + ?Sized>(
     state: &State,
     qpaths: &[QueryPath],
     ig: &IntersectionGraph,
     clusters: &[Cluster],
     index: &I,
     params: &ScoreParams,
+    chi: &mut ChiCache,
 ) -> Answer {
     let mut lambda_total = 0.0;
     let mut choices = Vec::with_capacity(state.choices.len());
@@ -546,6 +670,7 @@ fn materialize<I: IndexLike>(
             edge.qj,
             clusters,
             index,
+            chi,
         );
         let pair = PairConformity::evaluate(edge.qi, edge.qj, edge.chi_q(), chi_p, params.e);
         psi_total += pair.penalty;
@@ -563,79 +688,6 @@ fn materialize<I: IndexLike>(
             pairs,
         },
     }
-}
-
-/// Greedily complete `frontier` states (per remaining cluster, the
-/// entry with the cheapest incremental cost) and append the results,
-/// deduplicated and sorted, to `outcome.answers`.
-#[allow(clippy::too_many_arguments)]
-fn fill_greedy<I: IndexLike>(
-    outcome: &mut SearchOutcome,
-    frontier: Vec<State>,
-    qpaths: &[QueryPath],
-    ig: &IntersectionGraph,
-    clusters: &[Cluster],
-    index: &I,
-    params: &ScoreParams,
-    k: usize,
-) {
-    let n = clusters.len();
-    let mut filled: Vec<State> = Vec::new();
-    for mut state in frontier {
-        while state.choices.len() < n {
-            let slot = state.choices.len();
-            let cluster = &clusters[slot];
-            let (best_choice, best_cost) = if cluster.is_empty() {
-                (
-                    DELETED,
-                    choice_cost(&state.choices, DELETED, slot, ig, clusters, index, params),
-                )
-            } else {
-                // Entries are λ-sorted; scanning a bounded prefix finds
-                // a low-penalty choice without quadratic blowup.
-                (0..cluster.entries.len().min(32) as u32)
-                    .map(|c| {
-                        (
-                            c,
-                            choice_cost(&state.choices, c, slot, ig, clusters, index, params),
-                        )
-                    })
-                    .min_by(|a, b| a.1.total_cmp(&b.1))
-                    .expect("cluster is non-empty")
-            };
-            state.g_before_last = state.g;
-            state.g += best_cost;
-            state.choices.push(best_choice);
-        }
-        filled.push(state);
-    }
-    filled.sort_by(|a, b| a.g.total_cmp(&b.g));
-    let mut added: Vec<Vec<u32>> = Vec::new();
-    for state in &filled {
-        if outcome.answers.len() >= k {
-            break;
-        }
-        if added.contains(&state.choices) {
-            continue;
-        }
-        added.push(state.choices.clone());
-        outcome
-            .answers
-            .push(materialize(state, qpaths, ig, clusters, index, params));
-    }
-}
-
-/// Keep the best `keep` items of the frontier.
-fn shrink_frontier(heap: &mut BinaryHeap<QueueItem>, keep: usize) {
-    let mut kept: Vec<QueueItem> = Vec::with_capacity(keep);
-    for _ in 0..keep {
-        match heap.pop() {
-            Some(item) => kept.push(item),
-            None => break,
-        }
-    }
-    heap.clear();
-    heap.extend(kept);
 }
 
 #[cfg(test)]

@@ -229,7 +229,7 @@ pub fn decode_compressed(mut buf: &[u8]) -> Result<PathIndex, StorageError> {
             edges.into_iter().map(EdgeId).collect(),
         );
         let labels = path.labels(&graph);
-        paths.push(IndexedPath { path, labels });
+        paths.push(IndexedPath::new(path, labels));
     }
 
     let triples = get_varint(&mut buf)? as usize;

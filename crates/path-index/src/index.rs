@@ -14,16 +14,42 @@ use crate::hypergraph::HyperGraphView;
 use crate::path::{Path, PathId, PathLabels};
 use crate::stats::IndexStats;
 use crate::synonyms::SynonymProvider;
-use rdf_model::{DataGraph, FxHashMap, LabelId};
+use rdf_model::{DataGraph, FxHashMap, LabelId, NodeId};
 use std::time::Instant;
 
-/// A path plus its materialized label sequences.
+/// A path plus its materialized label sequences and the sorted set of
+/// its node ids (what the conformity function `χ` intersects).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndexedPath {
     /// Node/edge ids in the data graph.
     pub path: Path,
     /// Node/edge label sequences (what alignment compares).
     pub labels: PathLabels,
+    /// The path's node ids sorted ascending and deduplicated,
+    /// precomputed at index-build time so `χ` between two indexed paths
+    /// is a linear merge-intersection with no hashing or sorting.
+    sorted_nodes: Box<[NodeId]>,
+}
+
+impl IndexedPath {
+    /// Index a path: materializes the sorted node set alongside the
+    /// given label sequences.
+    pub fn new(path: Path, labels: PathLabels) -> Self {
+        let mut sorted_nodes: Vec<NodeId> = path.nodes.to_vec();
+        sorted_nodes.sort_unstable();
+        sorted_nodes.dedup();
+        IndexedPath {
+            path,
+            labels,
+            sorted_nodes: sorted_nodes.into_boxed_slice(),
+        }
+    }
+
+    /// The path's node ids, sorted ascending, deduplicated.
+    #[inline]
+    pub fn sorted_nodes(&self) -> &[NodeId] {
+        &self.sorted_nodes
+    }
 }
 
 /// The complete off-line index over one data graph.
@@ -69,7 +95,7 @@ impl PathIndex {
                 by_label.entry(label).or_default().push(id);
             }
             by_sink.entry(labels.sink_label()).or_default().push(id);
-            paths.push(IndexedPath { path, labels });
+            paths.push(IndexedPath::new(path, labels));
         }
 
         let hyper = HyperGraphView::build(

@@ -109,7 +109,7 @@ impl ShardedIndex {
                             .into_iter()
                             .map(|path| {
                                 let labels = path.labels(graph.as_graph());
-                                IndexedPath { path, labels }
+                                IndexedPath::new(path, labels)
                             })
                             .collect();
                         let stats = IndexStats {

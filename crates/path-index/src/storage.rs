@@ -170,13 +170,19 @@ pub fn decode(mut buf: &[u8]) -> Result<PathIndex, StorageError> {
             .map_err(|_| StorageError::Corrupt("edge endpoint out of range"))?;
     }
 
-    // Paths.
+    // Paths. Counts come from untrusted bytes: cap every preallocation
+    // by what the remaining buffer could possibly hold (a path takes at
+    // least 8 bytes, an id 4), so a corrupt count fails with
+    // `Truncated` instead of attempting a huge allocation.
     let path_count = read_u32(&mut buf)? as usize;
-    let mut paths = Vec::with_capacity(path_count);
+    let mut paths = Vec::with_capacity(path_count.min(buf.remaining() / 8));
     for _ in 0..path_count {
         let k = read_u32(&mut buf)? as usize;
         if k == 0 {
             return Err(StorageError::Corrupt("empty path"));
+        }
+        if buf.remaining() / 4 < 2 * k - 1 {
+            return Err(StorageError::Truncated); // k nodes + k-1 edges
         }
         let mut nodes = Vec::with_capacity(k);
         for _ in 0..k {
@@ -196,7 +202,7 @@ pub fn decode(mut buf: &[u8]) -> Result<PathIndex, StorageError> {
         }
         let path = Path::new(nodes, edges);
         let labels = path.labels(&graph);
-        paths.push(IndexedPath { path, labels });
+        paths.push(IndexedPath::new(path, labels));
     }
 
     // Stats.

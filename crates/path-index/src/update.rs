@@ -146,7 +146,7 @@ impl PathIndex {
                     }
                     let path = Path::new(nodes, edges);
                     let labels = path.labels(g);
-                    added.push(IndexedPath { path, labels });
+                    added.push(IndexedPath::new(path, labels));
                 }
             }
         }

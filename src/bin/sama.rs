@@ -232,8 +232,17 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             result.retrieved_paths, result.truncated
         );
         println!(
-            "timings: preprocess {:.2?}, cluster {:.2?}, search {:.2?}",
-            result.timings.preprocessing, result.timings.clustering, result.timings.search
+            "timings: preprocess {:.2?}, cluster {:.2?}, search {:.2?} (χ {:.2?})",
+            result.timings.preprocessing,
+            result.timings.clustering,
+            result.timings.search,
+            result.timings.chi
+        );
+        println!(
+            "χ cache: {} lookups, {} hits ({:.0}%)",
+            result.chi_stats.lookups(),
+            result.chi_stats.hits,
+            result.chi_stats.hit_rate() * 100.0
         );
         println!();
     }

@@ -1,0 +1,121 @@
+//! Vendored minimal subset of the `bytes` crate, written for this
+//! workspace so it builds without network access. Only the pieces the
+//! index storage layer uses are provided: the [`Buf`] reading cursor
+//! over `&[u8]` and the [`BufMut`] little-endian writer over `Vec<u8>`.
+//! Semantics match the upstream crate for these methods.
+
+#![warn(missing_docs)]
+
+/// Read-side cursor over a contiguous buffer.
+pub trait Buf {
+    /// Bytes remaining between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize;
+
+    /// Advance the cursor by `cnt` bytes.
+    ///
+    /// # Panics
+    /// Panics if `cnt > self.remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// Read one byte and advance.
+    fn get_u8(&mut self) -> u8;
+
+    /// Read a little-endian `u32` and advance.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Read a little-endian `u64` and advance.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        let v = u32::from_le_bytes(head.try_into().expect("4 bytes"));
+        *self = rest;
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        let v = u64::from_le_bytes(head.try_into().expect("8 bytes"));
+        *self = rest;
+        v
+    }
+}
+
+/// Write-side cursor appending to a growable buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Append a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Append a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_slice(b"hdr");
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), buf.len());
+        r.advance(3);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut r: &[u8] = b"ab";
+        r.advance(3);
+    }
+}

@@ -1,0 +1,407 @@
+//! Vendored minimal benchmark harness, API-compatible with the subset
+//! of the `criterion` crate this workspace uses, written so benches
+//! build and run without network access.
+//!
+//! Differences from upstream criterion, deliberately accepted:
+//!
+//! * no statistical analysis (outlier detection, regressions); each
+//!   benchmark reports mean / min / max wall-clock time per iteration
+//!   over a fixed number of timed samples;
+//! * no HTML reports or `target/criterion` history — results go to
+//!   stdout, one line per benchmark;
+//! * `--bench`-style CLI filters accept a substring of the benchmark
+//!   id; `--test` runs every benchmark once (used by `cargo test` on
+//!   `harness = false` benches and by CI's `cargo bench --no-run`
+//!   follow-ups).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a value. Re-exported for
+/// API compatibility; prefer `std::hint::black_box` in new code.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver. Mirrors `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--profile-time" => {
+                    // value-less flag injected by cargo, or takes a
+                    // value we ignore
+                    if arg == "--profile-time" {
+                        args.next();
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // unknown option: skip a value if one follows
+                    if let Some(next) = args.peek() {
+                        if !next.starts_with("--") {
+                            args.next();
+                        }
+                    }
+                }
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            filter,
+            test_mode,
+            default_sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id().0;
+        let sample_size = self.default_sample_size;
+        self.run_one(&id, None, sample_size, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F>(
+        &mut self,
+        id: &str,
+        throughput: Option<&Throughput>,
+        sample_size: usize,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(id) {
+            return;
+        }
+        if self.test_mode {
+            let mut b = Bencher::test_mode();
+            f(&mut b);
+            println!("{id}: test ok");
+            return;
+        }
+        // Warm-up + calibration: find an iteration count that takes
+        // roughly 10ms so short benchmarks are timed in batches.
+        let mut b = Bencher::calibrating();
+        f(&mut b);
+        let per_iter = b.elapsed.as_nanos().max(1) as u64 / b.iters.max(1);
+        let batch = (10_000_000 / per_iter.max(1)).clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher::measuring(batch);
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("time is not NaN"));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples[0];
+        let max = *samples.last().expect("sample_size > 0");
+        let rate = throughput.map(|t| t.rate(mean)).unwrap_or_default();
+        println!(
+            "{id}: mean {} (min {}, max {}, {} samples x {batch} iters){rate}",
+            Nanos(mean),
+            Nanos(min),
+            Nanos(max),
+            samples.len(),
+        );
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used to report rates for later benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion
+            .run_one(&full, self.throughput.as_ref(), sample_size, f);
+        self
+    }
+
+    /// Run one benchmark with an input value passed to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    /// Run once, untimed (`--test`).
+    Test,
+    /// Run a few iterations to estimate per-iteration cost.
+    Calibrate,
+    /// Run exactly `n` timed iterations.
+    Measure(u64),
+}
+
+impl Bencher {
+    fn test_mode() -> Self {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            mode: BencherMode::Test,
+        }
+    }
+
+    fn calibrating() -> Self {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            mode: BencherMode::Calibrate,
+        }
+    }
+
+    fn measuring(n: u64) -> Self {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            mode: BencherMode::Measure(n),
+        }
+    }
+
+    /// Time repeated runs of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BencherMode::Test => {
+                black_box(routine());
+                self.iters = 1;
+            }
+            BencherMode::Calibrate => {
+                // Keep doubling until we've spent ~2ms.
+                let mut n: u64 = 1;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..n {
+                        black_box(routine());
+                    }
+                    let dt = start.elapsed();
+                    self.iters += n;
+                    self.elapsed += dt;
+                    if self.elapsed >= Duration::from_millis(2) || self.iters >= 1_000_000 {
+                        break;
+                    }
+                    n = n.saturating_mul(2);
+                }
+            }
+            BencherMode::Measure(n) => {
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                self.elapsed = start.elapsed();
+                self.iters = n;
+            }
+        }
+    }
+}
+
+/// Units for reporting a processing rate alongside times.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// `n` logical elements processed per iteration.
+    Elements(u64),
+    /// `n` bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn rate(&self, mean_nanos: f64) -> String {
+        let secs = mean_nanos / 1e9;
+        match self {
+            Throughput::Elements(n) => {
+                format!(", {:.3} Melem/s", *n as f64 / secs / 1e6)
+            }
+            Throughput::Bytes(n) => {
+                format!(", {:.3} MiB/s", *n as f64 / secs / (1024.0 * 1024.0))
+            }
+        }
+    }
+}
+
+/// Two-part benchmark id (`function/parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Anything usable as a benchmark id (`&str`, `String`,
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Convert to the canonical id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+struct Nanos(f64);
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1e3 {
+            write!(f, "{ns:.1} ns")
+        } else if ns < 1e6 {
+            write!(f, "{:.2} µs", ns / 1e3)
+        } else if ns < 1e9 {
+            write!(f, "{:.2} ms", ns / 1e6)
+        } else {
+            write!(f, "{:.3} s", ns / 1e9)
+        }
+    }
+}
+
+/// Define a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+            default_sample_size: 5,
+        };
+        let mut hits = 0u32;
+        {
+            let mut group = c.benchmark_group("shim");
+            group.throughput(Throughput::Elements(4));
+            group.sample_size(3);
+            group.bench_function("touch", |b| b.iter(|| hits = hits.wrapping_add(1)));
+            group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            group.finish();
+        }
+        assert!(hits > 0, "test mode runs the routine at least once");
+    }
+
+    #[test]
+    fn filter_matches_substring() {
+        let c = Criterion {
+            filter: Some("chi".into()),
+            test_mode: true,
+            default_sample_size: 5,
+        };
+        assert!(c.matches("group/chi_cached"));
+        assert!(!c.matches("group/align"));
+    }
+}

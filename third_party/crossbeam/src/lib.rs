@@ -1,0 +1,88 @@
+//! Vendored minimal subset of the `crossbeam` crate, written for this
+//! workspace so it builds without network access. Only scoped threads
+//! are provided, implemented on top of `std::thread::scope` (which
+//! postdates crossbeam's scoped threads and covers every use here).
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::thread;
+
+/// A scope handle: spawn threads that may borrow from the enclosing
+/// stack frame. Mirrors `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// Handle to a spawned scoped thread. Mirrors
+/// `crossbeam::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. As in crossbeam, the closure
+    /// receives the scope itself so workers can spawn further workers.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(scope)),
+        }
+    }
+}
+
+/// Run `f` with a thread scope; all spawned threads are joined before
+/// this returns. Mirrors `crossbeam::scope`, which returns `Result` —
+/// with `std::thread::scope` underneath, panics of unjoined threads
+/// propagate as panics instead, so the result is always `Ok`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .expect("scope failed");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n: usize = super::scope(|scope| {
+            let h = scope.spawn(|inner| inner.spawn(|_| 21usize).join().unwrap() * 2);
+            h.join().unwrap()
+        })
+        .expect("scope failed");
+        assert_eq!(n, 42);
+    }
+}

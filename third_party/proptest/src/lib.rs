@@ -1,0 +1,151 @@
+//! Vendored minimal property-testing shim, API-compatible with the
+//! subset of the `proptest` crate this workspace uses, written so the
+//! workspace builds and tests without network access.
+//!
+//! Differences from upstream proptest, deliberately accepted:
+//!
+//! * generation is a fixed-seed deterministic stream (seeded per test
+//!   name), so failures reproduce across runs without a regression
+//!   file;
+//! * there is **no shrinking** — a failing case is reported as-is;
+//! * string "regex" strategies support the pattern subset the tests
+//!   use (char classes, `.`, `\PC`, `{m,n}` quantifiers), not full
+//!   regex syntax.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Deterministic PRNG used by all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary string (the test name).
+    pub fn seeded_from(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// `proptest!` — generates one `#[test]` per contained function; each
+/// runs `config.cases` generated inputs through the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::seeded_from(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases && attempts < config.cases.saturating_mul(10) {
+                    attempts += 1;
+                    $(let $arg = ($strat).generate(&mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::Reject> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property body (panics on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discard the current case (it is regenerated, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+}
+
+/// Choose uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

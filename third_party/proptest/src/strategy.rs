@@ -1,0 +1,463 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values of one type. Object-safe for [`BoxedStrategy`];
+/// the combinators require `Self: Sized`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` returns.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (regenerating otherwise).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.as_ref().generate(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.reason);
+    }
+}
+
+/// Uniform choice among boxed strategies ([`crate::prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from at least one option.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64).saturating_add(1);
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, usize);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    (self.start as i64 + rng.below(span) as i64) as $t
+                }
+            }
+        )*
+    };
+}
+
+signed_range_strategy!(i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// String-pattern strategies: a `&str` literal is interpreted as the
+/// pattern subset the tests use — concatenations of `.` (any char but
+/// newline), `\PC` (any printable char), `\x` (literal escape), char
+/// classes `[a-z0-9_]`, and literal chars, each optionally quantified
+/// by `{m,n}`, `{n}`, `*`, `+` or `?`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.`: any char except `\n`.
+    Dot,
+    /// `\PC`: any non-control char.
+    Printable,
+    /// A literal char.
+    Literal(char),
+    /// `[...]`: inclusive ranges (single chars are `(c, c)`).
+    Class(Vec<(char, char)>),
+}
+
+/// Character pool for `.` — printable ASCII plus a few multibyte and
+/// control characters to stress the parsers.
+const DOT_EXTRAS: &[char] = &['\t', 'é', '→', '𝄞', '\u{0}', '\u{7f}', '"', '\\'];
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Dot => {
+            if rng.below(8) == 0 {
+                DOT_EXTRAS[rng.below(DOT_EXTRAS.len() as u64) as usize]
+            } else {
+                char::from(0x20 + rng.below(0x5f) as u8) // 0x20..=0x7e
+            }
+        }
+        Atom::Printable => {
+            if rng.below(12) == 0 {
+                ['é', 'Ω', '中', '→'][rng.below(4) as usize]
+            } else {
+                char::from(0x20 + rng.below(0x5f) as u8)
+            }
+        }
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+            char::from_u32(lo as u32 + rng.below(hi as u64 - lo as u64 + 1) as u32)
+                .expect("class range stays in valid chars")
+        }
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars.next().expect("unterminated char class");
+        if c == ']' {
+            break;
+        }
+        let c = if c == '\\' {
+            chars.next().expect("dangling escape in class")
+        } else {
+            c
+        };
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next(); // the '-'
+            match lookahead.peek() {
+                Some(&']') | None => ranges.push((c, c)), // literal '-'
+                Some(&hi) => {
+                    chars.next();
+                    chars.next();
+                    ranges.push((c, hi));
+                }
+            }
+        } else {
+            ranges.push((c, c));
+        }
+    }
+    assert!(!ranges.is_empty(), "empty char class");
+    ranges
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some(&'{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.parse().expect("bad quantifier"),
+                    n.parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = spec.parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        }
+        Some(&'*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some(&'+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some(&'?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Dot,
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => match chars.next().expect("dangling escape") {
+                'P' => {
+                    let cat = chars.next().expect("\\P needs a category");
+                    assert_eq!(cat, 'C', "only \\PC is supported");
+                    Atom::Printable
+                }
+                'n' => Atom::Literal('\n'),
+                't' => Atom::Literal('\t'),
+                esc => Atom::Literal(esc),
+            },
+            lit => Atom::Literal(lit),
+        };
+        let (lo, hi) = parse_quantifier(&mut chars);
+        let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(gen_atom(&atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seeded_from("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (3usize..10).generate(&mut r);
+            assert!((3..10).contains(&v));
+            let f = (0.5f64..2.0).generate(&mut r);
+            assert!((0.5..2.0).contains(&f));
+            let i = (1usize..=4).generate(&mut r);
+            assert!((1..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn patterns_match_shape() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{1,6}".generate(&mut r);
+            assert!((1..=6).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let ident = "[a-zA-Z][a-zA-Z0-9]{0,10}".generate(&mut r);
+            assert!(ident.chars().next().unwrap().is_ascii_alphabetic());
+            assert!((1..=11).contains(&ident.chars().count()));
+
+            let any = ".{0,200}".generate(&mut r);
+            assert!(any.chars().count() <= 200);
+            assert!(!any.contains('\n'));
+
+            let printable = "\\PC{0,40}".generate(&mut r);
+            assert!(printable.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut r = rng();
+        let s = (1usize..5)
+            .prop_flat_map(|n| crate::collection::vec(0usize..10, n..=n))
+            .prop_map(|v| v.len())
+            .prop_filter("non-empty", |&n| n > 0);
+        for _ in 0..50 {
+            let n = s.generate(&mut r);
+            assert!((1..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm_eventually() {
+        let mut r = rng();
+        let u = Union::new(vec![Just(1u32).boxed(), Just(2u32).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Runner configuration types used by the [`crate::proptest!`] macro.
+
+/// Per-test configuration; only `cases` is honoured by this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Marker returned by [`crate::prop_assume!`] to discard a case.
+#[derive(Debug)]
+pub struct Reject;
