@@ -1,0 +1,299 @@
+//! Concurrent batch query serving: a fixed worker pool answering many
+//! queries over one shared index.
+//!
+//! `Engine::answer` handles exactly one query; interactive approximate-
+//! query workloads arrive as *streams* of queries against the same
+//! index. Since the index is immutable during answering and every
+//! query run is independent, batch serving is a textbook worker pool:
+//! N scoped workers (the vendored `crossbeam` scope shim) claim
+//! queries off an atomic cursor, each runs the unchanged three-phase
+//! pipeline against the shared engine, and results land in submission
+//! order. Per-query answers are therefore *bit-identical* to a
+//! sequential `answer` loop at any thread count — concurrency changes
+//! who computes a query, never what it computes (integration-tested in
+//! `tests/concurrency.rs`).
+//!
+//! Besides the per-query [`QueryResult`]s the batch reports aggregate
+//! [`BatchStats`]: queries/sec and p50/p95/max latency per pipeline
+//! phase — the numbers a serving deployment actually watches.
+
+use crate::engine::{QueryResult, SamaEngine};
+use path_index::IndexLike;
+use rdf_model::QueryGraph;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How a batch run is executed.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Answers per query (the `k` of [`SamaEngine::answer`]).
+    pub k: usize,
+    /// Worker threads; `0` means one per available hardware thread.
+    /// Always clamped to the batch size; explicit values beyond the
+    /// core count are honored (workers timeslice).
+    pub threads: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { k: 10, threads: 0 }
+    }
+}
+
+/// p50/p95/max of a latency distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseLatency {
+    /// Median.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// Worst observed.
+    pub max: Duration,
+}
+
+impl PhaseLatency {
+    /// Percentiles of `samples` (drained; empty yields zeros).
+    fn from_samples(mut samples: Vec<Duration>) -> Self {
+        if samples.is_empty() {
+            return PhaseLatency::default();
+        }
+        samples.sort_unstable();
+        let at = |q: f64| {
+            let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+            samples[idx]
+        };
+        PhaseLatency {
+            p50: at(0.50),
+            p95: at(0.95),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Aggregate statistics of one batch run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Queries answered.
+    pub queries: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time of the whole batch (pool start to last join).
+    pub wall_time: Duration,
+    /// Throughput: `queries / wall_time`.
+    pub queries_per_sec: f64,
+    /// Per-query end-to-end latency percentiles.
+    pub total: PhaseLatency,
+    /// Decomposition + IG construction latency percentiles.
+    pub preprocessing: PhaseLatency,
+    /// Cluster retrieval + alignment latency percentiles.
+    pub clustering: PhaseLatency,
+    /// Combination-search latency percentiles.
+    pub search: PhaseLatency,
+}
+
+/// Everything a batch run produces: one [`QueryResult`] per submitted
+/// query, in submission order, plus the aggregate [`BatchStats`].
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-query results, index-aligned with the submitted queries.
+    pub results: Vec<QueryResult>,
+    /// Aggregate throughput and latency statistics.
+    pub stats: BatchStats,
+}
+
+/// Clamp a requested thread count: `0` means "all hardware threads";
+/// an explicit request is honored even beyond the core count (workers
+/// timeslice — and the concurrent path stays testable on small
+/// machines), but no pool is ever wider than the batch itself.
+pub(crate) fn clamp_threads(requested: usize, tasks: usize) -> usize {
+    let requested = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        requested
+    };
+    requested.min(tasks).max(1)
+}
+
+impl<I: IndexLike + Sync> SamaEngine<I> {
+    /// Answer every query of `queries` with `k` answers each on a
+    /// worker pool sized by [`BatchConfig::threads`].
+    ///
+    /// Results are returned in submission order and are bit-identical
+    /// to calling [`SamaEngine::answer`] in a loop, at every thread
+    /// count. When a [`crate::SharedChiCache`] is installed on the
+    /// engine, all workers share it.
+    pub fn answer_batch(&self, queries: &[QueryGraph], config: &BatchConfig) -> BatchOutcome {
+        let threads = clamp_threads(config.threads, queries.len());
+        let started = Instant::now();
+
+        let slots: Vec<Mutex<Option<QueryResult>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        if threads <= 1 {
+            // Inline fast path: no pool, same results by construction.
+            for (query, slot) in queries.iter().zip(&slots) {
+                *slot.lock().expect("result slot poisoned") = Some(self.answer(query, config.k));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            crossbeam::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(query) = queries.get(i) else { break };
+                        let result = self.answer(query, config.k);
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    });
+                }
+            })
+            .expect("batch worker pool panicked");
+        }
+        let wall_time = started.elapsed();
+
+        let results: Vec<QueryResult> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every query answered")
+            })
+            .collect();
+
+        let collect = |f: &dyn Fn(&QueryResult) -> Duration| {
+            PhaseLatency::from_samples(results.iter().map(f).collect())
+        };
+        let stats = BatchStats {
+            queries: results.len(),
+            threads,
+            wall_time,
+            queries_per_sec: if wall_time.is_zero() {
+                0.0
+            } else {
+                results.len() as f64 / wall_time.as_secs_f64()
+            },
+            total: collect(&|r| r.timings.total()),
+            preprocessing: collect(&|r| r.timings.preprocessing),
+            clustering: collect(&|r| r.timings.clustering),
+            search: collect(&|r| r.timings.search),
+        };
+        BatchOutcome { results, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::Answer;
+    use rdf_model::DataGraph;
+
+    fn data() -> DataGraph {
+        let mut b = DataGraph::builder();
+        for (person, amendment, bill) in [
+            ("CB", "A0056", "B1432"),
+            ("JR", "A1589", "B0532"),
+            ("KF", "A1232", "B0045"),
+        ] {
+            b.triple_str(person, "sponsor", amendment).unwrap();
+            b.triple_str(amendment, "aTo", bill).unwrap();
+            b.triple_str(bill, "subject", "\"HC\"").unwrap();
+        }
+        for person in ["JR", "KF"] {
+            b.triple_str(person, "gender", "\"Male\"").unwrap();
+        }
+        b.build()
+    }
+
+    fn queries() -> Vec<QueryGraph> {
+        let mut qs = Vec::new();
+        for person in ["CB", "JR", "KF", "Nobody"] {
+            let mut b = QueryGraph::builder();
+            b.triple_str(person, "sponsor", "?v1").unwrap();
+            b.triple_str("?v1", "aTo", "?v2").unwrap();
+            b.triple_str("?v2", "subject", "\"HC\"").unwrap();
+            qs.push(b.build());
+        }
+        let mut b = QueryGraph::builder();
+        b.triple_str("?p", "gender", "\"Male\"").unwrap();
+        qs.push(b.build());
+        qs
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn fingerprint(r: &QueryResult) -> (Vec<(Vec<Option<path_index::PathId>>, f64)>, usize, bool) {
+        (
+            r.answers
+                .iter()
+                .map(|a| (a.path_ids(), Answer::score(a)))
+                .collect(),
+            r.retrieved_paths,
+            r.truncated,
+        )
+    }
+
+    #[test]
+    fn batch_matches_sequential_loop() {
+        let engine = SamaEngine::new(data());
+        let qs = queries();
+        let sequential: Vec<_> = qs
+            .iter()
+            .map(|q| fingerprint(&engine.answer(q, 5)))
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let outcome = engine.answer_batch(&qs, &BatchConfig { k: 5, threads });
+            assert_eq!(outcome.results.len(), qs.len());
+            let batch: Vec<_> = outcome.results.iter().map(fingerprint).collect();
+            assert_eq!(batch, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let engine = SamaEngine::new(data());
+        let qs = queries();
+        let outcome = engine.answer_batch(&qs, &BatchConfig { k: 3, threads: 2 });
+        let stats = outcome.stats;
+        assert_eq!(stats.queries, qs.len());
+        assert!(stats.threads >= 1);
+        assert!(stats.queries_per_sec > 0.0);
+        assert!(stats.total.p50 <= stats.total.p95);
+        assert!(stats.total.p95 <= stats.total.max);
+        assert!(stats.total.max >= stats.search.p50);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = SamaEngine::new(data());
+        let outcome = engine.answer_batch(&[], &BatchConfig::default());
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.stats.queries, 0);
+    }
+
+    #[test]
+    fn thread_clamping() {
+        // 0 = all hardware threads, whatever the machine has.
+        assert!(clamp_threads(0, 100) >= 1);
+        // Never wider than the batch.
+        assert_eq!(clamp_threads(8, 3), 3);
+        assert_eq!(clamp_threads(1, 100), 1);
+        // Explicit oversubscription is honored — the concurrent path
+        // stays reachable (and testable) on single-core machines.
+        assert_eq!(clamp_threads(64, 100), 64);
+        // Empty batch still yields a valid (unused) pool width.
+        assert_eq!(clamp_threads(4, 0), 1);
+    }
+
+    #[test]
+    fn latency_percentiles_ordered() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let lat = PhaseLatency::from_samples(samples);
+        assert_eq!(lat.p50, Duration::from_millis(51));
+        assert_eq!(lat.p95, Duration::from_millis(95));
+        assert_eq!(lat.max, Duration::from_millis(100));
+        assert_eq!(
+            PhaseLatency::from_samples(Vec::new()),
+            PhaseLatency::default()
+        );
+    }
+}

@@ -1,4 +1,5 @@
-//! Query-scoped memoization of the common-node function `χ`.
+//! Memoization of the common-node function `χ`: a query-scoped tier
+//! and an optional process-wide shared tier.
 //!
 //! The combination search prices every expansion against the choices of
 //! IG-adjacent clusters, so the same *pair of data paths* is fed to
@@ -9,20 +10,31 @@
 //! misses are computed by the allocation-free merge-intersection over
 //! the index's precomputed [`path_index::IndexedPath::sorted_nodes`].
 //!
-//! The cache is *query-scoped* by design: path ids are only stable
+//! The query-scoped tier is the default: path ids are only stable
 //! relative to one index, sizes stay bounded by the pairs one query
 //! actually touches, and no locking or invalidation is ever needed.
+//! Batch serving adds the cross-query [`SharedChiCache`]: workloads
+//! re-touch the same hot pairs across queries (popular sinks retrieve
+//! the same clusters), so workers share an N-way lock-striped, bounded
+//! memo behind the per-query map. χ is a pure function of the two
+//! paths, so the shared tier never changes an answer — only whether a
+//! lookup is a hash probe or a merge-intersection.
 
 use crate::score::chi_count_sorted;
 use path_index::{IndexLike, PathId};
 use rdf_model::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Hit/miss counters and χ compute time of one query run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChiCacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the query-scoped map.
     pub hits: u64,
+    /// Lookups answered from the process-wide [`SharedChiCache`] (zero
+    /// unless a shared tier is installed).
+    pub shared_hits: u64,
     /// Lookups that computed `χ` (every lookup, when disabled).
     pub misses: u64,
     /// Wall-clock time spent computing `χ` on misses.
@@ -32,25 +44,170 @@ pub struct ChiCacheStats {
 impl ChiCacheStats {
     /// Total lookups.
     pub fn lookups(&self) -> u64 {
-        self.hits + self.misses
+        self.hits + self.shared_hits + self.misses
     }
 
-    /// Fraction of lookups served from the cache (0 when none).
+    /// Fraction of lookups served from either cache tier (0 when none).
     pub fn hit_rate(&self) -> f64 {
         if self.lookups() == 0 {
             0.0
         } else {
-            self.hits as f64 / self.lookups() as f64
+            (self.hits + self.shared_hits) as f64 / self.lookups() as f64
         }
     }
 }
 
-/// A query-scoped `|χ|` memo over unordered pairs of indexed paths.
+/// Counters of a process-wide [`SharedChiCache`] (all queries, all
+/// workers, since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedChiStats {
+    /// Lookups answered by the shared tier.
+    pub hits: u64,
+    /// Lookups the shared tier could not answer.
+    pub misses: u64,
+    /// Entries currently resident across all stripes.
+    pub entries: usize,
+    /// Stripe flushes forced by the capacity bound.
+    pub evictions: u64,
+}
+
+/// A process-wide, cross-query `|χ|` memo: N-way lock-striped over the
+/// unordered path-id pair, bounded per stripe.
+///
+/// Shared by every worker of a batch run (and across batches) through
+/// an `Arc`. Stripes keep lock contention proportional to actual key
+/// collisions instead of serializing all workers behind one mutex.
+/// When a stripe reaches its capacity bound it is flushed wholesale — a
+/// generational eviction that needs no per-entry bookkeeping and keeps
+/// the hot recent pairs repopulating immediately (the same policy as a
+/// query-scoped cache being dropped, but amortized across queries).
+///
+/// Path ids are only stable relative to one index, so a shared cache
+/// must never outlive the index it was populated against — the engine
+/// owns the `Arc` precisely to tie the two lifetimes together.
+#[derive(Debug)]
+pub struct SharedChiCache {
+    stripes: Vec<Mutex<FxHashMap<(PathId, PathId), u32>>>,
+    /// Maximum entries per stripe before a flush.
+    stripe_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SharedChiCache {
+    /// Default stripe count: enough that a pool of workers rarely
+    /// collides on a lock.
+    pub const DEFAULT_STRIPES: usize = 16;
+    /// Default total capacity (entries across all stripes). An entry is
+    /// 16 bytes of key + 4 of value; 1M entries ≈ tens of MB with map
+    /// overhead.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// A shared cache with `stripes` lock stripes and room for
+    /// `capacity` entries in total (rounded up to a multiple of the
+    /// stripe count; both clamped to at least 1).
+    pub fn new(stripes: usize, capacity: usize) -> Self {
+        let stripes = stripes.max(1);
+        let stripe_capacity = capacity.div_ceil(stripes).max(1);
+        SharedChiCache {
+            stripes: (0..stripes)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            stripe_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A shared cache with the default stripe count and capacity,
+    /// ready to hand to [`crate::SamaEngine::with_shared_chi_cache`].
+    pub fn with_defaults() -> Arc<Self> {
+        Arc::new(Self::new(Self::DEFAULT_STRIPES, Self::DEFAULT_CAPACITY))
+    }
+
+    /// Number of lock stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    #[inline]
+    fn stripe_of(&self, key: (PathId, PathId)) -> usize {
+        // Cheap mix of both ids; stripes count is small so modulo is fine.
+        let h = (key.0 .0 as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(key.1 .0 as u64);
+        (h % self.stripes.len() as u64) as usize
+    }
+
+    /// Look `key` up (the caller normalizes to `min ≤ max` order).
+    fn get(&self, key: (PathId, PathId)) -> Option<u32> {
+        let found = self.stripes[self.stripe_of(key)]
+            .lock()
+            .expect("χ stripe poisoned")
+            .get(&key)
+            .copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert a computed count, flushing the stripe at capacity.
+    fn insert(&self, key: (PathId, PathId), count: u32) {
+        let mut stripe = self.stripes[self.stripe_of(key)]
+            .lock()
+            .expect("χ stripe poisoned");
+        if stripe.len() >= self.stripe_capacity {
+            stripe.clear();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        stripe.insert(key, count);
+    }
+
+    /// Counters and occupancy so far.
+    pub fn stats(&self) -> SharedChiStats {
+        SharedChiStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Entries currently resident across all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("χ stripe poisoned").len())
+            .sum()
+    }
+
+    /// `true` if nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every memoized pair (e.g. after swapping the index the ids
+    /// refer to). Counters are kept.
+    pub fn clear(&self) {
+        for stripe in &self.stripes {
+            stripe.lock().expect("χ stripe poisoned").clear();
+        }
+    }
+}
+
+/// A query-scoped `|χ|` memo over unordered pairs of indexed paths,
+/// optionally backed by a process-wide [`SharedChiCache`] tier.
 #[derive(Debug, Default)]
 pub struct ChiCache {
     /// `(min id, max id)` → `|χ|`. Node counts fit `u32` comfortably
     /// (a path has far fewer nodes than `u32::MAX`).
     map: FxHashMap<(PathId, PathId), u32>,
+    /// Cross-query tier consulted between the local map and a compute.
+    shared: Option<Arc<SharedChiCache>>,
     stats: ChiCacheStats,
     disabled: bool,
 }
@@ -62,6 +219,16 @@ impl ChiCache {
         ChiCache {
             map: FxHashMap::with_capacity_and_hasher(4096, Default::default()),
             ..ChiCache::default()
+        }
+    }
+
+    /// A query-scoped cache backed by a cross-query shared tier:
+    /// local misses probe `shared` before computing, and computed
+    /// counts are published to both tiers.
+    pub fn with_shared(shared: Arc<SharedChiCache>) -> Self {
+        ChiCache {
+            shared: Some(shared),
+            ..ChiCache::new()
         }
     }
 
@@ -83,6 +250,15 @@ impl ChiCache {
                 self.stats.hits += 1;
                 return count as usize;
             }
+            if let Some(shared) = &self.shared {
+                if let Some(count) = shared.get(key) {
+                    // Promote into the query-local map so repeats within
+                    // this query stay lock-free.
+                    self.map.insert(key, count);
+                    self.stats.shared_hits += 1;
+                    return count as usize;
+                }
+            }
         }
         let start = Instant::now();
         let count = chi_count_sorted(
@@ -93,6 +269,9 @@ impl ChiCache {
         self.stats.misses += 1;
         if !self.disabled {
             self.map.insert(key, count as u32);
+            if let Some(shared) = &self.shared {
+                shared.insert(key, count as u32);
+            }
         }
         count
     }
@@ -170,6 +349,95 @@ mod tests {
         assert_eq!(stats.misses, 2);
         assert!(cache.is_empty());
         assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn shared_tier_serves_second_query() {
+        let index = small_index();
+        let shared = SharedChiCache::with_defaults();
+        let (a, b) = (PathId(0), PathId(1));
+
+        let mut first_query = ChiCache::with_shared(Arc::clone(&shared));
+        let expected = first_query.chi_count(&index, a, b);
+        assert_eq!(first_query.stats().misses, 1);
+        assert_eq!(shared.len(), 1);
+
+        // A fresh query-scoped cache finds the pair in the shared tier.
+        let mut second_query = ChiCache::with_shared(Arc::clone(&shared));
+        assert_eq!(second_query.chi_count(&index, b, a), expected);
+        let stats = second_query.stats();
+        assert_eq!(stats.shared_hits, 1);
+        assert_eq!(stats.misses, 0);
+        assert!(stats.hit_rate() > 0.99);
+        // Promoted locally: the repeat is a local hit, not a lock probe.
+        assert_eq!(second_query.chi_count(&index, a, b), expected);
+        assert_eq!(second_query.stats().hits, 1);
+
+        let shared_stats = shared.stats();
+        assert_eq!(shared_stats.hits, 1);
+        assert_eq!(shared_stats.misses, 1);
+        assert_eq!(shared_stats.entries, 1);
+    }
+
+    #[test]
+    fn shared_tier_agrees_with_uncached_chi() {
+        let index = small_index();
+        let shared = SharedChiCache::with_defaults();
+        for round in 0..2 {
+            let mut cache = ChiCache::with_shared(Arc::clone(&shared));
+            for i in 0..index.path_count() as u32 {
+                for j in 0..index.path_count() as u32 {
+                    let expected = crate::score::chi_count(
+                        &index.path(PathId(i)).path,
+                        &index.path(PathId(j)).path,
+                    );
+                    assert_eq!(
+                        cache.chi_count(&index, PathId(i), PathId(j)),
+                        expected,
+                        "round {round}, pair ({i}, {j})"
+                    );
+                }
+            }
+            if round == 1 {
+                // Every unordered pair came from the shared tier.
+                assert_eq!(cache.stats().misses, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn stripe_capacity_flushes_instead_of_growing() {
+        let index = small_index();
+        let n = index.path_count() as u32;
+        // Even two paths yield three distinct unordered pairs — enough
+        // to overflow a single two-entry stripe below.
+        assert!(n >= 2);
+        // One stripe, two entries: inserting every pair must keep the
+        // cache at or below capacity and count evictions.
+        let shared = Arc::new(SharedChiCache::new(1, 2));
+        let mut cache = ChiCache::with_shared(Arc::clone(&shared));
+        for i in 0..n {
+            for j in 0..n {
+                cache.chi_count(&index, PathId(i), PathId(j));
+            }
+        }
+        assert!(shared.len() <= 2, "stripe exceeded its bound");
+        assert!(shared.stats().evictions > 0);
+        // Flushes never affect values.
+        let mut fresh = ChiCache::with_shared(Arc::clone(&shared));
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    fresh.chi_count(&index, PathId(i), PathId(j)),
+                    crate::score::chi_count(
+                        &index.path(PathId(i)).path,
+                        &index.path(PathId(j)).path
+                    )
+                );
+            }
+        }
+        shared.clear();
+        assert!(shared.is_empty());
     }
 
     #[test]

@@ -14,6 +14,32 @@ use crate::params::ScoreParams;
 use crate::qpath::QueryPath;
 use crate::score::deletion_lambda;
 use path_index::{IndexLike, PathId, SynonymProvider};
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Mutex, OnceLock};
+
+/// `true` when `SAMA_PARALLEL` is set (and not `0`): the CI matrix leg
+/// that runs the whole test suite with every parallel knob enabled, so
+/// the concurrent code paths get the same coverage as the sequential
+/// defaults. Read once per process.
+pub(crate) fn parallel_default() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| std::env::var_os("SAMA_PARALLEL").is_some_and(|v| v != "0"))
+}
+
+/// Worker-pool width: one worker per hardware thread, but never more
+/// than `tasks`. The floor of two keeps the concurrent path reachable
+/// on single-core machines — the parallel knobs are explicit opt-ins,
+/// so an oversubscribed pool (workers timeslicing) honors the request
+/// instead of silently degrading to the sequential code path, and the
+/// determinism tests exercise real interleavings everywhere.
+pub(crate) fn worker_count(tasks: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(2)
+        .min(tasks)
+}
 
 /// How the clustering step picks its retrieval anchor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,6 +76,18 @@ pub struct ClusterConfig {
     /// Theorem 1's end-to-end monotonicity) that the paper's anchor
     /// heuristic does not preserve.
     pub exhaustive: bool,
+    /// Align the retrieved candidate list on scoped threads when it is
+    /// long enough (see [`ClusterConfig::parallel_threshold`]). The
+    /// real fan-out of a query is the candidates *within* a cluster
+    /// (up to [`ClusterConfig::max_candidates`]), not the handful of
+    /// clusters — this is where alignment time actually goes. Entries,
+    /// order, and the `candidates_*` counters are bit-identical to the
+    /// sequential path.
+    pub parallel_alignment: bool,
+    /// Minimum candidates per worker before
+    /// [`ClusterConfig::parallel_alignment`] spawns threads; below
+    /// `2 × threshold` the cluster is aligned inline.
+    pub parallel_threshold: usize,
 }
 
 impl Default for ClusterConfig {
@@ -60,6 +98,10 @@ impl Default for ClusterConfig {
             allow_full_scan: true,
             anchor: AnchorSelection::SinkFirst,
             exhaustive: false,
+            parallel_alignment: parallel_default(),
+            // Under SAMA_PARALLEL the threshold drops to 1 so even tiny
+            // test fixtures exercise the threaded path.
+            parallel_threshold: if parallel_default() { 1 } else { 4096 },
         }
     }
 }
@@ -115,7 +157,9 @@ impl Cluster {
 }
 
 /// Build all clusters for the decomposed query `qpaths` against `index`.
-pub fn build_clusters<I: IndexLike>(
+/// (`Sync` because [`ClusterConfig::parallel_alignment`] may fan a
+/// large candidate list over scoped threads.)
+pub fn build_clusters<I: IndexLike + Sync>(
     qpaths: &[QueryPath],
     index: &I,
     synonyms: &dyn SynonymProvider,
@@ -129,11 +173,21 @@ pub fn build_clusters<I: IndexLike>(
         .collect()
 }
 
-/// Parallel variant of [`build_clusters`]: one task per query path,
-/// fanned over scoped threads. The paper notes its index supports
-/// "parallel implementations"; clustering is embarrassingly parallel
-/// because clusters are independent. Falls back to the sequential path
-/// for trivial queries where spawning would dominate.
+/// Parallel variant of [`build_clusters`]: one *task* per query path,
+/// drained by a fixed pool of scoped workers. The paper notes its
+/// index supports "parallel implementations"; clustering is
+/// embarrassingly parallel because clusters are independent.
+///
+/// Work is claimed per query path through an atomic cursor rather than
+/// split into contiguous chunks: query paths have wildly different
+/// candidate counts (a popular sink retrieves thousands, a selective
+/// one a handful), so a chunked split can hand one thread all the
+/// heavy paths and serialize the run — with `qpaths.len()` just above
+/// the thread count, `div_ceil` used to put *two* paths in the first
+/// chunk and leave the last thread idle. Claiming one path at a time
+/// load-balances regardless of weight, and results land in `PQ` order
+/// by slot. Falls back to the sequential path for trivial queries
+/// where spawning would dominate.
 pub fn build_clusters_parallel<I: IndexLike + Sync>(
     qpaths: &[QueryPath],
     index: &I,
@@ -142,35 +196,33 @@ pub fn build_clusters_parallel<I: IndexLike + Sync>(
     mode: AlignmentMode,
     config: &ClusterConfig,
 ) -> Vec<Cluster> {
-    if qpaths.len() < 2 {
+    let threads = worker_count(qpaths.len());
+    if qpaths.len() < 2 || threads < 2 {
         return build_clusters(qpaths, index, synonyms, params, mode, config);
     }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(qpaths.len());
-    let chunk = qpaths.len().div_ceil(threads);
-    let mut out: Vec<Cluster> = Vec::with_capacity(qpaths.len());
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Cluster>>> = qpaths.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = qpaths
-            .chunks(chunk)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|q| build_cluster(q, index, synonyms, params, mode, config))
-                        .collect::<Vec<Cluster>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            out.extend(handle.join().expect("cluster worker panicked"));
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                let Some(q) = qpaths.get(i) else { break };
+                let cluster = build_cluster(q, index, synonyms, params, mode, config);
+                *slots[i].lock().expect("cluster slot poisoned") = Some(cluster);
+            });
         }
     });
-    out
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("cluster slot poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
 }
 
-fn build_cluster<I: IndexLike>(
+fn build_cluster<I: IndexLike + Sync>(
     q: &QueryPath,
     index: &I,
     synonyms: &dyn SynonymProvider,
@@ -188,30 +240,12 @@ fn build_cluster<I: IndexLike>(
         &candidates
     };
 
-    let mut entries: Vec<ClusterEntry> = considered
-        .iter()
-        .map(|&pid| {
-            let indexed = index.indexed(pid);
-            ClusterEntry {
-                path_id: pid,
-                alignment: align(q, &indexed.labels, params, mode),
-            }
-        })
-        .collect();
-    // λ first; ties broken by the path's *content* (its node/edge id
-    // sequences in the shared data graph), not by the path id — path
-    // ids are deployment-specific (a sharded index numbers them
-    // differently), and `max_cluster_size` truncation must keep the
-    // same entry set everywhere for answers to be score-identical.
-    entries.sort_by(|x, y| {
-        x.lambda().total_cmp(&y.lambda()).then_with(|| {
-            let px = &index.indexed(x.path_id).path;
-            let py = &index.indexed(y.path_id).path;
-            px.nodes
-                .cmp(&py.nodes)
-                .then_with(|| px.edges.cmp(&py.edges))
-        })
-    });
+    let mut entries = if config.parallel_alignment {
+        align_candidates_parallel(q, index, considered, params, mode, config)
+    } else {
+        align_candidates(q, index, considered, params, mode)
+    };
+    entries.sort_by(|x, y| entry_cmp(index, x, y));
     entries.truncate(config.max_cluster_size);
 
     Cluster {
@@ -221,6 +255,84 @@ fn build_cluster<I: IndexLike>(
         candidates_dropped: dropped,
         candidates_retrieved: retrieved,
     }
+}
+
+/// λ first; ties broken by the path's *content* (its node/edge id
+/// sequences in the shared data graph), not by the path id — path ids
+/// are deployment-specific (a sharded index numbers them differently),
+/// and `max_cluster_size` truncation must keep the same entry set
+/// everywhere for answers to be score-identical.
+fn entry_cmp<I: IndexLike + ?Sized>(index: &I, x: &ClusterEntry, y: &ClusterEntry) -> Ordering {
+    x.lambda().total_cmp(&y.lambda()).then_with(|| {
+        let px = &index.indexed(x.path_id).path;
+        let py = &index.indexed(y.path_id).path;
+        px.nodes
+            .cmp(&py.nodes)
+            .then_with(|| px.edges.cmp(&py.edges))
+    })
+}
+
+/// Align every candidate inline, in retrieval order.
+fn align_candidates<I: IndexLike + ?Sized>(
+    q: &QueryPath,
+    index: &I,
+    considered: &[PathId],
+    params: &ScoreParams,
+    mode: AlignmentMode,
+) -> Vec<ClusterEntry> {
+    considered
+        .iter()
+        .map(|&pid| {
+            let indexed = index.indexed(pid);
+            ClusterEntry {
+                path_id: pid,
+                alignment: align(q, &indexed.labels, params, mode),
+            }
+        })
+        .collect()
+}
+
+/// Align the candidate list across scoped worker threads.
+///
+/// Each worker sorts its chunk with [`entry_cmp`] and keeps only its
+/// best `max_cluster_size` entries (a per-chunk best-λ heap): an entry
+/// dropped there has `max_cluster_size` better-ordered entries in its
+/// own chunk alone, so it can never make the cluster's global cut.
+/// Chunks are concatenated in candidate order, and the caller's final
+/// *stable* sort + truncate therefore yields exactly the entries —
+/// and the entry order — of the sequential path.
+fn align_candidates_parallel<I: IndexLike + Sync + ?Sized>(
+    q: &QueryPath,
+    index: &I,
+    considered: &[PathId],
+    params: &ScoreParams,
+    mode: AlignmentMode,
+    config: &ClusterConfig,
+) -> Vec<ClusterEntry> {
+    let per_worker = config.parallel_threshold.max(1);
+    let threads = worker_count(considered.len() / per_worker);
+    if threads < 2 {
+        return align_candidates(q, index, considered, params, mode);
+    }
+    let chunk_len = considered.len().div_ceil(threads);
+    let mut merged: Vec<ClusterEntry> = Vec::with_capacity(considered.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = considered
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut entries = align_candidates(q, index, chunk, params, mode);
+                    entries.sort_by(|x, y| entry_cmp(index, x, y));
+                    entries.truncate(config.max_cluster_size);
+                    entries
+                })
+            })
+            .collect();
+        for handle in handles {
+            merged.extend(handle.join().expect("alignment worker panicked"));
+        }
+    });
+    merged
 }
 
 /// The paper's retrieval rule, extended into a cascade so approximate

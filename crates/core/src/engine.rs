@@ -3,12 +3,14 @@
 
 use crate::align::AlignmentMode;
 use crate::answer::Answer;
-use crate::chi_cache::ChiCacheStats;
-use crate::cluster::{build_clusters, build_clusters_parallel, Cluster, ClusterConfig};
+use crate::chi_cache::{ChiCacheStats, SharedChiCache};
+use crate::cluster::{
+    build_clusters, build_clusters_parallel, parallel_default, Cluster, ClusterConfig,
+};
 use crate::igraph::IntersectionGraph;
 use crate::params::ScoreParams;
 use crate::qpath::{decompose_query, QueryPath};
-use crate::search::{search_top_k, SearchConfig, SearchStream};
+use crate::search::{search_top_k_with_shared_chi, SearchConfig, SearchStream};
 use path_index::{
     ExtractionConfig, IndexLike, NoSynonyms, PathIndex, ShardedIndex, SynonymProvider,
 };
@@ -17,7 +19,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine-wide configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     /// Path-extraction limits for the *data* graph (indexing).
     pub extraction: ExtractionConfig,
@@ -32,6 +34,21 @@ pub struct EngineConfig {
     pub alignment: AlignmentMode,
     /// Build clusters on scoped threads (one task per query path).
     pub parallel_clustering: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            extraction: ExtractionConfig::default(),
+            query_extraction: ExtractionConfig::default(),
+            cluster: ClusterConfig::default(),
+            search: SearchConfig::default(),
+            alignment: AlignmentMode::default(),
+            // Off by default; the SAMA_PARALLEL env flag (the CI matrix
+            // leg) flips every parallel knob on.
+            parallel_clustering: parallel_default(),
+        }
+    }
 }
 
 /// Per-phase timings of one query run (the paper's Figure 6 measures
@@ -161,6 +178,10 @@ pub struct SamaEngine<I: IndexLike = PathIndex> {
     synonyms: Arc<dyn SynonymProvider>,
     params: ScoreParams,
     config: EngineConfig,
+    /// Optional cross-query χ memo shared by every query (and every
+    /// batch worker) on this engine. `None` (the default) keeps the
+    /// query-scoped cache of single-shot runs.
+    shared_chi: Option<Arc<SharedChiCache>>,
 }
 
 impl SamaEngine<PathIndex> {
@@ -205,6 +226,7 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             synonyms: Arc::new(NoSynonyms),
             params: ScoreParams::paper(),
             config,
+            shared_chi: None,
         }
     }
 
@@ -219,6 +241,21 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
     pub fn with_synonyms(mut self, synonyms: Arc<dyn SynonymProvider>) -> Self {
         self.synonyms = synonyms;
         self
+    }
+
+    /// Install a cross-query shared χ cache (builder style): every
+    /// query answered by this engine — and every worker of
+    /// [`SamaEngine::answer_batch`](crate::batch) — reads and feeds the
+    /// same lock-striped memo. Answers and scores are unaffected; see
+    /// [`SharedChiCache`].
+    pub fn with_shared_chi_cache(mut self, cache: Arc<SharedChiCache>) -> Self {
+        self.shared_chi = Some(cache);
+        self
+    }
+
+    /// The installed cross-query χ cache, if any.
+    pub fn shared_chi_cache(&self) -> Option<&Arc<SharedChiCache>> {
+        self.shared_chi.as_ref()
     }
 
     /// The underlying index.
@@ -280,13 +317,14 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
                 &self.config.cluster,
             )
         };
-        SearchStream::new(
+        SearchStream::with_shared_chi(
             query_paths,
             intersection_graph,
             clusters,
             &self.index,
             self.params,
             self.config.search,
+            self.shared_chi.clone(),
         )
     }
 
@@ -325,7 +363,7 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
         let clustering = t1.elapsed();
 
         let t2 = Instant::now();
-        let outcome = search_top_k(
+        let outcome = search_top_k_with_shared_chi(
             &query_paths,
             &intersection_graph,
             &clusters,
@@ -333,6 +371,7 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             &self.params,
             k,
             &self.config.search,
+            self.shared_chi.clone(),
         );
         let search = t2.elapsed();
 

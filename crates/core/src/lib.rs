@@ -49,6 +49,7 @@
 
 pub mod align;
 pub mod answer;
+pub mod batch;
 pub mod chi_cache;
 pub mod cluster;
 pub mod engine;
@@ -62,7 +63,8 @@ pub mod search;
 
 pub use align::{align, Alignment, AlignmentCounts, AlignmentMode};
 pub use answer::{Answer, ChosenPath};
-pub use chi_cache::{ChiCache, ChiCacheStats};
+pub use batch::{BatchConfig, BatchOutcome, BatchStats, PhaseLatency};
+pub use chi_cache::{ChiCache, ChiCacheStats, SharedChiCache, SharedChiStats};
 pub use cluster::{
     build_clusters, build_clusters_parallel, AnchorSelection, Cluster, ClusterConfig, ClusterEntry,
 };
@@ -76,4 +78,6 @@ pub use score::{
     chi, chi_count, chi_count_sorted, chi_sorted, conformity_penalty, conformity_ratio,
     deletion_lambda, PairConformity, ScoreBreakdown,
 };
-pub use search::{search_top_k, SearchConfig, SearchOutcome, SearchStream};
+pub use search::{
+    search_top_k, search_top_k_with_shared_chi, SearchConfig, SearchOutcome, SearchStream,
+};

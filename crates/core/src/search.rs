@@ -26,7 +26,7 @@
 //! instead of multiplying by cluster width.
 
 use crate::answer::{Answer, ChosenPath};
-use crate::chi_cache::{ChiCache, ChiCacheStats};
+use crate::chi_cache::{ChiCache, ChiCacheStats, SharedChiCache};
 use crate::cluster::Cluster;
 use crate::igraph::IntersectionGraph;
 use crate::params::ScoreParams;
@@ -35,6 +35,7 @@ use crate::score::{PairConformity, ScoreBreakdown};
 use path_index::IndexLike;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Limits for the combination search.
 #[derive(Debug, Clone, Copy)]
@@ -179,6 +180,22 @@ impl<'a, I: IndexLike> SearchStream<'a, I> {
         params: ScoreParams,
         config: SearchConfig,
     ) -> Self {
+        Self::with_shared_chi(qpaths, ig, clusters, index, params, config, None)
+    }
+
+    /// Like [`SearchStream::new`], with the query-scoped χ cache backed
+    /// by a cross-query [`SharedChiCache`] tier (ignored when
+    /// [`SearchConfig::use_chi_cache`] is off). Answers are identical
+    /// either way — χ is a pure function of the path pair.
+    pub fn with_shared_chi(
+        qpaths: Vec<QueryPath>,
+        ig: IntersectionGraph,
+        clusters: Vec<Cluster>,
+        index: &'a I,
+        params: ScoreParams,
+        config: SearchConfig,
+        shared_chi: Option<Arc<SharedChiCache>>,
+    ) -> Self {
         debug_assert_eq!(qpaths.len(), clusters.len());
         let n = clusters.len();
         let mut bound = vec![0.0f64; n + 1];
@@ -198,10 +215,10 @@ impl<'a, I: IndexLike> SearchStream<'a, I> {
             emitted_sets: Vec::new(),
             expansions: 0,
             truncated: false,
-            chi: if config.use_chi_cache {
-                ChiCache::new()
-            } else {
-                ChiCache::disabled()
+            chi: match (config.use_chi_cache, shared_chi) {
+                (false, _) => ChiCache::disabled(),
+                (true, Some(shared)) => ChiCache::with_shared(shared),
+                (true, None) => ChiCache::new(),
             },
             pool: Vec::new(),
         };
@@ -536,6 +553,22 @@ pub fn search_top_k<I: IndexLike>(
     k: usize,
     config: &SearchConfig,
 ) -> SearchOutcome {
+    search_top_k_with_shared_chi(qpaths, ig, clusters, index, params, k, config, None)
+}
+
+/// [`search_top_k`] with an optional cross-query [`SharedChiCache`]
+/// tier behind the query-scoped χ memo.
+#[allow(clippy::too_many_arguments)]
+pub fn search_top_k_with_shared_chi<I: IndexLike>(
+    qpaths: &[QueryPath],
+    ig: &IntersectionGraph,
+    clusters: &[Cluster],
+    index: &I,
+    params: &ScoreParams,
+    k: usize,
+    config: &SearchConfig,
+    shared_chi: Option<Arc<SharedChiCache>>,
+) -> SearchOutcome {
     let mut outcome = SearchOutcome {
         answers: Vec::with_capacity(k.min(1024)),
         expansions: 0,
@@ -545,13 +578,14 @@ pub fn search_top_k<I: IndexLike>(
     if clusters.is_empty() || k == 0 {
         return outcome;
     }
-    let mut stream = SearchStream::new(
+    let mut stream = SearchStream::with_shared_chi(
         qpaths.to_vec(),
         ig.clone(),
         clusters.to_vec(),
         index,
         *params,
         *config,
+        shared_chi,
     );
     while outcome.answers.len() < k {
         match stream.next_answer() {

@@ -4,7 +4,8 @@
 
 use proptest::prelude::*;
 use rdf_model::{DataGraph, QueryGraph, Triple};
-use sama_core::{ChiCache, EngineConfig, QueryResult, SamaEngine, SearchConfig};
+use sama_core::{ChiCache, EngineConfig, QueryResult, SamaEngine, SearchConfig, SharedChiCache};
+use std::sync::Arc;
 
 /// Random ground triples over a small closed world, edges pointing from
 /// lower to higher node ids so the extracted paths stay acyclic.
@@ -60,6 +61,34 @@ proptest! {
             }
         }
         prop_assert_eq!(off.len(), 0, "disabled cache must not retain entries");
+    }
+
+    /// The shared (cross-query) tier is transparent: a query-scoped
+    /// cache backed by a shared tier returns the same counts, and a
+    /// *second* cache over the same shared tier is served entirely from
+    /// it — zero fresh χ computations.
+    #[test]
+    fn shared_tier_equals_uncached(triples in arb_dag_triples(9, 16)) {
+        let data = DataGraph::from_triples(&triples).expect("ground");
+        let index = path_index::PathIndex::build(data);
+        let shared = SharedChiCache::with_defaults();
+        let mut first = ChiCache::with_shared(Arc::clone(&shared));
+        for (ia, pa) in index.paths() {
+            for (ib, pb) in index.paths() {
+                let reference = sama_core::chi_count(&pa.path, &pb.path);
+                prop_assert_eq!(first.chi_count(&index, ia, ib), reference);
+            }
+        }
+        let mut second = ChiCache::with_shared(Arc::clone(&shared));
+        for (ia, pa) in index.paths() {
+            for (ib, pb) in index.paths() {
+                let reference = sama_core::chi_count(&pa.path, &pb.path);
+                prop_assert_eq!(second.chi_count(&index, ia, ib), reference);
+            }
+        }
+        let stats = second.stats();
+        prop_assert_eq!(stats.misses, 0, "second reader must never recompute");
+        prop_assert!(stats.shared_hits > 0 || index.path_count() < 1);
     }
 }
 

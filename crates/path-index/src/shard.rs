@@ -83,8 +83,11 @@ pub struct ShardedIndex {
 
 impl ShardedIndex {
     /// Partition the sources of `graph` round-robin into `shard_count`
-    /// shards and index each independently (one thread per shard —
-    /// the simulated grid).
+    /// shards and index each independently. Shard builds run on a
+    /// worker pool capped at `available_parallelism` (the same clamp
+    /// `extract.rs` uses) — a 64-shard build on an 8-core box runs 8
+    /// builds at a time instead of spawning 64 OS threads that fight
+    /// over the cores.
     ///
     /// # Panics
     /// Panics if `shard_count` is zero.
@@ -96,39 +99,78 @@ impl ShardedIndex {
             partitions[i % shard_count].push(s);
         }
 
-        let shards: Vec<PathIndex> = std::thread::scope(|scope| {
-            let handles: Vec<_> = partitions
+        let build_one = |partition: &[rdf_model::NodeId]| -> PathIndex {
+            let graph = graph.clone();
+            let extraction = extract_paths_from_sources(graph.as_graph(), partition, config);
+            let paths: Vec<IndexedPath> = extraction
+                .paths
                 .into_iter()
-                .map(|partition| {
-                    let graph = graph.clone();
-                    scope.spawn(move || {
-                        let extraction =
-                            extract_paths_from_sources(graph.as_graph(), &partition, config);
-                        let paths: Vec<IndexedPath> = extraction
-                            .paths
-                            .into_iter()
-                            .map(|path| {
-                                let labels = path.labels(graph.as_graph());
-                                IndexedPath::new(path, labels)
-                            })
-                            .collect();
-                        let stats = IndexStats {
-                            triples: graph.edge_count(),
-                            path_count: paths.len(),
-                            depth_truncated: extraction.depth_truncated,
-                            dropped: extraction.dropped,
-                            ..Default::default()
-                        };
-                        PathIndex::from_parts(graph, paths, stats)
-                    })
+                .map(|path| {
+                    let labels = path.labels(graph.as_graph());
+                    IndexedPath::new(path, labels)
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard build panicked"))
-                .collect()
-        });
+            let stats = IndexStats {
+                triples: graph.edge_count(),
+                path_count: paths.len(),
+                depth_truncated: extraction.depth_truncated,
+                dropped: extraction.dropped,
+                ..Default::default()
+            };
+            PathIndex::from_parts(graph, paths, stats)
+        };
 
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(shard_count);
+        let shards: Vec<PathIndex> = if threads <= 1 {
+            partitions.iter().map(|p| build_one(p)).collect()
+        } else {
+            // Fixed pool of `threads` workers claiming partitions off an
+            // atomic cursor; slot `i` always receives partition `i`'s
+            // index, so shard order (and the global id space) is
+            // independent of scheduling.
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Mutex;
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<PathIndex>>> =
+                partitions.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(partition) = partitions.get(i) else {
+                            break;
+                        };
+                        let shard = build_one(partition);
+                        *slots[i].lock().expect("shard slot poisoned") = Some(shard);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("shard slot poisoned")
+                        .expect("every shard built")
+                })
+                .collect()
+        };
+        Self::from_shards(shards)
+    }
+
+    /// Assemble a sharded index from pre-built per-partition indexes
+    /// (e.g. shards deserialized from disk, or the build pool above).
+    /// Shards may be empty — an empty shard occupies zero ids, so its
+    /// offset equals the next shard's (the id→shard lookup steps past
+    /// such duplicate offsets to the shard that owns the id).
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty — [`IndexLike::data`] needs at least
+    /// one shard's graph replica.
+    pub fn from_shards(shards: Vec<PathIndex>) -> Self {
+        assert!(!shards.is_empty(), "at least one shard");
         let mut offsets = Vec::with_capacity(shards.len() + 1);
         let mut total = 0u32;
         for shard in &shards {
@@ -150,7 +192,20 @@ impl ShardedIndex {
     }
 
     /// `(shard, local id)` for a global id.
+    ///
+    /// An empty shard (a partition that extracted zero paths — e.g.
+    /// more shards than sources) contributes a *duplicate* offset:
+    /// `offsets[i] == offsets[i + 1]`. `partition_point` returns the
+    /// first offset *greater* than `id`, so stepping back one lands on
+    /// the **last** shard whose offset is `≤ id` — exactly the one
+    /// non-empty owner among any run of equal offsets. Regression-
+    /// tested in `locate_skips_empty_shards` for empty shards at the
+    /// head, middle, and tail, and at every shard boundary.
     fn locate(&self, id: PathId) -> (usize, PathId) {
+        debug_assert!(
+            id.0 < *self.offsets.last().expect("offsets non-empty"),
+            "path id {id:?} out of range"
+        );
         let shard = self
             .offsets
             .partition_point(|&off| off <= id.0)
@@ -320,6 +375,104 @@ mod tests {
         let sharded = ShardedIndex::build(b.build(), 8, &ExtractionConfig::default());
         assert_eq!(sharded.total_paths(), 1);
         assert_eq!(sharded.shard_count(), 8);
+        // Seven of the eight shards are empty; the one path still
+        // resolves (and the empty shards contribute duplicate offsets).
+        let _ = sharded.indexed(PathId(0));
+        assert!(sharded.offsets.windows(2).any(|w| w[0] == w[1]));
+    }
+
+    /// A shard over `graph` holding zero paths (a grid node whose
+    /// partition extracted nothing).
+    fn empty_shard(graph: &DataGraph) -> PathIndex {
+        PathIndex::from_parts(graph.clone(), Vec::new(), IndexStats::default())
+    }
+
+    /// A shard holding exactly the paths of the given sources.
+    fn shard_of(graph: &DataGraph, sources: &[rdf_model::NodeId]) -> PathIndex {
+        let extraction =
+            extract_paths_from_sources(graph.as_graph(), sources, &ExtractionConfig::default());
+        let paths: Vec<IndexedPath> = extraction
+            .paths
+            .into_iter()
+            .map(|path| {
+                let labels = path.labels(graph.as_graph());
+                IndexedPath::new(path, labels)
+            })
+            .collect();
+        PathIndex::from_parts(graph.clone(), paths, IndexStats::default())
+    }
+
+    #[test]
+    fn locate_skips_empty_shards() {
+        let graph = sample_graph();
+        let sources = graph.as_graph().effective_sources();
+        assert!(sources.len() >= 4);
+        let (first, rest) = sources.split_at(2);
+        // Empty shards at the head, in the middle, and at the tail:
+        // offsets carry duplicate entries at every empty slot.
+        let sharded = ShardedIndex::from_shards(vec![
+            empty_shard(&graph),
+            shard_of(&graph, first),
+            empty_shard(&graph),
+            empty_shard(&graph),
+            shard_of(&graph, rest),
+            empty_shard(&graph),
+        ]);
+        let single = PathIndex::build(graph.clone());
+        assert_eq!(sharded.total_paths(), single.path_count());
+
+        // Every id resolves to a non-empty shard, ids are dense, and
+        // the path multiset matches the single index.
+        let mut rendered: Vec<String> = (0..sharded.total_paths() as u32)
+            .map(|i| {
+                let (shard, local) = sharded.locate(PathId(i));
+                assert!(
+                    sharded.shards()[shard].path_count() > 0,
+                    "id {i} resolved to empty shard {shard}"
+                );
+                assert!((local.0 as usize) < sharded.shards()[shard].path_count());
+                sharded
+                    .indexed(PathId(i))
+                    .path
+                    .display(sharded.data().as_graph())
+                    .to_string()
+            })
+            .collect();
+        rendered.sort();
+        let mut expected: Vec<String> = single
+            .paths()
+            .map(|(_, ip)| ip.path.display(single.graph().as_graph()).to_string())
+            .collect();
+        expected.sort();
+        assert_eq!(rendered, expected);
+
+        // Shard-boundary ids in particular: the first and last path of
+        // each non-empty shard round-trip through globalize/locate.
+        let mut global = 0u32;
+        for (si, shard) in sharded.shards().iter().enumerate() {
+            if shard.path_count() == 0 {
+                continue;
+            }
+            let first_id = PathId(global);
+            let last_id = PathId(global + shard.path_count() as u32 - 1);
+            assert_eq!(sharded.locate(first_id), (si, PathId(0)));
+            assert_eq!(
+                sharded.locate(last_id),
+                (si, PathId(shard.path_count() as u32 - 1))
+            );
+            global += shard.path_count() as u32;
+        }
+    }
+
+    #[test]
+    fn build_caps_threads_but_keeps_all_shards() {
+        // 64 shards on any machine: the pool must still produce every
+        // shard, in order, with the same global path set.
+        let graph = sample_graph();
+        let single = PathIndex::build(graph.clone());
+        let sharded = ShardedIndex::build(graph, 64, &ExtractionConfig::default());
+        assert_eq!(sharded.shard_count(), 64);
+        assert_eq!(sharded.total_paths(), single.path_count());
     }
 
     #[test]

@@ -3,12 +3,13 @@
 //!
 //! ```text
 //! sama index  <data.nt> -o <index.bin>      build and save an index
-//! sama query  <index.bin> <query.rq|-> [-k N] [--explain]
+//! sama query  <index.bin> <query.rq|-> [-k N] [--threads N] [--explain]
+//! sama batch  <index.bin> <q1.rq> [q2.rq ...] [-k N] [--threads N]
 //! sama stats  <index.bin>                   print Table-1-style stats
 //! sama paths  <index.bin> [--limit N]       dump indexed paths
 //! ```
 
-use sama::engine::SamaEngine;
+use sama::engine::{BatchConfig, ClusterConfig, EngineConfig, SamaEngine, SharedChiCache};
 use sama::index::{decode_any, encode_compressed, serialize_index, ExtractionConfig, PathIndex};
 use sama::model::{parse_ntriples, parse_sparql, parse_turtle, DataGraph};
 use std::io::Read;
@@ -20,6 +21,7 @@ fn main() -> ExitCode {
         Some("index") => cmd_index(&args[1..]),
         Some("update") => cmd_update(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("paths") => cmd_paths(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -43,9 +45,14 @@ sama — approximate RDF querying by path alignment (EDBT 2013)
 USAGE:
   sama index <data.nt|data.ttl> -o <index.bin> [--compress]
   sama update <index.bin> <more.nt|more.ttl> [-o <out.bin>] [--compress]
-  sama query <index.bin> <query.rq|-> [-k N] [--explain] [--json]
+  sama query <index.bin> <query.rq|-> [-k N] [--threads N] [--explain] [--json]
+  sama batch <index.bin> <q1.rq> [q2.rq ...] [-k N] [--threads N] [--shared-chi] [--json]
   sama stats <index.bin>                    indexing statistics
-  sama paths <index.bin> [--limit N]        dump indexed paths";
+  sama paths <index.bin> [--limit N]        dump indexed paths
+
+  --threads N   worker threads (0 = all hardware threads); N != 1 also
+                turns on parallel clustering and in-cluster alignment
+  --shared-chi  share one cross-query chi cache between batch workers";
 
 fn load_index(path: &str) -> Result<PathIndex, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read index {path:?}: {e}"))?;
@@ -160,9 +167,27 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Engine configuration for a requested worker count: any value other
+/// than the sequential `1` also enables the intra-query parallel paths
+/// (parallel clustering and in-cluster alignment).
+fn engine_config_for_threads(threads: usize) -> EngineConfig {
+    if threads == 1 {
+        return EngineConfig::default();
+    }
+    EngineConfig {
+        cluster: ClusterConfig {
+            parallel_alignment: true,
+            ..Default::default()
+        },
+        parallel_clustering: true,
+        ..Default::default()
+    }
+}
+
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut positional = Vec::new();
     let mut k = 10usize;
+    let mut threads = 1usize;
     let mut explain = false;
     let mut json = false;
     let mut iter = args.iter();
@@ -175,13 +200,22 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "bad -k value")?;
             }
+            "--threads" => {
+                threads = iter
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --threads value")?;
+            }
             "--explain" => explain = true,
             "--json" => json = true,
             other => positional.push(other.to_string()),
         }
     }
     let [index_path, query_path] = positional.as_slice() else {
-        return Err("usage: sama query <index.bin> <query.rq|-> [-k N] [--explain]".into());
+        return Err(
+            "usage: sama query <index.bin> <query.rq|-> [-k N] [--threads N] [--explain]".into(),
+        );
     };
 
     let query_text = if query_path == "-" {
@@ -196,7 +230,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     };
     let query = parse_sparql(&query_text).map_err(|e| e.to_string())?;
 
-    let engine = SamaEngine::from_index(load_index(index_path)?);
+    let engine = SamaEngine::from_index_with_config(
+        load_index(index_path)?,
+        engine_config_for_threads(threads),
+    );
     let result = engine.answer(&query.graph, k);
 
     if json {
@@ -282,6 +319,141 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     }
     if result.answers.is_empty() {
         eprintln!("no answers");
+    }
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut k = 10usize;
+    let mut threads = 0usize;
+    let mut shared_chi = false;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-k" => {
+                k = iter
+                    .next()
+                    .ok_or("-k needs a number")?
+                    .parse()
+                    .map_err(|_| "bad -k value")?;
+            }
+            "--threads" => {
+                threads = iter
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --threads value")?;
+            }
+            "--shared-chi" => shared_chi = true,
+            "--json" => json = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [index_path, query_paths @ ..] = positional.as_slice() else {
+        return Err(
+            "usage: sama batch <index.bin> <q1.rq> [q2.rq ...] [-k N] [--threads N]".into(),
+        );
+    };
+    if query_paths.is_empty() {
+        return Err("batch needs at least one query file".into());
+    }
+
+    let mut queries = Vec::with_capacity(query_paths.len());
+    for path in query_paths {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let query = parse_sparql(&text).map_err(|e| format!("{path}: {e}"))?;
+        queries.push(query.graph);
+    }
+
+    let mut engine = SamaEngine::from_index_with_config(
+        load_index(index_path)?,
+        engine_config_for_threads(threads),
+    );
+    if shared_chi {
+        engine = engine.with_shared_chi_cache(SharedChiCache::with_defaults());
+    }
+    let outcome = engine.answer_batch(&queries, &BatchConfig { k, threads });
+    let stats = &outcome.stats;
+
+    if json {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str("{\"queries\":[");
+        for (i, (path, result)) in query_paths.iter().zip(&outcome.results).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"file\":\"{}\",\"answers\":{},\"best_score\":{},\"retrieved_paths\":{},\
+                 \"truncated\":{},\"latency_us\":{}}}",
+                json_escape(path),
+                result.answers.len(),
+                result
+                    .best()
+                    .map(|a| a.score().to_string())
+                    .unwrap_or_else(|| "null".into()),
+                result.retrieved_paths,
+                result.truncated,
+                result.timings.total().as_micros()
+            );
+        }
+        let lat = |l: &sama::engine::PhaseLatency| {
+            format!(
+                "{{\"p50_us\":{},\"p95_us\":{},\"max_us\":{}}}",
+                l.p50.as_micros(),
+                l.p95.as_micros(),
+                l.max.as_micros()
+            )
+        };
+        let _ = writeln!(
+            out,
+            "],\"stats\":{{\"queries\":{},\"threads\":{},\"wall_time_us\":{},\
+             \"queries_per_sec\":{:.2},\"total\":{},\"preprocessing\":{},\
+             \"clustering\":{},\"search\":{}}}}}",
+            stats.queries,
+            stats.threads,
+            stats.wall_time.as_micros(),
+            stats.queries_per_sec,
+            lat(&stats.total),
+            lat(&stats.preprocessing),
+            lat(&stats.clustering),
+            lat(&stats.search),
+        );
+        print!("{out}");
+        return Ok(());
+    }
+
+    for (path, result) in query_paths.iter().zip(&outcome.results) {
+        println!(
+            "{path}: {} answers, best score {}, {} paths retrieved{} ({:.2?})",
+            result.answers.len(),
+            result
+                .best()
+                .map(|a| format!("{:.2}", a.score()))
+                .unwrap_or_else(|| "-".into()),
+            result.retrieved_paths,
+            if result.truncated { ", truncated" } else { "" },
+            result.timings.total()
+        );
+    }
+    println!(
+        "batch: {} queries on {} threads in {:.2?} ({:.1} q/s)",
+        stats.queries, stats.threads, stats.wall_time, stats.queries_per_sec
+    );
+    for (phase, lat) in [
+        ("total", &stats.total),
+        ("preprocess", &stats.preprocessing),
+        ("cluster", &stats.clustering),
+        ("search", &stats.search),
+    ] {
+        println!(
+            "  {phase:<10} p50 {:.2?}  p95 {:.2?}  max {:.2?}",
+            lat.p50, lat.p95, lat.max
+        );
     }
     Ok(())
 }

@@ -117,6 +117,78 @@ fn index_query_stats_paths_roundtrip() {
 }
 
 #[test]
+fn batch_answers_many_queries() {
+    let nt = temp_path("data_batch.nt");
+    let rq1 = temp_path("batch_q1.rq");
+    let rq2 = temp_path("batch_q2.rq");
+    let idx = temp_path("index_batch.bin");
+    let _cleanup = Cleanup(vec![nt.clone(), rq1.clone(), rq2.clone(), idx.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    std::fs::write(&rq1, DEMO_RQ).unwrap();
+    std::fs::write(&rq2, "SELECT ?p WHERE { ?p <gender> \"Male\" . }\n").unwrap();
+
+    let out = sama()
+        .args(["index", nt.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Human output: one line per query plus aggregate stats.
+    let out = sama()
+        .args([
+            "batch",
+            idx.to_str().unwrap(),
+            rq1.to_str().unwrap(),
+            rq2.to_str().unwrap(),
+            "-k",
+            "3",
+            "--threads",
+            "2",
+            "--shared-chi",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("batch: 2 queries"), "{text}");
+    assert!(text.contains("q/s"), "{text}");
+    assert!(text.contains("p50"), "{text}");
+
+    // JSON output carries per-query and aggregate stats.
+    let out = sama()
+        .args([
+            "batch",
+            idx.to_str().unwrap(),
+            rq1.to_str().unwrap(),
+            rq2.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("{\"queries\":["), "{text}");
+    assert!(text.contains("\"best_score\":0"), "{text}");
+    assert!(text.contains("\"queries_per_sec\":"), "{text}");
+    assert!(text.trim_end().ends_with('}'), "{text}");
+
+    // A batch with no query files is an error.
+    let out = sama()
+        .args(["batch", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn compressed_index_and_incremental_update() {
     let nt = temp_path("data2.nt");
     let more = temp_path("more.nt");
