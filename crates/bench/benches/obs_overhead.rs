@@ -1,0 +1,154 @@
+//! Instrumentation overhead: the query pipeline with the `sama-obs`
+//! convenience recorders enabled (the default) versus fully disabled
+//! via the [`sama_obs::set_enabled`] kill switch, plus the cost of
+//! building the per-query EXPLAIN trace.
+//!
+//! The acceptance budget is **< 2% overhead on the search hot path**
+//! with tracing disabled — the per-expansion inner loop records into
+//! local aggregates and flushes once per query, so the delta should be
+//! a handful of atomic adds plus two `Instant::now()` pairs per phase.
+//!
+//! Besides the criterion timings, a machine-readable baseline is
+//! written to `results/BENCH_obs.json` (override the location with
+//! `BENCH_OBS_OUT`).
+
+use bench::{fixture, BenchFixture};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdf_model::QueryGraph;
+use sama_core::{EngineConfig, SamaEngine, TraceConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Workload repeats per measured iteration, interleaved like a stream.
+const REPEATS: usize = 2;
+
+fn workload_queries(fx: &BenchFixture) -> Vec<QueryGraph> {
+    let mut queries = Vec::with_capacity(fx.workload.len() * REPEATS);
+    for _ in 0..REPEATS {
+        queries.extend(fx.workload.iter().map(|nq| nq.query.clone()));
+    }
+    queries
+}
+
+/// Answer every query sequentially, returning a scalar the optimizer
+/// cannot elide.
+fn run_workload(engine: &SamaEngine, queries: &[QueryGraph]) -> usize {
+    queries
+        .iter()
+        .map(|q| black_box(engine.answer(q, 10)).answers.len())
+        .sum()
+}
+
+fn bench_obs_toggle(c: &mut Criterion) {
+    let fx = fixture(3_000);
+    let queries = workload_queries(&fx);
+    let traced = SamaEngine::with_config(
+        fx.dataset.graph.clone(),
+        EngineConfig {
+            trace: TraceConfig::enabled(),
+            ..Default::default()
+        },
+    );
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    sama_obs::set_enabled(false);
+    group.bench_function("disabled", |b| {
+        b.iter(|| run_workload(&fx.engine, &queries))
+    });
+    sama_obs::set_enabled(true);
+    group.bench_function("enabled", |b| b.iter(|| run_workload(&fx.engine, &queries)));
+    group.bench_function("enabled_with_trace", |b| {
+        b.iter(|| run_workload(&traced, &queries))
+    });
+    group.finish();
+}
+
+/// Wall time of one call to `f`, in nanoseconds.
+fn time_once<R>(mut f: impl FnMut() -> R) -> u128 {
+    let t = Instant::now();
+    black_box(f());
+    t.elapsed().as_nanos()
+}
+
+fn median(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Write the machine-readable baseline (`results/BENCH_obs.json`).
+fn emit_baseline() {
+    let fx = fixture(3_000);
+    let queries = workload_queries(&fx);
+    let traced = SamaEngine::with_config(
+        fx.dataset.graph.clone(),
+        EngineConfig {
+            trace: TraceConfig::enabled(),
+            ..Default::default()
+        },
+    );
+
+    // Warm every path once (index structures, allocator, χ caches).
+    run_workload(&fx.engine, &queries);
+    run_workload(&traced, &queries);
+
+    // Interleave the three configurations within each round so slow
+    // drift (CPU frequency, cache temperature, co-tenants) lands on
+    // all of them equally instead of biasing whichever block ran last;
+    // the per-configuration median then compares like with like.
+    const RUNS: usize = 15;
+    let mut disabled = Vec::with_capacity(RUNS);
+    let mut enabled = Vec::with_capacity(RUNS);
+    let mut traced_samples = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        sama_obs::set_enabled(false);
+        disabled.push(time_once(|| run_workload(&fx.engine, &queries)));
+        sama_obs::set_enabled(true);
+        enabled.push(time_once(|| run_workload(&fx.engine, &queries)));
+        traced_samples.push(time_once(|| run_workload(&traced, &queries)));
+    }
+    let disabled_ns = median(&mut disabled);
+    let enabled_ns = median(&mut enabled);
+    let traced_ns = median(&mut traced_samples);
+
+    let pct = |on: u128, off: u128| (on as f64 - off as f64) / off as f64 * 100.0;
+    let metrics_pct = pct(enabled_ns, disabled_ns);
+    let trace_pct = pct(traced_ns, disabled_ns);
+
+    let json = format!(
+        "{{\n  \"fixture_triples\": 3000,\n  \"workload_queries\": {},\n  \
+         \"batch_size\": {},\n  \"runs\": {RUNS},\n  \
+         \"disabled_ns\": {disabled_ns},\n  \"enabled_ns\": {enabled_ns},\n  \
+         \"enabled_with_trace_ns\": {traced_ns},\n  \
+         \"metrics_overhead_pct\": {metrics_pct:.2},\n  \
+         \"trace_overhead_pct\": {trace_pct:.2},\n  \
+         \"overhead_budget_pct\": 2.0,\n  \
+         \"within_budget\": {}\n}}\n",
+        fx.workload.len(),
+        queries.len(),
+        metrics_pct < 2.0,
+    );
+
+    let out = std::env::var("BENCH_OBS_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../results/BENCH_obs.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(err) => eprintln!("could not write {out}: {err}"),
+    }
+    print!("{json}");
+}
+
+fn bench_emit_baseline(_c: &mut Criterion) {
+    // Skip the slow manual sweep when cargo runs benches in test mode.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    emit_baseline();
+}
+
+criterion_group!(benches, bench_obs_toggle, bench_emit_baseline);
+criterion_main!(benches);

@@ -53,15 +53,22 @@ pub struct PhaseLatency {
 }
 
 impl PhaseLatency {
-    /// Percentiles of `samples` (drained; empty yields zeros).
-    fn from_samples(mut samples: Vec<Duration>) -> Self {
+    /// Percentiles of `samples` by the **nearest-rank** method: on the
+    /// ascending sort, the q-th percentile is the sample at rank
+    /// `⌈q · N⌉` (1-based, clamped to `[1, N]`) — the smallest sample
+    /// such that at least `q · N` samples are ≤ it.
+    ///
+    /// Edge cases are well-defined instead of panicking or reporting
+    /// garbage: an empty sample set yields all-zero latencies, and a
+    /// single sample *is* every percentile (p50 = p95 = max).
+    pub fn from_samples(mut samples: Vec<Duration>) -> Self {
         if samples.is_empty() {
             return PhaseLatency::default();
         }
         samples.sort_unstable();
         let at = |q: f64| {
-            let idx = ((samples.len() - 1) as f64 * q).round() as usize;
-            samples[idx]
+            let rank = (q * samples.len() as f64).ceil() as usize;
+            samples[rank.clamp(1, samples.len()) - 1]
         };
         PhaseLatency {
             p50: at(0.50),
@@ -127,6 +134,10 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
     /// engine, all workers share it.
     pub fn answer_batch(&self, queries: &[QueryGraph], config: &BatchConfig) -> BatchOutcome {
         let threads = clamp_threads(config.threads, queries.len());
+        let batch_span = sama_obs::span!("batch.run_ns");
+        sama_obs::counter_add("batch.batches_total", 1);
+        sama_obs::counter_add("batch.queries_total", queries.len() as u64);
+        sama_obs::gauge_set("batch.pool_threads", threads as i64);
         let started = Instant::now();
 
         let slots: Vec<Mutex<Option<QueryResult>>> =
@@ -151,6 +162,23 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             .expect("batch worker pool panicked");
         }
         let wall_time = started.elapsed();
+        drop(batch_span);
+        // Keep the shared-χ gauge set stable across configurations: an
+        // engine without the cross-query tier reports zeros instead of
+        // omitting the metrics from the exposition.
+        match self.shared_chi_cache() {
+            Some(shared) => shared.publish_metrics(),
+            None => {
+                for gauge in [
+                    "chi.shared_cache_hits",
+                    "chi.shared_cache_misses",
+                    "chi.shared_cache_entries",
+                    "chi.shared_cache_evictions",
+                ] {
+                    sama_obs::gauge_set(gauge, 0);
+                }
+            }
+        }
 
         let results: Vec<QueryResult> = slots
             .into_iter()
@@ -286,14 +314,40 @@ mod tests {
 
     #[test]
     fn latency_percentiles_ordered() {
+        // Nearest rank over 1..=100ms: p50 = rank ⌈0.5·100⌉ = 50,
+        // p95 = rank ⌈0.95·100⌉ = 95.
         let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
         let lat = PhaseLatency::from_samples(samples);
-        assert_eq!(lat.p50, Duration::from_millis(51));
+        assert_eq!(lat.p50, Duration::from_millis(50));
         assert_eq!(lat.p95, Duration::from_millis(95));
         assert_eq!(lat.max, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn latency_percentiles_edge_cases() {
+        // Empty: all zeros, no panic.
         assert_eq!(
             PhaseLatency::from_samples(Vec::new()),
             PhaseLatency::default()
         );
+
+        // A single sample is every percentile.
+        let one = PhaseLatency::from_samples(vec![Duration::from_millis(7)]);
+        assert_eq!(one.p50, Duration::from_millis(7));
+        assert_eq!(one.p95, Duration::from_millis(7));
+        assert_eq!(one.max, Duration::from_millis(7));
+
+        // Two samples: p50 = rank ⌈0.5·2⌉ = 1 (the smaller), p95 =
+        // rank ⌈0.95·2⌉ = 2 (the larger).
+        let two =
+            PhaseLatency::from_samples(vec![Duration::from_millis(30), Duration::from_millis(10)]);
+        assert_eq!(two.p50, Duration::from_millis(10));
+        assert_eq!(two.p95, Duration::from_millis(30));
+        assert_eq!(two.max, Duration::from_millis(30));
+
+        // Twenty equal-spaced samples: p95 = rank ⌈0.95·20⌉ = 19.
+        let twenty = PhaseLatency::from_samples((1..=20).map(Duration::from_millis).collect());
+        assert_eq!(twenty.p50, Duration::from_millis(10));
+        assert_eq!(twenty.p95, Duration::from_millis(19));
     }
 }

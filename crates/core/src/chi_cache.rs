@@ -197,6 +197,21 @@ impl SharedChiCache {
             stripe.lock().expect("χ stripe poisoned").clear();
         }
     }
+
+    /// Publish the shared tier's cumulative counters and occupancy as
+    /// gauges in the global metrics registry (`chi.shared_*`). The
+    /// stats are process-lifetime totals, so gauges (set, not add)
+    /// avoid double counting across repeated publications.
+    pub fn publish_metrics(&self) {
+        if !sama_obs::enabled() {
+            return;
+        }
+        let stats = self.stats();
+        sama_obs::gauge_set("chi.shared_cache_hits", stats.hits as i64);
+        sama_obs::gauge_set("chi.shared_cache_misses", stats.misses as i64);
+        sama_obs::gauge_set("chi.shared_cache_entries", stats.entries as i64);
+        sama_obs::gauge_set("chi.shared_cache_evictions", stats.evictions as i64);
+    }
 }
 
 /// A query-scoped `|χ|` memo over unordered pairs of indexed paths,

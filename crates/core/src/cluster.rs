@@ -230,7 +230,9 @@ fn build_cluster<I: IndexLike + Sync>(
     mode: AlignmentMode,
     config: &ClusterConfig,
 ) -> Cluster {
+    let retrieve_span = sama_obs::span!("cluster.retrieve_ns");
     let candidates = retrieve_candidates(q, index, synonyms, config);
+    drop(retrieve_span);
     let retrieved = candidates.len();
     let mut dropped = 0usize;
     let considered: &[PathId] = if candidates.len() > config.max_candidates {
@@ -240,6 +242,7 @@ fn build_cluster<I: IndexLike + Sync>(
         &candidates
     };
 
+    let align_span = sama_obs::span!("cluster.align_ns");
     let mut entries = if config.parallel_alignment {
         align_candidates_parallel(q, index, considered, params, mode, config)
     } else {
@@ -247,6 +250,11 @@ fn build_cluster<I: IndexLike + Sync>(
     };
     entries.sort_by(|x, y| entry_cmp(index, x, y));
     entries.truncate(config.max_cluster_size);
+    drop(align_span);
+
+    sama_obs::counter_add("cluster.builds_total", 1);
+    sama_obs::counter_add("cluster.candidates_retrieved_total", retrieved as u64);
+    sama_obs::counter_add("cluster.candidates_dropped_total", dropped as u64);
 
     Cluster {
         qpath_index: q.index,

@@ -10,13 +10,15 @@ use crate::cluster::{
 use crate::igraph::IntersectionGraph;
 use crate::params::ScoreParams;
 use crate::qpath::{decompose_query, QueryPath};
-use crate::search::{search_top_k_with_shared_chi, SearchConfig, SearchStream};
+use crate::search::{search_top_k_with_shared_chi, SearchConfig, SearchStream, TruncationReason};
+use crate::trace::{ExplainTrace, TraceConfig};
 use path_index::{
     ExtractionConfig, IndexLike, NoSynonyms, PathIndex, ShardedIndex, SynonymProvider,
 };
 use rdf_model::{DataGraph, QueryGraph};
+use sama_obs as obs;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Engine-wide configuration.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +36,9 @@ pub struct EngineConfig {
     pub alignment: AlignmentMode,
     /// Build clusters on scoped threads (one task per query path).
     pub parallel_clustering: bool,
+    /// Per-query EXPLAIN trace assembly (off by default; the
+    /// `SAMA_TRACE` env flag flips the default on).
+    pub trace: TraceConfig,
 }
 
 impl Default for EngineConfig {
@@ -47,6 +52,7 @@ impl Default for EngineConfig {
             // Off by default; the SAMA_PARALLEL env flag (the CI matrix
             // leg) flips every parallel knob on.
             parallel_clustering: parallel_default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -92,11 +98,16 @@ pub struct QueryResult {
     /// `true` if any limit (cluster caps, search expansions) truncated
     /// the run.
     pub truncated: bool,
+    /// Which search limit stopped the combination search early, if one
+    /// did (`None` for clustering-only truncation).
+    pub truncation: Option<TruncationReason>,
     /// Phase timings.
     pub timings: QueryTimings,
     /// χ-cache counters of the combination search (see
     /// [`crate::ChiCache`]).
     pub chi_stats: ChiCacheStats,
+    /// The EXPLAIN trace, when [`EngineConfig::trace`] is enabled.
+    pub trace: Option<ExplainTrace>,
 }
 
 impl QueryResult {
@@ -330,7 +341,7 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
 
     /// Answer `query` with the `k` most relevant answers.
     pub fn answer(&self, query: &QueryGraph, k: usize) -> QueryResult {
-        let t0 = Instant::now();
+        let preprocess_span = obs::span!("query.preprocess_ns");
         let query_paths = decompose_query(
             query,
             self.index.data().vocab(),
@@ -338,9 +349,9 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             &self.config.query_extraction,
         );
         let intersection_graph = IntersectionGraph::build(&query_paths);
-        let preprocessing = t0.elapsed();
+        let preprocessing = preprocess_span.finish();
 
-        let t1 = Instant::now();
+        let cluster_span = obs::span!("query.cluster_ns");
         let clusters = if self.config.parallel_clustering {
             build_clusters_parallel(
                 &query_paths,
@@ -360,9 +371,9 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
                 &self.config.cluster,
             )
         };
-        let clustering = t1.elapsed();
+        let clustering = cluster_span.finish();
 
-        let t2 = Instant::now();
+        let search_span = obs::span!("query.search_ns");
         let outcome = search_top_k_with_shared_chi(
             &query_paths,
             &intersection_graph,
@@ -373,10 +384,27 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             &self.config.search,
             self.shared_chi.clone(),
         );
-        let search = t2.elapsed();
+        let search = search_span.finish();
 
         let retrieved_paths = clusters.iter().map(|c| c.candidates_retrieved).sum();
         let truncated = outcome.truncated || clusters.iter().any(|c| c.candidates_dropped > 0);
+        let timings = QueryTimings {
+            preprocessing,
+            clustering,
+            search,
+            chi: outcome.chi_stats.chi_time,
+        };
+        self.flush_query_metrics(&outcome, &timings, retrieved_paths);
+        let trace = self.config.trace.enabled.then(|| {
+            ExplainTrace::build(
+                &self.config.trace,
+                query,
+                &query_paths,
+                &clusters,
+                &outcome,
+                &timings,
+            )
+        });
         QueryResult {
             answers: outcome.answers,
             query_paths,
@@ -384,13 +412,46 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             clusters,
             retrieved_paths,
             truncated,
-            timings: QueryTimings {
-                preprocessing,
-                clustering,
-                search,
-                chi: outcome.chi_stats.chi_time,
-            },
+            truncation: outcome.truncation,
+            timings,
             chi_stats: outcome.chi_stats,
+            trace,
+        }
+    }
+
+    /// Flush the query's local aggregates (search counters, χ-cache
+    /// stats, timings) to the global metrics registry — once per query,
+    /// so the search hot loop itself never touches an atomic.
+    fn flush_query_metrics(
+        &self,
+        outcome: &crate::SearchOutcome,
+        timings: &QueryTimings,
+        retrieved_paths: usize,
+    ) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::counter_add("query.queries_total", 1);
+        obs::counter_add("query.answers_total", outcome.answers.len() as u64);
+        obs::counter_add("search.expansions_total", outcome.expansions as u64);
+        obs::counter_add("cluster.retrieved_paths_total", retrieved_paths as u64);
+        match outcome.truncation {
+            Some(TruncationReason::ExpansionLimit) => {
+                obs::counter_add("search.truncated_expansion_limit_total", 1);
+            }
+            Some(TruncationReason::FrontierOverflow) => {
+                obs::counter_add("search.truncated_frontier_overflow_total", 1);
+            }
+            None => {}
+        }
+        let chi = outcome.chi_stats;
+        obs::counter_add("chi.query_hits_total", chi.hits);
+        obs::counter_add("chi.shared_hits_total", chi.shared_hits);
+        obs::counter_add("chi.misses_total", chi.misses);
+        obs::observe_duration("chi.compute_ns", chi.chi_time);
+        obs::observe_duration("query.total_ns", timings.total());
+        if let Some(shared) = &self.shared_chi {
+            shared.publish_metrics();
         }
     }
 }

@@ -60,6 +60,7 @@ pub mod qpath;
 pub mod relevance;
 pub mod score;
 pub mod search;
+pub mod trace;
 
 pub use align::{align, Alignment, AlignmentCounts, AlignmentMode};
 pub use answer::{Answer, ChosenPath};
@@ -80,4 +81,6 @@ pub use score::{
 };
 pub use search::{
     search_top_k, search_top_k_with_shared_chi, SearchConfig, SearchOutcome, SearchStream,
+    TruncationReason,
 };
+pub use trace::{ExplainTrace, TraceChi, TraceCluster, TraceConfig, TracePhases, TraceQueryPath};

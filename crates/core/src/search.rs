@@ -70,6 +70,30 @@ impl Default for SearchConfig {
     }
 }
 
+/// Why the exact combination search stopped before exhausting the
+/// space (recorded in [`SearchOutcome`] and the per-query
+/// [`crate::ExplainTrace`]). The *first* limit hit wins — a frontier
+/// overflow followed by the expansion budget reports the overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// [`SearchConfig::max_expansions`] was reached: the budget for
+    /// state pops ran out before the space was exhausted.
+    ExpansionLimit,
+    /// [`SearchConfig::max_frontier`] overflowed and the worst frontier
+    /// states were discarded, so later answers may be missing.
+    FrontierOverflow,
+}
+
+impl TruncationReason {
+    /// Stable machine-readable name (used in the EXPLAIN trace JSON).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TruncationReason::ExpansionLimit => "expansion_limit",
+            TruncationReason::FrontierOverflow => "frontier_overflow",
+        }
+    }
+}
+
 /// The search result.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
@@ -82,6 +106,9 @@ pub struct SearchOutcome {
     pub expansions: usize,
     /// `true` if a limit stopped the exact search early.
     pub truncated: bool,
+    /// Which limit stopped the search (`None` while `truncated` is
+    /// `false`).
+    pub truncation: Option<TruncationReason>,
     /// χ-cache counters and compute time for this search.
     pub chi_stats: ChiCacheStats,
 }
@@ -163,6 +190,7 @@ pub struct SearchStream<'a, I: IndexLike> {
     emitted_sets: Vec<Vec<u32>>,
     expansions: usize,
     truncated: bool,
+    truncation: Option<TruncationReason>,
     /// Query-scoped `|χ|` memo shared by every expansion.
     chi: ChiCache,
     /// Retired `choices` vectors, reused by later pushes so the steady
@@ -215,6 +243,7 @@ impl<'a, I: IndexLike> SearchStream<'a, I> {
             emitted_sets: Vec::new(),
             expansions: 0,
             truncated: false,
+            truncation: None,
             chi: match (config.use_chi_cache, shared_chi) {
                 (false, _) => ChiCache::disabled(),
                 (true, Some(shared)) => ChiCache::with_shared(shared),
@@ -253,6 +282,18 @@ impl<'a, I: IndexLike> SearchStream<'a, I> {
     /// answers will be produced by [`SearchStream::next_answer`]).
     pub fn is_truncated(&self) -> bool {
         self.truncated
+    }
+
+    /// Which limit stopped the exact search, if one did. The first
+    /// limit hit is kept when both eventually trigger.
+    pub fn truncation_reason(&self) -> Option<TruncationReason> {
+        self.truncation
+    }
+
+    /// Record `reason` the first time a limit trips.
+    fn mark_truncated(&mut self, reason: TruncationReason) {
+        self.truncated = true;
+        self.truncation.get_or_insert(reason);
     }
 
     /// χ-cache counters and compute time so far.
@@ -353,7 +394,7 @@ impl<'a, I: IndexLike> SearchStream<'a, I> {
                     priority,
                     seq: self.seq,
                 });
-                self.truncated = true;
+                self.mark_truncated(TruncationReason::ExpansionLimit);
                 return None;
             }
             self.expansions += 1;
@@ -425,7 +466,7 @@ impl<'a, I: IndexLike> SearchStream<'a, I> {
 
             if self.heap.len() > self.config.max_frontier {
                 self.shrink_frontier(self.config.max_frontier / 2);
-                self.truncated = true;
+                self.mark_truncated(TruncationReason::FrontierOverflow);
             }
         }
         None
@@ -573,6 +614,7 @@ pub fn search_top_k_with_shared_chi<I: IndexLike>(
         answers: Vec::with_capacity(k.min(1024)),
         expansions: 0,
         truncated: false,
+        truncation: None,
         chi_stats: ChiCacheStats::default(),
     };
     if clusters.is_empty() || k == 0 {
@@ -595,6 +637,7 @@ pub fn search_top_k_with_shared_chi<I: IndexLike>(
     }
     outcome.expansions = stream.expansions();
     outcome.truncated = stream.is_truncated();
+    outcome.truncation = stream.truncation_reason();
     if outcome.truncated && outcome.answers.len() < k {
         // Anytime fallback: greedily complete the best frontier states
         // so the caller still receives k answers (the paper's search is
@@ -829,6 +872,7 @@ mod tests {
     fn emission_is_monotone() {
         let (_, _, outcome) = run(25);
         assert!(!outcome.truncated);
+        assert!(outcome.truncation.is_none());
         for w in outcome.answers.windows(2) {
             assert!(
                 w[0].score() <= w[1].score() + 1e-12,
@@ -881,6 +925,23 @@ mod tests {
             },
         );
         assert!(outcome.truncated);
+        assert_eq!(outcome.truncation, Some(TruncationReason::ExpansionLimit));
+
+        // A tiny frontier cap instead reports the overflow.
+        let outcome = search_top_k(
+            &qpaths,
+            &ig,
+            &clusters,
+            &index,
+            &params,
+            1_000_000,
+            &SearchConfig {
+                max_frontier: 2,
+                ..Default::default()
+            },
+        );
+        assert!(outcome.truncated);
+        assert_eq!(outcome.truncation, Some(TruncationReason::FrontierOverflow));
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Exposition formats for a [`Snapshot`]: Prometheus text format and a
+//! JSON document — both hand-rendered (this crate has no dependencies).
+
+use crate::metrics::{bucket_upper_bound, HistogramSnapshot, BUCKET_COUNT};
+use crate::registry::Snapshot;
+use std::fmt::Write;
+
+/// Map an internal dotted metric name (`search.expand_ns`) onto a valid
+/// Prometheus metric name (`sama_search_expand_ns`): every character
+/// outside `[a-zA-Z0-9_]` becomes `_`, and the `sama_` namespace prefix
+/// is prepended.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("sama_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn write_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let pname = prometheus_name(name);
+    let _ = writeln!(out, "# TYPE {pname} histogram");
+    // Cumulative buckets; elide the empty tail (everything after the
+    // last non-empty bucket folds into +Inf).
+    let last = h
+        .buckets
+        .iter()
+        .rposition(|&c| c > 0)
+        .unwrap_or(0)
+        .min(BUCKET_COUNT - 1);
+    let mut cumulative = 0u64;
+    for (i, &count) in h.buckets.iter().enumerate().take(last + 1) {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "{pname}_bucket{{le=\"{}\"}} {cumulative}",
+            bucket_upper_bound(i)
+        );
+    }
+    let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{pname}_sum {}", h.sum);
+    let _ = writeln!(out, "{pname}_count {}", h.count());
+}
+
+impl Snapshot {
+    /// Render as Prometheus text exposition format (version 0.0.4):
+    /// one `# TYPE` block per metric, histogram buckets cumulative with
+    /// a final `+Inf`. Histogram samples are nanoseconds (the `_ns`
+    /// naming convention), not the Prometheus-idiomatic seconds —
+    /// documented here so dashboards divide once.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let pname = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {pname} counter");
+            let _ = writeln!(out, "{pname} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let pname = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {pname} gauge");
+            let _ = writeln!(out, "{pname} {value}");
+        }
+        for (name, hist) in &self.histograms {
+            write_histogram(&mut out, name, hist);
+        }
+        out
+    }
+
+    /// Render as a single JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:
+    /// {"count":n,"sum":s,"mean":m,"p50":..,"p95":..,"p99":..,
+    /// "buckets":[[le,count],...]}}}` — buckets listed sparsely
+    /// (non-empty only), names kept in their dotted form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{value}", escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{value}", escape(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{:.1},\
+                 \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                escape(name),
+                h.count(),
+                h.sum,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+            );
+            let mut first = true;
+            for (b, &count) in h.buckets.iter().enumerate() {
+                if count == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "[{},{count}]", bucket_upper_bound(b));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escape a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn prometheus_names_are_valid() {
+        assert_eq!(prometheus_name("search.expand_ns"), "sama_search_expand_ns");
+        assert_eq!(prometheus_name("a-b.c"), "sama_a_b_c");
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = Registry::new();
+        r.counter("queries_total").add(3);
+        r.gauge("index.paths").set(42);
+        r.histogram("query.search_ns").record(1000);
+        r.histogram("query.search_ns").record(3);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE sama_queries_total counter"));
+        assert!(text.contains("sama_queries_total 3"));
+        assert!(text.contains("# TYPE sama_index_paths gauge"));
+        assert!(text.contains("sama_index_paths 42"));
+        assert!(text.contains("# TYPE sama_query_search_ns histogram"));
+        assert!(text.contains("sama_query_search_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("sama_query_search_ns_sum 1003"));
+        assert!(text.contains("sama_query_search_ns_count 2"));
+        // Buckets are cumulative: the bucket holding 1000 includes the
+        // earlier sample 3.
+        assert!(text.contains("sama_query_search_ns_bucket{le=\"1023\"} 2"));
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let r = Registry::new();
+        r.counter("c_total").inc();
+        r.histogram("h_ns").record(7);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"c_total\":1"));
+        assert!(json.contains("\"h_ns\":{\"count\":1"));
+        assert!(json.contains("\"buckets\":[[7,1]]"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn escape_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,115 @@
+//! # sama-obs
+//!
+//! Zero-dependency observability substrate for the Sama workspace: a
+//! [`Registry`] of atomic [`Counter`]s, [`Gauge`]s, and log2-bucketed
+//! latency [`Histogram`]s, RAII [`Span`] timers, and exporters for the
+//! Prometheus text format and a JSON snapshot.
+//!
+//! ## Architecture
+//!
+//! * **Recording is lock-free**: every metric is a handful of atomics;
+//!   registration (name → handle) takes a short mutex once.
+//! * **Global or scoped**: the pipeline records into [`global()`];
+//!   tests and A/B comparisons build their own [`Registry`].
+//! * **Spans**: `let _s = span!("cluster.align_ns");` times the
+//!   enclosing scope into the global histogram of that name. Naming
+//!   scheme: `phase.subphase_ns` (dots map to `_` in the Prometheus
+//!   exposition, which prepends the `sama_` namespace).
+//! * **Kill switch**: [`set_enabled(false)`](set_enabled) (or the
+//!   `SAMA_METRICS=0` environment variable) turns the convenience
+//!   recorders and the [`span!`] macro into no-ops, for measuring the
+//!   instrumentation's own overhead.
+//!
+//! ```
+//! use sama_obs as obs;
+//!
+//! obs::counter_add("demo.queries_total", 1);
+//! {
+//!     let _span = obs::span!("demo.phase_ns");
+//! }
+//! let snapshot = obs::global().snapshot();
+//! assert!(snapshot.counters["demo.queries_total"] >= 1);
+//! println!("{}", snapshot.to_prometheus());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use export::prometheus_name;
+pub use metrics::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKET_COUNT,
+};
+pub use registry::{Registry, Snapshot};
+pub use span::Span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry every pipeline layer records into.
+/// Initialized on first use; `SAMA_METRICS=0` in the environment
+/// disables the convenience recorders from the start.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(|| {
+        if std::env::var_os("SAMA_METRICS").is_some_and(|v| v == "0") {
+            set_enabled(false);
+        }
+        Registry::new()
+    })
+}
+
+/// `true` while instrumentation is on (the default). Checked by the
+/// [`span!`] macro and the convenience recorders; direct `Arc` handles
+/// obtained from a registry are never gated.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the convenience recorders and [`span!`] guards on or off
+/// process-wide. The overhead bench flips this to measure the
+/// instrumented-vs-bare delta.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Add `n` to the global counter `name` (no-op while disabled).
+#[inline]
+pub fn counter_add(name: &str, n: u64) {
+    if enabled() {
+        global().counter(name).add(n);
+    }
+}
+
+/// Set the global gauge `name` (no-op while disabled).
+#[inline]
+pub fn gauge_set(name: &str, value: i64) {
+    if enabled() {
+        global().gauge(name).set(value);
+    }
+}
+
+/// Record a duration into the global histogram `name` as nanoseconds
+/// (no-op while disabled).
+#[inline]
+pub fn observe_duration(name: &str, d: Duration) {
+    if enabled() {
+        global().histogram(name).record_duration(d);
+    }
+}
+
+/// Record a raw sample into the global histogram `name` (no-op while
+/// disabled).
+#[inline]
+pub fn observe(name: &str, value: u64) {
+    if enabled() {
+        global().histogram(name).record(value);
+    }
+}

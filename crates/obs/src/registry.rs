@@ -1,0 +1,168 @@
+//! The metric [`Registry`]: named counters, gauges, and histograms.
+//!
+//! Registration (name → metric) takes a short mutex; *recording* never
+//! does — callers hold `Arc` handles and hit atomics directly. Code
+//! that records at per-query granularity may simply re-look metrics up
+//! by name each time (a `BTreeMap` probe under an uncontended lock);
+//! per-expansion hot loops should aggregate locally and flush once.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A named collection of metrics, snapshottable as one unit.
+///
+/// Use [`crate::global()`] for process-wide metrics (the default
+/// throughout the pipeline) or `Registry::new()` for a scoped instance
+/// (tests, side-by-side comparisons).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, registering it on first use. Names
+    /// follow the `subsystem.event_total` scheme (dots become `_` in
+    /// the Prometheus exposition).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        match map.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::new());
+                map.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge registry poisoned");
+        match map.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::new());
+                map.insert(name.to_string(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use. Span
+    /// names follow the `phase.subphase_ns` scheme; samples are
+    /// nanoseconds by convention.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histogram::new());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .expect("counter registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("gauge registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("histogram registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Registry`]'s state — what the
+/// exporters ([`Snapshot::to_prometheus`], [`Snapshot::to_json`])
+/// render.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram distributions by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Accumulate `other` into `self`: counters and histogram buckets
+    /// add, gauges take `other`'s (most recent) value. Merging N
+    /// per-worker snapshots equals recording everything into one
+    /// registry.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_same_metric() {
+        let r = Registry::new();
+        r.counter("a.b_total").add(2);
+        r.counter("a.b_total").add(3);
+        assert_eq!(r.counter("a.b_total").get(), 5);
+        r.gauge("g").set(9);
+        assert_eq!(r.gauge("g").get(), 9);
+        r.histogram("h_ns").record(100);
+        assert_eq!(r.histogram("h_ns").snapshot().count(), 1);
+    }
+
+    #[test]
+    fn snapshot_and_merge() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("c").add(1);
+        b.counter("c").add(2);
+        b.counter("only_b").add(7);
+        a.gauge("g").set(1);
+        b.gauge("g").set(5);
+        a.histogram("h").record(10);
+        b.histogram("h").record(10);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counters["c"], 3);
+        assert_eq!(merged.counters["only_b"], 7);
+        assert_eq!(merged.gauges["g"], 5);
+        assert_eq!(merged.histograms["h"].count(), 2);
+    }
+}

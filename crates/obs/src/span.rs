@@ -1,0 +1,102 @@
+//! RAII span timers: measure a scope, record its duration into a
+//! histogram when the guard drops (or explicitly via [`Span::finish`]).
+
+use crate::metrics::Histogram;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A running span: created by [`Span::enter`] (usually through the
+/// [`crate::span!`] macro), records its elapsed time into the backing
+/// histogram exactly once — on drop, or earlier via [`Span::finish`]
+/// when the caller also wants the duration.
+#[derive(Debug)]
+pub struct Span {
+    hist: Option<Arc<Histogram>>,
+    start: Instant,
+}
+
+impl Span {
+    /// Start timing into `hist`.
+    pub fn enter(hist: Arc<Histogram>) -> Self {
+        Span {
+            hist: Some(hist),
+            start: Instant::now(),
+        }
+    }
+
+    /// A guard that records nothing (the disabled-instrumentation
+    /// path; see [`crate::enabled`]).
+    pub fn noop() -> Self {
+        Span {
+            hist: None,
+            start: Instant::now(),
+        }
+    }
+
+    /// Stop the span now, record it, and return the elapsed time (the
+    /// elapsed time is returned even for a no-op span).
+    pub fn finish(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if let Some(hist) = self.hist.take() {
+            hist.record_duration(elapsed);
+        }
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(hist) = self.hist.take() {
+            hist.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+/// Time the enclosing scope into the global registry's histogram
+/// `$name` (span naming scheme: `phase.subphase_ns`):
+///
+/// ```
+/// let _span = sama_obs::span!("cluster.align_ns");
+/// // ... work ...
+/// // recorded when `_span` drops
+/// ```
+///
+/// Compiles to a no-op guard when instrumentation is
+/// [disabled](crate::set_enabled). Bind the guard to a named variable
+/// (`let _span = …`, not `let _ = …`) or the span ends immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        if $crate::enabled() {
+            $crate::Span::enter($crate::global().histogram($name))
+        } else {
+            $crate::Span::noop()
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let hist = Arc::new(Histogram::new());
+        {
+            let _span = Span::enter(Arc::clone(&hist));
+        }
+        assert_eq!(hist.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn finish_records_once_and_returns_elapsed() {
+        let hist = Arc::new(Histogram::new());
+        let span = Span::enter(Arc::clone(&hist));
+        let elapsed = span.finish();
+        assert_eq!(hist.snapshot().count(), 1);
+        assert!(elapsed.as_nanos() > 0 || elapsed.is_zero());
+        let noop = Span::noop();
+        let _ = noop.finish();
+        assert_eq!(hist.snapshot().count(), 1, "noop span records nothing");
+    }
+}

@@ -1,0 +1,129 @@
+//! Integration tests of the histogram/registry core, extending the
+//! `crates/core/tests/concurrency.rs` pattern: property tests for
+//! bucket placement, snapshot-merge equivalence with sequential
+//! recording, and lossless concurrent recording.
+
+use proptest::prelude::*;
+use sama_obs::{bucket_index, bucket_upper_bound, Histogram, Registry};
+use std::sync::Arc;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every recorded duration lands in exactly the log2 bucket its
+    /// bit length names, and within that bucket's [2^(i-1), 2^i - 1]
+    /// value range.
+    #[test]
+    fn recorded_durations_land_in_the_correct_bucket(ns in 0u64..u64::MAX) {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_nanos(ns));
+        let snap = h.snapshot();
+        let i = bucket_index(ns);
+        prop_assert_eq!(snap.count(), 1);
+        prop_assert_eq!(snap.buckets[i], 1, "sample {} must land in bucket {}", ns, i);
+        prop_assert!(ns <= bucket_upper_bound(i));
+        if i > 0 {
+            prop_assert!(
+                i == 1 || ns > bucket_upper_bound(i - 1),
+                "sample {} too small for bucket {}", ns, i
+            );
+        } else {
+            prop_assert_eq!(ns, 0);
+        }
+    }
+
+    /// Splitting a sample stream across N registries and merging their
+    /// snapshots equals recording the whole stream sequentially into
+    /// one registry — the contract batch workers rely on.
+    #[test]
+    fn merged_snapshots_equal_sequential_recording(
+        samples in proptest::collection::vec(0u64..1u64 << 40, 1..200),
+        parts in 1usize..6,
+    ) {
+        let sequential = Registry::new();
+        for &s in &samples {
+            sequential.counter("events_total").inc();
+            sequential.histogram("latency_ns").record(s);
+        }
+
+        let registries: Vec<Registry> = (0..parts).map(|_| Registry::new()).collect();
+        for (i, &s) in samples.iter().enumerate() {
+            let r = &registries[i % parts];
+            r.counter("events_total").inc();
+            r.histogram("latency_ns").record(s);
+        }
+        let mut merged = registries[0].snapshot();
+        for r in &registries[1..] {
+            merged.merge(&r.snapshot());
+        }
+
+        prop_assert_eq!(merged, sequential.snapshot());
+    }
+}
+
+#[test]
+fn concurrent_recording_loses_no_counts() {
+    // N threads hammering the same counter and histogram must account
+    // for every single event — the lock-free hot path cannot drop or
+    // double-count under contention.
+    let threads = 8usize;
+    let per_thread = 10_000u64;
+    let registry = Arc::new(Registry::new());
+    let counter = registry.counter("hot.events_total");
+    let hist = registry.histogram("hot.latency_ns");
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let counter = Arc::clone(&counter);
+            let hist = Arc::clone(&hist);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    counter.inc();
+                    // Spread samples across many buckets.
+                    hist.record((t as u64 + 1) << (i % 40));
+                }
+            });
+        }
+    });
+
+    let total = threads as u64 * per_thread;
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters["hot.events_total"], total);
+    assert_eq!(snap.histograms["hot.latency_ns"].count(), total);
+}
+
+#[test]
+fn concurrent_span_recording_is_lossless() {
+    let registry = Arc::new(Registry::new());
+    let hist = registry.histogram("spans.scope_ns");
+    let threads = 4usize;
+    let per_thread = 1_000usize;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let hist = Arc::clone(&hist);
+            scope.spawn(move || {
+                for _ in 0..per_thread {
+                    let span = sama_obs::Span::enter(Arc::clone(&hist));
+                    drop(span);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        registry.snapshot().histograms["spans.scope_ns"].count(),
+        (threads * per_thread) as u64
+    );
+}
+
+#[test]
+fn global_registry_round_trip() {
+    sama_obs::counter_add("test.global_total", 2);
+    sama_obs::observe_duration("test.global_ns", Duration::from_micros(5));
+    let snap = sama_obs::global().snapshot();
+    assert!(snap.counters["test.global_total"] >= 2);
+    assert!(snap.histograms["test.global_ns"].count() >= 1);
+    // Both exporters accept the snapshot.
+    assert!(snap.to_prometheus().contains("sama_test_global_total"));
+    assert!(snap.to_json().contains("\"test.global_total\""));
+}

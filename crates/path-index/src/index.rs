@@ -72,6 +72,7 @@ impl PathIndex {
 
     /// Build with explicit extraction limits.
     pub fn build_with_config(graph: DataGraph, config: &ExtractionConfig) -> Self {
+        let build_span = sama_obs::span!("index.build_ns");
         let start = Instant::now();
         let extraction = extract_paths(graph.as_graph(), config);
         let mut paths = Vec::with_capacity(extraction.paths.len());
@@ -113,6 +114,10 @@ impl PathIndex {
             depth_truncated: extraction.depth_truncated,
             dropped: extraction.dropped,
         };
+        drop(build_span);
+        sama_obs::counter_add("index.builds_total", 1);
+        sama_obs::gauge_set("index.paths", stats.path_count as i64);
+        sama_obs::gauge_set("index.triples", stats.triples as i64);
 
         PathIndex {
             graph,
@@ -198,6 +203,8 @@ impl PathIndex {
         lexical: &str,
         synonyms: &dyn SynonymProvider,
     ) -> Vec<PathId> {
+        let _span = sama_obs::span!("index.locate_ns");
+        sama_obs::counter_add("index.sink_lookups_total", 1);
         self.match_via(lexical, synonyms, |label| self.paths_with_sink(label))
     }
 
@@ -209,6 +216,8 @@ impl PathIndex {
         lexical: &str,
         synonyms: &dyn SynonymProvider,
     ) -> Vec<PathId> {
+        let _span = sama_obs::span!("index.locate_ns");
+        sama_obs::counter_add("index.label_lookups_total", 1);
         self.match_via(lexical, synonyms, |label| self.paths_with_label(label))
     }
 

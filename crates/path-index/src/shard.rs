@@ -93,6 +93,8 @@ impl ShardedIndex {
     /// Panics if `shard_count` is zero.
     pub fn build(graph: DataGraph, shard_count: usize, config: &ExtractionConfig) -> Self {
         assert!(shard_count > 0, "at least one shard");
+        let _span = sama_obs::span!("shard.build_ns");
+        sama_obs::gauge_set("shard.count", shard_count as i64);
         let sources = graph.as_graph().effective_sources();
         let mut partitions: Vec<Vec<rdf_model::NodeId>> = vec![Vec::new(); shard_count];
         for (i, &s) in sources.iter().enumerate() {
@@ -219,6 +221,8 @@ impl ShardedIndex {
     }
 
     fn fan_out(&self, lookup: impl Fn(&PathIndex) -> Vec<PathId>) -> Vec<PathId> {
+        let _span = sama_obs::span!("shard.fan_out_ns");
+        sama_obs::counter_add("shard.fan_outs_total", 1);
         let mut out = Vec::new();
         for (i, shard) in self.shards.iter().enumerate() {
             out.extend(self.globalize(i, lookup(shard)));

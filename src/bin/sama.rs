@@ -7,9 +7,12 @@
 //! sama batch  <index.bin> <q1.rq> [q2.rq ...] [-k N] [--threads N]
 //! sama stats  <index.bin>                   print Table-1-style stats
 //! sama paths  <index.bin> [--limit N]       dump indexed paths
+//! sama metrics [<index.bin>] [--json]       dump the metrics registry
 //! ```
 
-use sama::engine::{BatchConfig, ClusterConfig, EngineConfig, SamaEngine, SharedChiCache};
+use sama::engine::{
+    BatchConfig, ClusterConfig, EngineConfig, SamaEngine, SharedChiCache, TraceConfig,
+};
 use sama::index::{decode_any, encode_compressed, serialize_index, ExtractionConfig, PathIndex};
 use sama::model::{parse_ntriples, parse_sparql, parse_turtle, DataGraph};
 use std::io::Read;
@@ -24,6 +27,7 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("paths") => cmd_paths(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -45,14 +49,21 @@ sama — approximate RDF querying by path alignment (EDBT 2013)
 USAGE:
   sama index <data.nt|data.ttl> -o <index.bin> [--compress]
   sama update <index.bin> <more.nt|more.ttl> [-o <out.bin>] [--compress]
-  sama query <index.bin> <query.rq|-> [-k N] [--threads N] [--explain] [--json]
-  sama batch <index.bin> <q1.rq> [q2.rq ...] [-k N] [--threads N] [--shared-chi] [--json]
+  sama query <index.bin> <query.rq|-> [-k N] [--threads N] [--explain]
+             [--explain-text] [--json]
+  sama batch <index.bin> <q1.rq> [q2.rq ...] [-k N] [--threads N]
+             [--shared-chi] [--json] [--metrics-out <file>] [--trace-out <file>]
   sama stats <index.bin>                    indexing statistics
   sama paths <index.bin> [--limit N]        dump indexed paths
+  sama metrics [<index.bin>] [--json]       dump the global metrics registry
 
-  --threads N   worker threads (0 = all hardware threads); N != 1 also
-                turns on parallel clustering and in-cluster alignment
-  --shared-chi  share one cross-query chi cache between batch workers";
+  --threads N        worker threads (0 = all hardware threads); N != 1 also
+                     turns on parallel clustering and in-cluster alignment
+  --shared-chi       share one cross-query chi cache between batch workers
+  --explain          emit the per-query EXPLAIN trace as one JSONL line
+  --explain-text     human-readable pipeline + per-answer breakdown
+  --metrics-out F    write Prometheus text to F and a JSON snapshot to F.json
+  --trace-out F      write one EXPLAIN trace JSONL line per query to F";
 
 fn load_index(path: &str) -> Result<PathIndex, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read index {path:?}: {e}"))?;
@@ -189,6 +200,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut k = 10usize;
     let mut threads = 1usize;
     let mut explain = false;
+    let mut explain_text = false;
     let mut json = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -208,6 +220,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "bad --threads value")?;
             }
             "--explain" => explain = true,
+            "--explain-text" => explain_text = true,
             "--json" => json = true,
             other => positional.push(other.to_string()),
         }
@@ -230,18 +243,34 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     };
     let query = parse_sparql(&query_text).map_err(|e| e.to_string())?;
 
-    let engine = SamaEngine::from_index_with_config(
-        load_index(index_path)?,
-        engine_config_for_threads(threads),
-    );
+    let mut config = engine_config_for_threads(threads);
+    if explain {
+        config.trace = TraceConfig::enabled();
+    }
+    let engine = SamaEngine::from_index_with_config(load_index(index_path)?, config);
     let result = engine.answer(&query.graph, k);
+
+    // --explain: one machine-readable JSONL line per query (what the
+    // pipeline did — phases, clusters, cache hit ratios, truncation).
+    // Composable with --json; otherwise it is the only stdout output.
+    if explain {
+        let trace = result
+            .trace
+            .clone()
+            .expect("trace enabled for --explain")
+            .with_label(query_path.as_str());
+        println!("{}", trace.to_json_line());
+    }
 
     if json {
         print!("{}", render_json(&engine, &query, &result));
         return Ok(());
     }
+    if explain && !explain_text {
+        return Ok(());
+    }
 
-    if explain {
+    if explain_text {
         println!("query paths (PQ):");
         for qp in &result.query_paths {
             println!(
@@ -285,7 +314,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     }
 
     for (rank, answer) in result.answers.iter().enumerate() {
-        if explain {
+        if explain_text {
             if let Some(text) = result.explain_answer(rank, engine.index(), &query.graph) {
                 print!("{text}");
                 continue;
@@ -329,6 +358,8 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let mut threads = 0usize;
     let mut shared_chi = false;
     let mut json = false;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -348,6 +379,12 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             }
             "--shared-chi" => shared_chi = true,
             "--json" => json = true,
+            "--metrics-out" => {
+                metrics_out = Some(iter.next().ok_or("--metrics-out needs a path")?.clone());
+            }
+            "--trace-out" => {
+                trace_out = Some(iter.next().ok_or("--trace-out needs a path")?.clone());
+            }
             other => positional.push(other.to_string()),
         }
     }
@@ -368,15 +405,44 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         queries.push(query.graph);
     }
 
-    let mut engine = SamaEngine::from_index_with_config(
-        load_index(index_path)?,
-        engine_config_for_threads(threads),
-    );
+    let mut config = engine_config_for_threads(threads);
+    if trace_out.is_some() {
+        config.trace = TraceConfig::enabled();
+    }
+    let mut engine = SamaEngine::from_index_with_config(load_index(index_path)?, config);
     if shared_chi {
         engine = engine.with_shared_chi_cache(SharedChiCache::with_defaults());
     }
     let outcome = engine.answer_batch(&queries, &BatchConfig { k, threads });
     let stats = &outcome.stats;
+
+    // Per-query EXPLAIN traces, one JSONL line each, labeled by file.
+    if let Some(path) = &trace_out {
+        let mut lines = String::new();
+        for (file, result) in query_paths.iter().zip(&outcome.results) {
+            let trace = result
+                .trace
+                .clone()
+                .expect("trace enabled for --trace-out")
+                .with_label(file.as_str());
+            lines.push_str(&trace.to_json_line());
+            lines.push('\n');
+        }
+        std::fs::write(path, lines).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        eprintln!("wrote {} traces to {path}", outcome.results.len());
+    }
+
+    // Registry snapshot: Prometheus text exposition to <file>, JSON
+    // snapshot to <file>.json.
+    if let Some(path) = &metrics_out {
+        let snapshot = sama::obs::global().snapshot();
+        std::fs::write(path, snapshot.to_prometheus())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        let json_path = format!("{path}.json");
+        std::fs::write(&json_path, snapshot.to_json())
+            .map_err(|e| format!("cannot write {json_path:?}: {e}"))?;
+        eprintln!("wrote metrics to {path} (Prometheus) and {json_path} (JSON)");
+    }
 
     if json {
         use std::fmt::Write;
@@ -572,6 +638,40 @@ fn cmd_paths(args: &[String]) -> Result<(), String> {
     }
     if index.path_count() > limit {
         eprintln!("… {} more (use --limit)", index.path_count() - limit);
+    }
+    Ok(())
+}
+
+/// Dump the process-global metrics registry — Prometheus text by
+/// default, the JSON snapshot with `--json`. An optional index path is
+/// loaded first so one-shot invocations have something to report
+/// (index gauges and build spans); long-lived embedders call
+/// `sama::obs::global().snapshot()` directly instead.
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    match positional.as_slice() {
+        [] => {}
+        [index_path] => {
+            // Round-trip the index through the instrumented build so the
+            // snapshot reflects it.
+            let index = load_index(index_path)?;
+            sama::obs::gauge_set("index.paths", index.path_count() as i64);
+            sama::obs::gauge_set("index.triples", index.graph().edge_count() as i64);
+        }
+        _ => return Err("usage: sama metrics [<index.bin>] [--json]".into()),
+    }
+    let snapshot = sama::obs::global().snapshot();
+    if json {
+        println!("{}", snapshot.to_json());
+    } else {
+        print!("{}", snapshot.to_prometheus());
     }
     Ok(())
 }

@@ -61,6 +61,11 @@ pub mod engine {
     pub use sama_core::*;
 }
 
+/// Metrics registry, span timers, and exporters (`sama-obs`).
+pub mod obs {
+    pub use sama_obs::*;
+}
+
 /// Baseline matchers and exactness/relevance oracles (`graph-match`).
 pub mod baselines {
     pub use graph_match::*;

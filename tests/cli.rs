@@ -189,6 +189,209 @@ fn batch_answers_many_queries() {
 }
 
 #[test]
+fn query_explain_emits_jsonl_trace() {
+    let nt = temp_path("data_explain.nt");
+    let rq = temp_path("explain.rq");
+    let idx = temp_path("index_explain.bin");
+    let _cleanup = Cleanup(vec![nt.clone(), rq.clone(), idx.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    std::fs::write(&rq, DEMO_RQ).unwrap();
+
+    let out = sama()
+        .args(["index", nt.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --explain: stdout is exactly one well-formed JSON line.
+    let out = sama()
+        .args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--explain",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1, "expected one JSONL line, got: {text}");
+    let line = lines[0];
+    assert!(line.starts_with("{\"label\":"), "{line}");
+    assert!(line.ends_with('}'), "{line}");
+    assert_eq!(
+        line.matches('{').count(),
+        line.matches('}').count(),
+        "{line}"
+    );
+    for key in [
+        "\"query_paths\":[",
+        "\"clusters\":[",
+        "\"expansions\":",
+        "\"truncation\":",
+        "\"hit_rate\":",
+        "\"phases\":{",
+        "\"preprocessing_ns\":",
+        "\"clustering_ns\":",
+        "\"search_ns\":",
+        "\"total_ns\":",
+    ] {
+        assert!(line.contains(key), "missing {key} in {line}");
+    }
+
+    // --explain-text keeps the human pipeline breakdown.
+    let out = sama()
+        .args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--explain-text",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("query paths (PQ):"), "{text}");
+    assert!(text.contains("timings: preprocess"), "{text}");
+}
+
+#[test]
+fn batch_metrics_out_and_trace_out() {
+    let nt = temp_path("data_metrics.nt");
+    let rq = temp_path("metrics.rq");
+    let idx = temp_path("index_metrics.bin");
+    let prom = temp_path("metrics.prom");
+    let prom_json = temp_path("metrics.prom.json");
+    let traces = temp_path("traces.jsonl");
+    let _cleanup = Cleanup(vec![
+        nt.clone(),
+        rq.clone(),
+        idx.clone(),
+        prom.clone(),
+        prom_json.clone(),
+        traces.clone(),
+    ]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    std::fs::write(&rq, DEMO_RQ).unwrap();
+
+    let out = sama()
+        .args(["index", nt.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = sama()
+        .args([
+            "batch",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--shared-chi",
+            "--metrics-out",
+            prom.to_str().unwrap(),
+            "--trace-out",
+            traces.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Prometheus exposition covers all three phases, both chi tiers and
+    // the worker pool.
+    let text = std::fs::read_to_string(&prom).unwrap();
+    for metric in [
+        "# TYPE sama_query_queries_total counter",
+        "sama_query_queries_total 2",
+        "sama_query_preprocess_ns_count",
+        "sama_query_cluster_ns_count",
+        "sama_query_search_ns_count",
+        "sama_cluster_retrieve_ns_count",
+        "sama_cluster_align_ns_count",
+        "sama_chi_query_hits_total",
+        "sama_chi_shared_hits_total",
+        "sama_chi_shared_cache_entries",
+        "sama_batch_pool_threads",
+        "sama_batch_run_ns_count",
+        "sama_search_expansions_total",
+    ] {
+        assert!(text.contains(metric), "missing {metric} in:\n{text}");
+    }
+
+    // JSON snapshot sits next to the Prometheus file.
+    let text = std::fs::read_to_string(&prom_json).unwrap();
+    assert!(text.starts_with("{\"counters\":{"), "{text}");
+    assert!(text.contains("\"query.queries_total\":2"), "{text}");
+    assert!(text.contains("\"histograms\":{"), "{text}");
+    assert!(text.contains("\"batch.pool_threads\":"), "{text}");
+
+    // Trace JSONL: one well-formed line per query.
+    let text = std::fs::read_to_string(&traces).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "{text}");
+    for line in lines {
+        assert!(line.starts_with("{\"label\":"), "{line}");
+        assert!(line.contains("\"phases\":{"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+}
+
+#[test]
+fn metrics_subcommand_reports_index_gauges() {
+    let nt = temp_path("data_mcmd.nt");
+    let idx = temp_path("index_mcmd.bin");
+    let _cleanup = Cleanup(vec![nt.clone(), idx.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+
+    let out = sama()
+        .args(["index", nt.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = sama()
+        .args(["metrics", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sama_index_triples 5"), "{text}");
+    assert!(text.contains("sama_index_paths"), "{text}");
+
+    let out = sama()
+        .args(["metrics", idx.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"index.triples\":5"), "{text}");
+}
+
+#[test]
 fn compressed_index_and_incremental_update() {
     let nt = temp_path("data2.nt");
     let more = temp_path("more.nt");
