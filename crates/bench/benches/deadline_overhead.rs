@@ -1,0 +1,200 @@
+//! Deadline-checkpoint overhead: the query pipeline with no deadline
+//! configured (the default — checkpoints read no clock) versus a
+//! deadline generous enough to never fire (every checkpoint polls
+//! `Instant::now`), plus the degraded configurations for context
+//! (a 1 ms deadline that trips constantly, and the batch pool's
+//! per-query `catch_unwind` isolation).
+//!
+//! The acceptance budget is **< 1% overhead for an armed-but-roomy
+//! deadline over the unlimited default**. The unlimited budget itself
+//! short-circuits to one boolean test per checkpoint (no clock reads),
+//! so the default pipeline is indistinguishable from a build without
+//! the budget plumbing — what the bit-identity tests in
+//! `tests/robustness.rs` pin semantically, this bench prices.
+//!
+//! Besides the criterion timings, a machine-readable baseline is
+//! written to `results/BENCH_robustness.json` (override the location
+//! with `BENCH_ROBUSTNESS_OUT`).
+
+use bench::{fixture, BenchFixture};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdf_model::QueryGraph;
+use sama_core::{BatchConfig, EngineConfig, QueryBudget, SamaEngine};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Workload repeats per measured iteration, interleaved like a stream.
+const REPEATS: usize = 2;
+
+fn workload_queries(fx: &BenchFixture) -> Vec<QueryGraph> {
+    let mut queries = Vec::with_capacity(fx.workload.len() * REPEATS);
+    for _ in 0..REPEATS {
+        queries.extend(fx.workload.iter().map(|nq| nq.query.clone()));
+    }
+    queries
+}
+
+/// Answer every query sequentially under `budget`, returning a scalar
+/// the optimizer cannot elide.
+fn run_workload(engine: &SamaEngine, queries: &[QueryGraph], budget: &QueryBudget) -> usize {
+    queries
+        .iter()
+        .map(|q| {
+            black_box(engine.answer_with_budget(q, 10, budget))
+                .answers
+                .len()
+        })
+        .sum()
+}
+
+/// A deadline long enough that no query on this fixture ever trips it:
+/// every checkpoint pays the full clock read, no query degrades.
+fn roomy_budget() -> QueryBudget {
+    QueryBudget::deadline(Duration::from_secs(3600))
+}
+
+fn bench_deadline_toggle(c: &mut Criterion) {
+    let fx = fixture(3_000);
+    let queries = workload_queries(&fx);
+
+    let mut group = c.benchmark_group("deadline_overhead");
+    group.sample_size(10);
+    group.bench_function("unlimited", |b| {
+        b.iter(|| run_workload(&fx.engine, &queries, &QueryBudget::unlimited()))
+    });
+    group.bench_function("roomy_deadline", |b| {
+        b.iter(|| run_workload(&fx.engine, &queries, &roomy_budget()))
+    });
+    group.bench_function("batch_isolated", |b| {
+        b.iter(|| {
+            black_box(fx.engine.answer_batch(
+                &queries,
+                &BatchConfig {
+                    k: 10,
+                    threads: 1,
+                    ..Default::default()
+                },
+            ))
+            .stats
+            .queries
+        })
+    });
+    group.finish();
+}
+
+/// Wall time of one call to `f`, in nanoseconds.
+fn time_once<R>(mut f: impl FnMut() -> R) -> u128 {
+    let t = Instant::now();
+    black_box(f());
+    t.elapsed().as_nanos()
+}
+
+fn median(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Write the machine-readable baseline (`results/BENCH_robustness.json`).
+fn emit_baseline() {
+    let fx = fixture(3_000);
+    let queries = workload_queries(&fx);
+    let tight_engine = SamaEngine::with_config(
+        fx.dataset.graph.clone(),
+        EngineConfig {
+            deadline: Some(Duration::from_millis(1)),
+            ..Default::default()
+        },
+    );
+
+    // Warm every path once (index structures, allocator, χ caches).
+    run_workload(&fx.engine, &queries, &QueryBudget::unlimited());
+    run_workload(&fx.engine, &queries, &roomy_budget());
+
+    // Interleave the configurations within each round so slow drift
+    // (CPU frequency, cache temperature, co-tenants) lands on all of
+    // them equally instead of biasing whichever block ran last; the
+    // per-configuration median then compares like with like.
+    const RUNS: usize = 15;
+    let mut unlimited = Vec::with_capacity(RUNS);
+    let mut roomy = Vec::with_capacity(RUNS);
+    let mut isolated = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        unlimited.push(time_once(|| {
+            run_workload(&fx.engine, &queries, &QueryBudget::unlimited())
+        }));
+        roomy.push(time_once(|| {
+            run_workload(&fx.engine, &queries, &roomy_budget())
+        }));
+        isolated.push(time_once(|| {
+            fx.engine
+                .answer_batch(
+                    &queries,
+                    &BatchConfig {
+                        k: 10,
+                        threads: 1,
+                        ..Default::default()
+                    },
+                )
+                .stats
+                .queries
+        }));
+    }
+    let unlimited_ns = median(&mut unlimited);
+    let roomy_ns = median(&mut roomy);
+    let isolated_ns = median(&mut isolated);
+
+    // The degraded regime for context: every query trips a 1 ms
+    // deadline and comes back flagged. Not part of the budget — it
+    // measures what a deadline *saves*, not what it costs.
+    let tight_outcome = tight_engine.answer_batch(
+        &queries,
+        &BatchConfig {
+            k: 10,
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let tight_degraded = tight_outcome.stats.degraded;
+
+    let pct = |on: u128, off: u128| (on as f64 - off as f64) / off as f64 * 100.0;
+    let roomy_pct = pct(roomy_ns, unlimited_ns);
+    let isolated_pct = pct(isolated_ns, unlimited_ns);
+
+    let json = format!(
+        "{{\n  \"fixture_triples\": 3000,\n  \"workload_queries\": {},\n  \
+         \"batch_size\": {},\n  \"runs\": {RUNS},\n  \
+         \"unlimited_ns\": {unlimited_ns},\n  \"roomy_deadline_ns\": {roomy_ns},\n  \
+         \"batch_isolated_ns\": {isolated_ns},\n  \
+         \"deadline_overhead_pct\": {roomy_pct:.2},\n  \
+         \"isolation_overhead_pct\": {isolated_pct:.2},\n  \
+         \"tight_deadline_degraded\": {tight_degraded},\n  \
+         \"overhead_budget_pct\": 1.0,\n  \
+         \"within_budget\": {}\n}}\n",
+        fx.workload.len(),
+        queries.len(),
+        roomy_pct < 1.0,
+    );
+
+    let out = std::env::var("BENCH_ROBUSTNESS_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../results/BENCH_robustness.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(err) => eprintln!("could not write {out}: {err}"),
+    }
+    print!("{json}");
+}
+
+fn bench_emit_baseline(_c: &mut Criterion) {
+    // Skip the slow manual sweep when cargo runs benches in test mode.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    emit_baseline();
+}
+
+criterion_group!(benches, bench_deadline_toggle, bench_emit_baseline);
+criterion_main!(benches);

@@ -56,8 +56,19 @@ fn verify_determinism(engine: &SamaEngine, queries: &[QueryGraph]) {
         .map(|q| fingerprint(&engine.answer(q, 10)))
         .collect();
     for threads in THREAD_SWEEP {
-        let outcome = engine.answer_batch(queries, &BatchConfig { k: 10, threads });
-        let got: Vec<_> = outcome.results.iter().map(fingerprint).collect();
+        let outcome = engine.answer_batch(
+            queries,
+            &BatchConfig {
+                k: 10,
+                threads,
+                ..Default::default()
+            },
+        );
+        let got: Vec<_> = outcome
+            .results
+            .iter()
+            .map(|r| fingerprint(r.as_ref().expect("bench queries are valid")))
+            .collect();
         assert_eq!(got, sequential, "answers diverged at {threads} threads");
     }
 }
@@ -73,10 +84,14 @@ fn bench_batch_threads(c: &mut Criterion) {
     for threads in THREAD_SWEEP {
         group.bench_function(BenchmarkId::new("threads", threads), |b| {
             b.iter(|| {
-                black_box(
-                    fx.engine
-                        .answer_batch(&queries, &BatchConfig { k: 10, threads }),
-                )
+                black_box(fx.engine.answer_batch(
+                    &queries,
+                    &BatchConfig {
+                        k: 10,
+                        threads,
+                        ..Default::default()
+                    },
+                ))
                 .stats
                 .queries
             })
@@ -94,7 +109,11 @@ fn bench_shared_chi(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch_shared_chi");
     group.sample_size(10);
     group.throughput(Throughput::Elements(queries.len() as u64));
-    let config = BatchConfig { k: 10, threads: 2 };
+    let config = BatchConfig {
+        k: 10,
+        threads: 2,
+        ..Default::default()
+    };
     group.bench_function("off", |b| {
         b.iter(|| {
             black_box(fx.engine.answer_batch(&queries, &config))
@@ -138,7 +157,11 @@ fn emit_baseline() {
 
     let mut thread_rows = String::new();
     for threads in THREAD_SWEEP {
-        let config = BatchConfig { k: 10, threads };
+        let config = BatchConfig {
+            k: 10,
+            threads,
+            ..Default::default()
+        };
         let ns = time_ns(5, || {
             fx.engine.answer_batch(&queries, &config).stats.queries
         });
@@ -158,7 +181,11 @@ fn emit_baseline() {
 
     let shared_engine = SamaEngine::new(fx.dataset.graph.clone())
         .with_shared_chi_cache(SharedChiCache::with_defaults());
-    let config = BatchConfig { k: 10, threads: 2 };
+    let config = BatchConfig {
+        k: 10,
+        threads: 2,
+        ..Default::default()
+    };
     let off_ns = time_ns(5, || {
         fx.engine.answer_batch(&queries, &config).stats.queries
     });

@@ -16,12 +16,26 @@
 //! Besides the per-query [`QueryResult`]s the batch reports aggregate
 //! [`BatchStats`]: queries/sec and p50/p95/max latency per pipeline
 //! phase — the numbers a serving deployment actually watches.
+//!
+//! ## Fault tolerance
+//!
+//! Each query runs under `catch_unwind`, so one panicking query (a
+//! pipeline bug, an injected fault) yields one
+//! [`QueryError::Panicked`] slot while its neighbors complete
+//! bit-identically — the process never aborts. Queries also inherit
+//! the engine's deadline budget (plus an optional shared
+//! [`CancelToken`]), and [`BatchConfig::max_queue_depth`] sheds
+//! overload instead of queueing it unboundedly.
 
+use crate::deadline::CancelToken;
 use crate::engine::{QueryResult, SamaEngine};
+use crate::error::{panic_message, QueryError};
+use crate::search::TruncationReason;
 use path_index::IndexLike;
 use rdf_model::QueryGraph;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How a batch run is executed.
@@ -33,11 +47,21 @@ pub struct BatchConfig {
     /// Always clamped to the batch size; explicit values beyond the
     /// core count are honored (workers timeslice).
     pub threads: usize,
+    /// Admission control: accept at most this many queries per batch
+    /// call; the tail beyond the bound is *shed* — reported as
+    /// [`QueryError::Shed`] without running — so overload degrades
+    /// throughput instead of memory. `0` (the default) admits
+    /// everything.
+    pub max_queue_depth: usize,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        BatchConfig { k: 10, threads: 0 }
+        BatchConfig {
+            k: 10,
+            threads: 0,
+            max_queue_depth: 0,
+        }
     }
 }
 
@@ -97,16 +121,33 @@ pub struct BatchStats {
     pub clustering: PhaseLatency,
     /// Combination-search latency percentiles.
     pub search: PhaseLatency,
+    /// Queries that produced no result (panicked, invalid, cancelled
+    /// before starting) — shed queries are counted separately.
+    pub failed: usize,
+    /// Queries shed by [`BatchConfig::max_queue_depth`].
+    pub shed: usize,
+    /// Queries that completed but hit their deadline (or were
+    /// cancelled mid-flight) and returned a flagged partial result.
+    pub degraded: usize,
 }
 
-/// Everything a batch run produces: one [`QueryResult`] per submitted
-/// query, in submission order, plus the aggregate [`BatchStats`].
+/// Everything a batch run produces: one result per submitted query, in
+/// submission order, plus the aggregate [`BatchStats`]. Failures are
+/// *per slot*: a panicked, shed, or invalid query yields an `Err`
+/// without disturbing its neighbors.
 #[derive(Debug, Clone)]
 pub struct BatchOutcome {
     /// Per-query results, index-aligned with the submitted queries.
-    pub results: Vec<QueryResult>,
+    pub results: Vec<Result<QueryResult, QueryError>>,
     /// Aggregate throughput and latency statistics.
     pub stats: BatchStats,
+}
+
+impl BatchOutcome {
+    /// The successful results, in submission order.
+    pub fn ok_results(&self) -> impl Iterator<Item = &QueryResult> {
+        self.results.iter().filter_map(|r| r.as_ref().ok())
+    }
 }
 
 /// Clamp a requested thread count: `0` means "all hardware threads";
@@ -132,35 +173,103 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
     /// to calling [`SamaEngine::answer`] in a loop, at every thread
     /// count. When a [`crate::SharedChiCache`] is installed on the
     /// engine, all workers share it.
+    ///
+    /// Each query is isolated: a panic (or invalid query) fills its own
+    /// slot with an `Err` and never disturbs the rest of the batch.
     pub fn answer_batch(&self, queries: &[QueryGraph], config: &BatchConfig) -> BatchOutcome {
-        let threads = clamp_threads(config.threads, queries.len());
+        self.answer_batch_with_cancel(queries, config, None)
+    }
+
+    /// [`SamaEngine::answer_batch`] with a caller-held [`CancelToken`]
+    /// shared by every query of the batch: queries that have not
+    /// started when it fires return [`QueryError::Cancelled`]; queries
+    /// in flight notice at their next checkpoint and come back as
+    /// flagged partial results.
+    pub fn answer_batch_with_cancel(
+        &self,
+        queries: &[QueryGraph],
+        config: &BatchConfig,
+        cancel: Option<&Arc<CancelToken>>,
+    ) -> BatchOutcome {
+        // Admission control: everything beyond the queue-depth bound is
+        // shed up front, so the pool only ever sees admitted queries.
+        let admitted = if config.max_queue_depth > 0 {
+            queries.len().min(config.max_queue_depth)
+        } else {
+            queries.len()
+        };
+        let threads = clamp_threads(config.threads, admitted);
         let batch_span = sama_obs::span!("batch.run_ns");
         sama_obs::counter_add("batch.batches_total", 1);
         sama_obs::counter_add("batch.queries_total", queries.len() as u64);
         sama_obs::gauge_set("batch.pool_threads", threads as i64);
         let started = Instant::now();
 
-        let slots: Vec<Mutex<Option<QueryResult>>> =
-            queries.iter().map(|_| Mutex::new(None)).collect();
-        if threads <= 1 {
-            // Inline fast path: no pool, same results by construction.
-            for (query, slot) in queries.iter().zip(&slots) {
-                *slot.lock().expect("result slot poisoned") = Some(self.answer(query, config.k));
+        // One query, end to end: cancellation gate, per-query budget
+        // (the clock starts when the query starts, not when the batch
+        // does), panic isolation. The fault site sits *inside* the
+        // unwind boundary so an injected panic exercises the isolation
+        // rather than the harness.
+        let run_one = |query: &QueryGraph| -> Result<QueryResult, QueryError> {
+            if let Some(token) = cancel {
+                if token.is_cancelled() {
+                    return Err(QueryError::Cancelled);
+                }
             }
+            let mut budget = self.default_budget();
+            if let Some(token) = cancel {
+                budget = budget.cancelled_by(Arc::clone(token));
+            }
+            match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                sama_obs::fault::point("batch.worker");
+                self.try_answer_with_budget(query, config.k, &budget)
+            })) {
+                Ok(result) => result,
+                Err(payload) => Err(QueryError::Panicked(panic_message(payload))),
+            }
+        };
+
+        let admitted_queries = &queries[..admitted];
+        let mut results: Vec<Result<QueryResult, QueryError>> = if threads <= 1 {
+            // Inline fast path: no pool, same results by construction.
+            admitted_queries.iter().map(run_one).collect()
         } else {
+            let slots: Vec<Mutex<Option<Result<QueryResult, QueryError>>>> =
+                admitted_queries.iter().map(|_| Mutex::new(None)).collect();
             let cursor = AtomicUsize::new(0);
             crossbeam::scope(|scope| {
                 for _ in 0..threads {
                     scope.spawn(|_| loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(query) = queries.get(i) else { break };
-                        let result = self.answer(query, config.k);
-                        *slots[i].lock().expect("result slot poisoned") = Some(result);
+                        let Some(query) = admitted_queries.get(i) else {
+                            break;
+                        };
+                        let result = run_one(query);
+                        // A poisoned slot only means a sibling worker
+                        // panicked while holding the lock; the stored
+                        // value is still replaceable — recover it.
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
                     });
                 }
             })
-            .expect("batch worker pool panicked");
-        }
+            // run_one never unwinds (panics are caught per query), so a
+            // scope failure is a harness bug; re-raise it faithfully
+            // instead of masking it with a generic message.
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .unwrap_or_else(|| {
+                            Err(QueryError::Panicked(
+                                "worker terminated before storing a result".to_string(),
+                            ))
+                        })
+                })
+                .collect()
+        };
+        results.extend(queries[admitted..].iter().map(|_| Err(QueryError::Shed)));
         let wall_time = started.elapsed();
         drop(batch_span);
         // Keep the shared-χ gauge set stable across configurations: an
@@ -180,17 +289,27 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             }
         }
 
-        let results: Vec<QueryResult> = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every query answered")
+        let ok = || results.iter().filter_map(|r| r.as_ref().ok());
+        let shed = results
+            .iter()
+            .filter(|r| matches!(r, Err(QueryError::Shed)))
+            .count();
+        let failed = results.iter().filter(|r| r.is_err()).count() - shed;
+        let degraded = ok()
+            .filter(|r| {
+                matches!(
+                    r.truncation,
+                    Some(TruncationReason::DeadlineExceeded) | Some(TruncationReason::Cancelled)
+                )
             })
-            .collect();
+            .count();
+        sama_obs::counter_add("batch.failed_total", failed as u64);
+        sama_obs::counter_add("batch.shed_total", shed as u64);
+        sama_obs::counter_add("batch.degraded_total", degraded as u64);
 
+        // Latency percentiles describe the queries that actually ran.
         let collect = |f: &dyn Fn(&QueryResult) -> Duration| {
-            PhaseLatency::from_samples(results.iter().map(f).collect())
+            PhaseLatency::from_samples(ok().map(f).collect())
         };
         let stats = BatchStats {
             queries: results.len(),
@@ -205,6 +324,9 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             preprocessing: collect(&|r| r.timings.preprocessing),
             clustering: collect(&|r| r.timings.clustering),
             search: collect(&|r| r.timings.search),
+            failed,
+            shed,
+            degraded,
         };
         BatchOutcome { results, stats }
     }
@@ -269,18 +391,96 @@ mod tests {
             .map(|q| fingerprint(&engine.answer(q, 5)))
             .collect();
         for threads in [1usize, 2, 4] {
-            let outcome = engine.answer_batch(&qs, &BatchConfig { k: 5, threads });
+            let outcome = engine.answer_batch(
+                &qs,
+                &BatchConfig {
+                    k: 5,
+                    threads,
+                    ..Default::default()
+                },
+            );
             assert_eq!(outcome.results.len(), qs.len());
-            let batch: Vec<_> = outcome.results.iter().map(fingerprint).collect();
+            let batch: Vec<_> = outcome
+                .results
+                .iter()
+                .map(|r| fingerprint(r.as_ref().expect("healthy query succeeds")))
+                .collect();
             assert_eq!(batch, sequential, "{threads} threads");
+            assert_eq!(outcome.stats.failed, 0);
+            assert_eq!(outcome.stats.shed, 0);
         }
+    }
+
+    #[test]
+    fn queue_depth_sheds_the_tail() {
+        let engine = SamaEngine::new(data());
+        let qs = queries();
+        let outcome = engine.answer_batch(
+            &qs,
+            &BatchConfig {
+                k: 3,
+                threads: 2,
+                max_queue_depth: 2,
+            },
+        );
+        assert_eq!(outcome.results.len(), qs.len());
+        assert!(outcome.results[..2].iter().all(Result::is_ok));
+        assert!(outcome.results[2..]
+            .iter()
+            .all(|r| matches!(r, Err(QueryError::Shed))));
+        assert_eq!(outcome.stats.shed, qs.len() - 2);
+        assert_eq!(outcome.stats.failed, 0);
+        // Admitted results match an unshedded run bit-for-bit.
+        let full = engine.answer_batch(
+            &qs,
+            &BatchConfig {
+                k: 3,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        for (bounded, unbounded) in outcome.results[..2].iter().zip(&full.results[..2]) {
+            assert_eq!(
+                fingerprint(bounded.as_ref().unwrap()),
+                fingerprint(unbounded.as_ref().unwrap())
+            );
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_batch_returns_cancelled_slots() {
+        let engine = SamaEngine::new(data());
+        let qs = queries();
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let outcome = engine.answer_batch_with_cancel(
+            &qs,
+            &BatchConfig {
+                k: 3,
+                threads: 2,
+                ..Default::default()
+            },
+            Some(&token),
+        );
+        assert_eq!(outcome.results.len(), qs.len());
+        for r in &outcome.results {
+            assert!(matches!(r, Err(QueryError::Cancelled)), "got {r:?}");
+        }
+        assert_eq!(outcome.stats.failed, qs.len());
     }
 
     #[test]
     fn stats_are_populated() {
         let engine = SamaEngine::new(data());
         let qs = queries();
-        let outcome = engine.answer_batch(&qs, &BatchConfig { k: 3, threads: 2 });
+        let outcome = engine.answer_batch(
+            &qs,
+            &BatchConfig {
+                k: 3,
+                threads: 2,
+                ..Default::default()
+            },
+        );
         let stats = outcome.stats;
         assert_eq!(stats.queries, qs.len());
         assert!(stats.threads >= 1);

@@ -145,7 +145,7 @@ impl SharedChiCache {
     fn get(&self, key: (PathId, PathId)) -> Option<u32> {
         let found = self.stripes[self.stripe_of(key)]
             .lock()
-            .expect("χ stripe poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .get(&key)
             .copied();
         match found {
@@ -159,7 +159,7 @@ impl SharedChiCache {
     fn insert(&self, key: (PathId, PathId), count: u32) {
         let mut stripe = self.stripes[self.stripe_of(key)]
             .lock()
-            .expect("χ stripe poisoned");
+            .unwrap_or_else(|e| e.into_inner());
         if stripe.len() >= self.stripe_capacity {
             stripe.clear();
             self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -181,7 +181,7 @@ impl SharedChiCache {
     pub fn len(&self) -> usize {
         self.stripes
             .iter()
-            .map(|s| s.lock().expect("χ stripe poisoned").len())
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
             .sum()
     }
 
@@ -194,7 +194,7 @@ impl SharedChiCache {
     /// refer to). Counters are kept.
     pub fn clear(&self) {
         for stripe in &self.stripes {
-            stripe.lock().expect("χ stripe poisoned").clear();
+            stripe.lock().unwrap_or_else(|e| e.into_inner()).clear();
         }
     }
 

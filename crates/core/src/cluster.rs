@@ -10,6 +10,7 @@
 //! by alignment quality, best (lowest λ) first.
 
 use crate::align::{align, Alignment, AlignmentMode};
+use crate::deadline::QueryBudget;
 use crate::params::ScoreParams;
 use crate::qpath::QueryPath;
 use crate::score::deletion_lambda;
@@ -167,9 +168,48 @@ pub fn build_clusters<I: IndexLike + Sync>(
     mode: AlignmentMode,
     config: &ClusterConfig,
 ) -> Vec<Cluster> {
+    build_clusters_budgeted(
+        qpaths,
+        index,
+        synonyms,
+        params,
+        mode,
+        config,
+        &QueryBudget::unlimited(),
+    )
+}
+
+/// [`build_clusters`] under a deadline/cancellation budget, polled
+/// between clusters and every [`ALIGN_CHECK_INTERVAL`]-th alignment.
+/// On expiry the remaining candidates (and clusters) are skipped —
+/// their entries simply never exist, which prices the affected query
+/// paths closer to deletion, and the skipped candidates are counted in
+/// [`Cluster::candidates_dropped`]. An unlimited budget reads no clock
+/// and yields bit-identical clusters to [`build_clusters`].
+#[allow(clippy::too_many_arguments)]
+pub fn build_clusters_budgeted<I: IndexLike + Sync>(
+    qpaths: &[QueryPath],
+    index: &I,
+    synonyms: &dyn SynonymProvider,
+    params: &ScoreParams,
+    mode: AlignmentMode,
+    config: &ClusterConfig,
+    budget: &QueryBudget,
+) -> Vec<Cluster> {
     qpaths
         .iter()
-        .map(|q| build_cluster(q, index, synonyms, params, mode, config))
+        .map(|q| {
+            if !budget.is_unlimited() && budget.exceeded().is_some() {
+                return Cluster {
+                    qpath_index: q.index,
+                    entries: Vec::new(),
+                    deletion_lambda: deletion_lambda(q.len(), params),
+                    candidates_dropped: 0,
+                    candidates_retrieved: 0,
+                };
+            }
+            build_cluster(q, index, synonyms, params, mode, config, budget)
+        })
         .collect()
 }
 
@@ -207,8 +247,16 @@ pub fn build_clusters_parallel<I: IndexLike + Sync>(
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
                 let Some(q) = qpaths.get(i) else { break };
-                let cluster = build_cluster(q, index, synonyms, params, mode, config);
-                *slots[i].lock().expect("cluster slot poisoned") = Some(cluster);
+                let cluster = build_cluster(
+                    q,
+                    index,
+                    synonyms,
+                    params,
+                    mode,
+                    config,
+                    &QueryBudget::unlimited(),
+                );
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(cluster);
             });
         }
     });
@@ -216,12 +264,17 @@ pub fn build_clusters_parallel<I: IndexLike + Sync>(
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("cluster slot poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .expect("every slot filled")
         })
         .collect()
 }
 
+/// Candidate alignments between polls of an attached [`QueryBudget`]
+/// during clustering.
+pub const ALIGN_CHECK_INTERVAL: usize = 256;
+
+#[allow(clippy::too_many_arguments)]
 fn build_cluster<I: IndexLike + Sync>(
     q: &QueryPath,
     index: &I,
@@ -229,7 +282,9 @@ fn build_cluster<I: IndexLike + Sync>(
     params: &ScoreParams,
     mode: AlignmentMode,
     config: &ClusterConfig,
+    budget: &QueryBudget,
 ) -> Cluster {
+    sama_obs::fault::point("cluster.align");
     let retrieve_span = sama_obs::span!("cluster.retrieve_ns");
     let candidates = retrieve_candidates(q, index, synonyms, config);
     drop(retrieve_span);
@@ -243,7 +298,14 @@ fn build_cluster<I: IndexLike + Sync>(
     };
 
     let align_span = sama_obs::span!("cluster.align_ns");
-    let mut entries = if config.parallel_alignment {
+    let mut entries = if !budget.is_unlimited() {
+        // Budgeted alignment runs inline so the checkpoints see every
+        // candidate; entries (and their order) are identical to the
+        // parallel path while the budget holds.
+        let aligned = align_candidates_budgeted(q, index, considered, params, mode, budget);
+        dropped += considered.len() - aligned.len();
+        aligned
+    } else if config.parallel_alignment {
         align_candidates_parallel(q, index, considered, params, mode, config)
     } else {
         align_candidates(q, index, considered, params, mode)
@@ -278,6 +340,32 @@ fn entry_cmp<I: IndexLike + ?Sized>(index: &I, x: &ClusterEntry, y: &ClusterEntr
             .cmp(&py.nodes)
             .then_with(|| px.edges.cmp(&py.edges))
     })
+}
+
+/// Align candidates inline, polling `budget` every
+/// [`ALIGN_CHECK_INTERVAL`]-th candidate (the first is always polled);
+/// stops early — returning the entries aligned so far — once it
+/// expires.
+fn align_candidates_budgeted<I: IndexLike + ?Sized>(
+    q: &QueryPath,
+    index: &I,
+    considered: &[PathId],
+    params: &ScoreParams,
+    mode: AlignmentMode,
+    budget: &QueryBudget,
+) -> Vec<ClusterEntry> {
+    let mut entries = Vec::with_capacity(considered.len());
+    for (i, &pid) in considered.iter().enumerate() {
+        if i % ALIGN_CHECK_INTERVAL == 0 && budget.exceeded().is_some() {
+            break;
+        }
+        let indexed = index.indexed(pid);
+        entries.push(ClusterEntry {
+            path_id: pid,
+            alignment: align(q, &indexed.labels, params, mode),
+        });
+    }
+    entries
 }
 
 /// Align every candidate inline, in retrieval order.
@@ -337,7 +425,14 @@ fn align_candidates_parallel<I: IndexLike + Sync + ?Sized>(
             })
             .collect();
         for handle in handles {
-            merged.extend(handle.join().expect("alignment worker panicked"));
+            // Preserve the worker's panic payload (e.g. an injected
+            // fault's message) instead of replacing it with a generic
+            // `.expect` string — the batch pool's isolation reports it.
+            merged.extend(
+                handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+            );
         }
     });
     merged

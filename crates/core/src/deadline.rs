@@ -1,0 +1,140 @@
+//! Cooperative per-query budgets: wall-clock deadlines and caller
+//! cancellation.
+//!
+//! A [`QueryBudget`] travels with one query through the pipeline. The
+//! phases poll it at cheap checkpoints (search expansion pops,
+//! alignment chunks, engine phase boundaries); when it reports
+//! expiry the phase stops early and the engine assembles a
+//! best-effort partial top-k flagged with
+//! [`TruncationReason::DeadlineExceeded`] (or
+//! [`TruncationReason::Cancelled`]) instead of erroring out.
+//!
+//! The unlimited budget is the default and is *completely free*: no
+//! clock is ever read, so results without a deadline stay bit-identical
+//! to a build without this module.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::search::TruncationReason;
+
+/// A shared flag a caller flips to abandon in-flight queries (e.g. a
+/// client disconnect fanning out over a whole batch).
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token behind an [`Arc`] so it can be
+    /// shared between the caller and any number of queries.
+    pub fn new() -> Arc<Self> {
+        Arc::new(CancelToken::default())
+    }
+
+    /// Request cancellation. Idempotent; queries notice at their next
+    /// checkpoint.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`cancel`](Self::cancel) has been called.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// The time/cancellation budget of one query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBudget {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<CancelToken>>,
+}
+
+impl QueryBudget {
+    /// No deadline, no cancellation: checkpoints are free no-ops.
+    pub fn unlimited() -> Self {
+        QueryBudget::default()
+    }
+
+    /// Budget expiring `limit` from now.
+    pub fn deadline(limit: Duration) -> Self {
+        QueryBudget {
+            deadline: Instant::now().checked_add(limit).map(Some).unwrap_or(None),
+            cancel: None,
+        }
+    }
+
+    /// Attach a caller-held cancellation token.
+    pub fn cancelled_by(mut self, token: Arc<CancelToken>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// `true` when neither a deadline nor a token is attached — the
+    /// phases skip checkpointing entirely in that case.
+    #[inline]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Poll the budget. `None` while it still holds; otherwise the
+    /// truncation reason to flag the partial result with. Cancellation
+    /// wins over deadline expiry when both apply.
+    #[inline]
+    pub fn exceeded(&self) -> Option<TruncationReason> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(TruncationReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(TruncationReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let budget = QueryBudget::unlimited();
+        assert!(budget.is_unlimited());
+        assert_eq!(budget.exceeded(), None);
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let budget = QueryBudget::deadline(Duration::ZERO);
+        assert!(!budget.is_unlimited());
+        assert_eq!(budget.exceeded(), Some(TruncationReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn generous_deadline_holds() {
+        let budget = QueryBudget::deadline(Duration::from_secs(3600));
+        assert_eq!(budget.exceeded(), None);
+    }
+
+    #[test]
+    fn cancellation_wins_over_deadline() {
+        let token = CancelToken::new();
+        let budget = QueryBudget::deadline(Duration::ZERO).cancelled_by(Arc::clone(&token));
+        assert_eq!(budget.exceeded(), Some(TruncationReason::DeadlineExceeded));
+        token.cancel();
+        assert_eq!(budget.exceeded(), Some(TruncationReason::Cancelled));
+    }
+
+    #[test]
+    fn saturating_deadline_never_expires() {
+        let budget = QueryBudget::deadline(Duration::from_secs(u64::MAX));
+        assert_eq!(budget.exceeded(), None);
+    }
+}

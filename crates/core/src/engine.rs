@@ -5,20 +5,40 @@ use crate::align::AlignmentMode;
 use crate::answer::Answer;
 use crate::chi_cache::{ChiCacheStats, SharedChiCache};
 use crate::cluster::{
-    build_clusters, build_clusters_parallel, parallel_default, Cluster, ClusterConfig,
+    build_clusters, build_clusters_budgeted, build_clusters_parallel, parallel_default, Cluster,
+    ClusterConfig,
 };
+use crate::deadline::QueryBudget;
+use crate::error::{QueryError, SamaError};
 use crate::igraph::IntersectionGraph;
 use crate::params::ScoreParams;
-use crate::qpath::{decompose_query, QueryPath};
-use crate::search::{search_top_k_with_shared_chi, SearchConfig, SearchStream, TruncationReason};
+use crate::qpath::{decompose_query, decompose_query_checked, QueryPath};
+use crate::search::{search_top_k_budgeted, SearchConfig, SearchStream, TruncationReason};
 use crate::trace::{ExplainTrace, TraceConfig};
 use path_index::{
     ExtractionConfig, IndexLike, NoSynonyms, PathIndex, ShardedIndex, SynonymProvider,
 };
 use rdf_model::{DataGraph, QueryGraph};
 use sama_obs as obs;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// The deadline from `SAMA_DEADLINE_MS` (unset = no deadline; `0` = an
+/// already-expired budget, useful for smoke-testing the degraded
+/// path). Read once per process, like the other `SAMA_*` flags.
+pub(crate) fn deadline_default() -> Option<Duration> {
+    static DEADLINE: OnceLock<Option<Duration>> = OnceLock::new();
+    *DEADLINE.get_or_init(|| match std::env::var("SAMA_DEADLINE_MS") {
+        Ok(value) => match value.trim().parse::<u64>() {
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => {
+                eprintln!("warning: ignoring SAMA_DEADLINE_MS={value:?}: not a millisecond count");
+                None
+            }
+        },
+        Err(_) => None,
+    })
+}
 
 /// Engine-wide configuration.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +59,14 @@ pub struct EngineConfig {
     /// Per-query EXPLAIN trace assembly (off by default; the
     /// `SAMA_TRACE` env flag flips the default on).
     pub trace: TraceConfig,
+    /// Per-query wall-clock budget. On expiry the engine returns the
+    /// best-effort partial top-k flagged with
+    /// [`TruncationReason::DeadlineExceeded`] instead of running to
+    /// `max_expansions`. `None` (the default, unless the
+    /// `SAMA_DEADLINE_MS` env flag sets one) disables the checkpoints
+    /// entirely — no clock is read and results are bit-identical to an
+    /// unbudgeted build.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +81,7 @@ impl Default for EngineConfig {
             // leg) flips every parallel knob on.
             parallel_clustering: parallel_default(),
             trace: TraceConfig::default(),
+            deadline: deadline_default(),
         }
     }
 }
@@ -339,8 +368,81 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
         )
     }
 
-    /// Answer `query` with the `k` most relevant answers.
+    /// The budget one query gets by default: the configured
+    /// [`EngineConfig::deadline`], or unlimited.
+    pub fn default_budget(&self) -> QueryBudget {
+        match self.config.deadline {
+            Some(limit) => QueryBudget::deadline(limit),
+            None => QueryBudget::unlimited(),
+        }
+    }
+
+    /// Check that `query` can be answered at all: it must decompose
+    /// into at least one source→sink path. Malformed queries surface as
+    /// [`SamaError::InvalidQuery`] here instead of a panic deeper in
+    /// the pipeline.
+    pub fn validate_query(&self, query: &QueryGraph) -> Result<(), SamaError> {
+        decompose_query_checked(
+            query,
+            self.index.data().vocab(),
+            self.synonyms.as_ref(),
+            &self.config.query_extraction,
+        )
+        .map(|_| ())
+    }
+
+    /// [`SamaEngine::answer`] with up-front validation: a query that
+    /// cannot be decomposed returns [`QueryError::InvalidQuery`]
+    /// instead of panicking.
+    pub fn try_answer(&self, query: &QueryGraph, k: usize) -> Result<QueryResult, QueryError> {
+        self.try_answer_with_budget(query, k, &self.default_budget())
+    }
+
+    /// [`SamaEngine::answer_with_budget`] with up-front validation.
+    pub fn try_answer_with_budget(
+        &self,
+        query: &QueryGraph,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Result<QueryResult, QueryError> {
+        self.validate_query(query)?;
+        Ok(self.answer_with_budget(query, k, budget))
+    }
+
+    /// Answer `query` with the `k` most relevant answers, under the
+    /// engine's default budget (see [`EngineConfig::deadline`]).
     pub fn answer(&self, query: &QueryGraph, k: usize) -> QueryResult {
+        self.answer_with_budget(query, k, &self.default_budget())
+    }
+
+    /// Answer `query` under an explicit deadline/cancellation budget.
+    ///
+    /// The budget is polled at cheap checkpoints — the engine's phase
+    /// boundaries, every [`crate::cluster::ALIGN_CHECK_INTERVAL`]-th
+    /// alignment, every [`crate::search::BUDGET_CHECK_INTERVAL`]-th
+    /// expansion pop. On expiry the query *degrades* instead of
+    /// failing: the answers found so far plus a greedy completion of
+    /// the search frontier come back as a best-effort partial top-k,
+    /// flagged via [`QueryResult::truncation`] with
+    /// [`TruncationReason::DeadlineExceeded`] (or `Cancelled`) and
+    /// counted in `query.deadline_exceeded_total` /
+    /// `query.cancelled_total`. An unlimited budget reads no clock and
+    /// returns bit-identical results to [`SamaEngine::answer`] without
+    /// a deadline.
+    pub fn answer_with_budget(
+        &self,
+        query: &QueryGraph,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> QueryResult {
+        obs::fault::point("engine.answer");
+        // An already-expired budget (deadline 0, pre-cancelled token)
+        // returns immediately: a valid, empty, flagged result.
+        if !budget.is_unlimited() {
+            if let Some(reason) = budget.exceeded() {
+                return self.expired_result(query, reason);
+            }
+        }
         let preprocess_span = obs::span!("query.preprocess_ns");
         let query_paths = decompose_query(
             query,
@@ -352,7 +454,7 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
         let preprocessing = preprocess_span.finish();
 
         let cluster_span = obs::span!("query.cluster_ns");
-        let clusters = if self.config.parallel_clustering {
+        let clusters = if budget.is_unlimited() && self.config.parallel_clustering {
             build_clusters_parallel(
                 &query_paths,
                 &self.index,
@@ -362,19 +464,22 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
                 &self.config.cluster,
             )
         } else {
-            build_clusters(
+            // The budgeted path is bit-identical while the budget holds
+            // (and when it is unlimited).
+            build_clusters_budgeted(
                 &query_paths,
                 &self.index,
                 self.synonyms.as_ref(),
                 &self.params,
                 self.config.alignment,
                 &self.config.cluster,
+                budget,
             )
         };
         let clustering = cluster_span.finish();
 
         let search_span = obs::span!("query.search_ns");
-        let outcome = search_top_k_with_shared_chi(
+        let outcome = search_top_k_budgeted(
             &query_paths,
             &intersection_graph,
             &clusters,
@@ -383,6 +488,7 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             k,
             &self.config.search,
             self.shared_chi.clone(),
+            budget,
         );
         let search = search_span.finish();
 
@@ -442,6 +548,12 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             Some(TruncationReason::FrontierOverflow) => {
                 obs::counter_add("search.truncated_frontier_overflow_total", 1);
             }
+            Some(TruncationReason::DeadlineExceeded) => {
+                obs::counter_add("query.deadline_exceeded_total", 1);
+            }
+            Some(TruncationReason::Cancelled) => {
+                obs::counter_add("query.cancelled_total", 1);
+            }
             None => {}
         }
         let chi = outcome.chi_stats;
@@ -452,6 +564,48 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
         obs::observe_duration("query.total_ns", timings.total());
         if let Some(shared) = &self.shared_chi {
             shared.publish_metrics();
+        }
+    }
+
+    /// The degraded result of a budget that was already expired when
+    /// the query arrived: empty but valid, flagged with `reason`, and
+    /// counted like any other deadline expiry.
+    fn expired_result(&self, query: &QueryGraph, reason: TruncationReason) -> QueryResult {
+        if obs::enabled() {
+            obs::counter_add("query.queries_total", 1);
+            match reason {
+                TruncationReason::Cancelled => obs::counter_add("query.cancelled_total", 1),
+                _ => obs::counter_add("query.deadline_exceeded_total", 1),
+            }
+        }
+        let timings = QueryTimings::default();
+        let trace = self.config.trace.enabled.then(|| {
+            ExplainTrace::build(
+                &self.config.trace,
+                query,
+                &[],
+                &[],
+                &crate::SearchOutcome {
+                    answers: Vec::new(),
+                    expansions: 0,
+                    truncated: true,
+                    truncation: Some(reason),
+                    chi_stats: ChiCacheStats::default(),
+                },
+                &timings,
+            )
+        });
+        QueryResult {
+            answers: Vec::new(),
+            query_paths: Vec::new(),
+            intersection_graph: IntersectionGraph::build(&[]),
+            clusters: Vec::new(),
+            retrieved_paths: 0,
+            truncated: true,
+            truncation: Some(reason),
+            timings,
+            chi_stats: ChiCacheStats::default(),
+            trace,
         }
     }
 }

@@ -1,0 +1,120 @@
+//! Typed errors of the serving pipeline.
+//!
+//! The engine's philosophy is *degrade, don't die*: a deadline expiry
+//! returns a best-effort partial [`crate::QueryResult`] flagged with
+//! [`crate::TruncationReason::DeadlineExceeded`], not an error. Errors
+//! are reserved for queries that produced **no usable result at all**
+//! — malformed input, a panicking worker, a shed or cancelled request
+//! — so a batch caller can tell "partial answer" from "no answer" per
+//! slot without the process ever aborting.
+
+use std::fmt;
+
+/// Errors of the core library's fallible constructors (query
+/// validation, decomposition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SamaError {
+    /// The query graph cannot be decomposed into a usable `PQ`.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for SamaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamaError::InvalidQuery(reason) => write!(f, "invalid query: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SamaError {}
+
+/// Why one query of a batch produced no [`crate::QueryResult`]. Stored
+/// per slot in [`crate::BatchOutcome::results`]; the slots of healthy
+/// queries are unaffected (panic isolation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The worker answering this query panicked; the payload message is
+    /// preserved. Neighboring queries in the same batch are isolated
+    /// and complete normally.
+    Panicked(String),
+    /// The per-query budget expired before the query was even started
+    /// by its worker. Once a query is running, the engine reports
+    /// deadline expiry as a flagged partial result, not this error.
+    DeadlineExceeded,
+    /// The query's cancellation token fired before the query started.
+    Cancelled,
+    /// The query failed validation (see [`SamaError::InvalidQuery`]).
+    InvalidQuery(String),
+    /// Admission control shed this query: the batch queue was deeper
+    /// than [`crate::BatchConfig::max_queue_depth`].
+    Shed,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Panicked(message) => write!(f, "query worker panicked: {message}"),
+            QueryError::DeadlineExceeded => write!(f, "deadline exceeded before any answer"),
+            QueryError::Cancelled => write!(f, "query cancelled"),
+            QueryError::InvalidQuery(reason) => write!(f, "invalid query: {reason}"),
+            QueryError::Shed => write!(f, "query shed by admission control (queue full)"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<SamaError> for QueryError {
+    fn from(e: SamaError) -> Self {
+        match e {
+            SamaError::InvalidQuery(reason) => QueryError::InvalidQuery(reason),
+        }
+    }
+}
+
+/// Render a panic payload as a one-line message (the payloads `panic!`
+/// produces are `&str` or `String`; anything else is described
+/// generically).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line() {
+        let errors: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(SamaError::InvalidQuery("no triple patterns".into())),
+            Box::new(QueryError::Panicked("injected fault: search.expand".into())),
+            Box::new(QueryError::DeadlineExceeded),
+            Box::new(QueryError::Cancelled),
+            Box::new(QueryError::Shed),
+        ];
+        for e in errors {
+            let line = e.to_string();
+            assert!(!line.is_empty());
+            assert!(!line.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn sama_error_converts() {
+        let q: QueryError = SamaError::InvalidQuery("x".into()).into();
+        assert_eq!(q, QueryError::InvalidQuery("x".into()));
+    }
+
+    #[test]
+    fn panic_payloads_render() {
+        assert_eq!(panic_message(Box::new("boom")), "boom");
+        assert_eq!(panic_message(Box::new(String::from("bang"))), "bang");
+        assert_eq!(panic_message(Box::new(42u8)), "non-string panic payload");
+    }
+}

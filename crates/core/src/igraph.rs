@@ -8,6 +8,7 @@
 //! The IG drives both the conformity term of the score and the
 //! combination forest of the search step.
 
+use crate::error::SamaError;
 use crate::qpath::QueryPath;
 use crate::score::chi;
 use rdf_model::NodeId;
@@ -68,6 +69,29 @@ impl IntersectionGraph {
             edges,
             adjacency,
         }
+    }
+
+    /// [`IntersectionGraph::build`] with validation: the decomposition
+    /// must be self-consistent (each `qpaths[i].index == i` — the IG,
+    /// the clusters, and the search all address paths by that
+    /// position). A violated invariant surfaces as
+    /// [`SamaError::InvalidQuery`] instead of mis-addressed clusters.
+    pub fn try_build(qpaths: &[QueryPath]) -> Result<Self, SamaError> {
+        for (i, qp) in qpaths.iter().enumerate() {
+            if qp.index != i {
+                return Err(SamaError::InvalidQuery(format!(
+                    "query path at position {i} carries index {} — \
+                     decomposition order is corrupted",
+                    qp.index
+                )));
+            }
+            if qp.is_empty() {
+                return Err(SamaError::InvalidQuery(format!(
+                    "query path {i} has no nodes"
+                )));
+            }
+        }
+        Ok(Self::build(qpaths))
     }
 
     /// Edges incident to query path `q`.

@@ -52,7 +52,9 @@ pub mod answer;
 pub mod batch;
 pub mod chi_cache;
 pub mod cluster;
+pub mod deadline;
 pub mod engine;
+pub mod error;
 pub mod forest;
 pub mod igraph;
 pub mod params;
@@ -67,20 +69,23 @@ pub use answer::{Answer, ChosenPath};
 pub use batch::{BatchConfig, BatchOutcome, BatchStats, PhaseLatency};
 pub use chi_cache::{ChiCache, ChiCacheStats, SharedChiCache, SharedChiStats};
 pub use cluster::{
-    build_clusters, build_clusters_parallel, AnchorSelection, Cluster, ClusterConfig, ClusterEntry,
+    build_clusters, build_clusters_budgeted, build_clusters_parallel, AnchorSelection, Cluster,
+    ClusterConfig, ClusterEntry,
 };
+pub use deadline::{CancelToken, QueryBudget};
 pub use engine::{EngineConfig, QueryResult, QueryTimings, SamaEngine};
+pub use error::{QueryError, SamaError};
 pub use forest::{ForestEdge, ForestNode, PathForest};
 pub use igraph::{IgEdge, IntersectionGraph};
 pub use params::ScoreParams;
-pub use qpath::{decompose_query, QueryLabel, QueryPath};
+pub use qpath::{decompose_query, decompose_query_checked, QueryLabel, QueryPath};
 pub use relevance::{more_relevant, ops_of_counts, transformation_cost, EditOp};
 pub use score::{
     chi, chi_count, chi_count_sorted, chi_sorted, conformity_penalty, conformity_ratio,
     deletion_lambda, PairConformity, ScoreBreakdown,
 };
 pub use search::{
-    search_top_k, search_top_k_with_shared_chi, SearchConfig, SearchOutcome, SearchStream,
-    TruncationReason,
+    search_top_k, search_top_k_budgeted, search_top_k_with_shared_chi, SearchConfig, SearchOutcome,
+    SearchStream, TruncationReason,
 };
 pub use trace::{ExplainTrace, TraceChi, TraceCluster, TraceConfig, TracePhases, TraceQueryPath};

@@ -8,6 +8,7 @@
 //! label ids it may match, so the alignment inner loop compares plain
 //! integers.
 
+use crate::error::SamaError;
 use path_index::{extract_paths, ExtractionConfig, Path, SynonymProvider};
 use rdf_model::{LabelId, QueryGraph, Vocabulary};
 
@@ -137,6 +138,34 @@ pub fn decompose_query(
             }
         })
         .collect()
+}
+
+/// [`decompose_query`] with validation: a query that yields no usable
+/// `PQ` — no triple patterns at all, or an extraction that produces no
+/// source→sink paths (e.g. every path exceeds the extraction limits) —
+/// is reported as [`SamaError::InvalidQuery`] instead of flowing into
+/// the pipeline as an empty decomposition.
+pub fn decompose_query_checked(
+    query: &QueryGraph,
+    data_vocab: &Vocabulary,
+    synonyms: &dyn SynonymProvider,
+    config: &ExtractionConfig,
+) -> Result<Vec<QueryPath>, SamaError> {
+    if query.edge_count() == 0 {
+        return Err(SamaError::InvalidQuery(
+            "query has no triple patterns".to_string(),
+        ));
+    }
+    let qpaths = decompose_query(query, data_vocab, synonyms, config);
+    if qpaths.is_empty() {
+        return Err(SamaError::InvalidQuery(
+            "query decomposition produced no source\u{2192}sink paths \
+             (check the extraction limits)"
+                .to_string(),
+        ));
+    }
+    debug_assert!(qpaths.iter().enumerate().all(|(i, p)| p.index == i));
+    Ok(qpaths)
 }
 
 fn translate(

@@ -28,6 +28,7 @@
 use crate::answer::{Answer, ChosenPath};
 use crate::chi_cache::{ChiCache, ChiCacheStats, SharedChiCache};
 use crate::cluster::Cluster;
+use crate::deadline::QueryBudget;
 use crate::igraph::IntersectionGraph;
 use crate::params::ScoreParams;
 use crate::qpath::QueryPath;
@@ -82,6 +83,13 @@ pub enum TruncationReason {
     /// [`SearchConfig::max_frontier`] overflowed and the worst frontier
     /// states were discarded, so later answers may be missing.
     FrontierOverflow,
+    /// The query's wall-clock budget ([`crate::QueryBudget`]) expired;
+    /// the answers emitted so far plus a greedy completion of the
+    /// frontier are returned as the best-effort partial top-k.
+    DeadlineExceeded,
+    /// The query's [`crate::CancelToken`] fired; the partial result is
+    /// assembled exactly as for a deadline expiry.
+    Cancelled,
 }
 
 impl TruncationReason {
@@ -90,6 +98,8 @@ impl TruncationReason {
         match self {
             TruncationReason::ExpansionLimit => "expansion_limit",
             TruncationReason::FrontierOverflow => "frontier_overflow",
+            TruncationReason::DeadlineExceeded => "deadline_exceeded",
+            TruncationReason::Cancelled => "cancelled",
         }
     }
 }
@@ -169,6 +179,12 @@ impl Ord for QueueItem {
 
 const DELETED: u32 = u32::MAX;
 
+/// Expansion pops between polls of an attached [`QueryBudget`] (the
+/// first pop always polls, so an already-expired budget does no work).
+/// One poll is a clock read — at this interval the amortized cost is
+/// well under the cost of a single expansion.
+pub const BUDGET_CHECK_INTERVAL: u32 = 16;
+
 /// A resumable combination search: answers pop lazily in
 /// non-decreasing score order. Owns the decomposition artefacts
 /// (`PQ`, IG, clusters) and borrows only the index, so it can outlive
@@ -196,6 +212,12 @@ pub struct SearchStream<'a, I: IndexLike> {
     /// Retired `choices` vectors, reused by later pushes so the steady
     /// state of the expansion loop allocates nothing.
     pool: Vec<Vec<u32>>,
+    /// Deadline/cancellation budget; unlimited by default, in which
+    /// case no clock is ever read.
+    budget: QueryBudget,
+    /// Pops until the next budget poll (0 = poll on the next pop, so
+    /// an already-expired budget is noticed before any work).
+    budget_countdown: u32,
 }
 
 impl<'a, I: IndexLike> SearchStream<'a, I> {
@@ -250,12 +272,23 @@ impl<'a, I: IndexLike> SearchStream<'a, I> {
                 (true, None) => ChiCache::new(),
             },
             pool: Vec::new(),
+            budget: QueryBudget::unlimited(),
+            budget_countdown: 0,
         };
         if n > 0 {
             let first = first_choice(&stream.clusters[0]);
             stream.push_state(&[], 0.0, 0, first);
         }
         stream
+    }
+
+    /// Attach a deadline/cancellation budget, polled on the first
+    /// expansion pop and every [`BUDGET_CHECK_INTERVAL`]-th thereafter.
+    /// The default unlimited budget costs nothing.
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
+        self.budget_countdown = 0;
+        self
     }
 
     /// The decomposed query paths.
@@ -386,6 +419,29 @@ impl<'a, I: IndexLike> SearchStream<'a, I> {
             ..
         }) = self.heap.pop()
         {
+            sama_obs::fault::point("search.expand");
+            if !self.budget.is_unlimited() {
+                let due = self.budget_countdown == 0;
+                self.budget_countdown = if due {
+                    BUDGET_CHECK_INTERVAL - 1
+                } else {
+                    self.budget_countdown - 1
+                };
+                if due {
+                    if let Some(reason) = self.budget.exceeded() {
+                        // Put the state back so the anytime fallback can
+                        // greedily complete the frontier.
+                        self.seq += 1;
+                        self.heap.push(QueueItem {
+                            state,
+                            priority,
+                            seq: self.seq,
+                        });
+                        self.mark_truncated(reason);
+                        return None;
+                    }
+                }
+            }
             if self.expansions >= self.config.max_expansions {
                 // Put the state back so the anytime fallback can use it.
                 self.seq += 1;
@@ -610,6 +666,36 @@ pub fn search_top_k_with_shared_chi<I: IndexLike>(
     config: &SearchConfig,
     shared_chi: Option<Arc<SharedChiCache>>,
 ) -> SearchOutcome {
+    search_top_k_budgeted(
+        qpaths,
+        ig,
+        clusters,
+        index,
+        params,
+        k,
+        config,
+        shared_chi,
+        &QueryBudget::unlimited(),
+    )
+}
+
+/// [`search_top_k_with_shared_chi`] under a deadline/cancellation
+/// budget: when the budget expires mid-search, the answers emitted so
+/// far plus a greedy completion of the best frontier states are
+/// returned, flagged with the budget's [`TruncationReason`]. An
+/// unlimited budget adds zero cost (no clock is read).
+#[allow(clippy::too_many_arguments)]
+pub fn search_top_k_budgeted<I: IndexLike>(
+    qpaths: &[QueryPath],
+    ig: &IntersectionGraph,
+    clusters: &[Cluster],
+    index: &I,
+    params: &ScoreParams,
+    k: usize,
+    config: &SearchConfig,
+    shared_chi: Option<Arc<SharedChiCache>>,
+    budget: &QueryBudget,
+) -> SearchOutcome {
     let mut outcome = SearchOutcome {
         answers: Vec::with_capacity(k.min(1024)),
         expansions: 0,
@@ -628,7 +714,8 @@ pub fn search_top_k_with_shared_chi<I: IndexLike>(
         *params,
         *config,
         shared_chi,
-    );
+    )
+    .with_budget(budget.clone());
     while outcome.answers.len() < k {
         match stream.next_answer() {
             Some(answer) => outcome.answers.push(answer),

@@ -95,8 +95,19 @@ fn batch_is_bit_identical_to_sequential_loop_at_every_thread_count() {
         .map(|q| fingerprint(&engine.answer(q, 8)))
         .collect();
     for threads in [1usize, 2, 3, 4, 8] {
-        let outcome = engine.answer_batch(&qs, &BatchConfig { k: 8, threads });
-        let batch: Vec<_> = outcome.results.iter().map(fingerprint).collect();
+        let outcome = engine.answer_batch(
+            &qs,
+            &BatchConfig {
+                k: 8,
+                threads,
+                ..Default::default()
+            },
+        );
+        let batch: Vec<_> = outcome
+            .results
+            .iter()
+            .map(|r| fingerprint(r.as_ref().expect("valid query")))
+            .collect();
         assert_eq!(batch, sequential, "threads = {threads}");
         assert_eq!(outcome.stats.queries, qs.len());
     }
@@ -244,8 +255,19 @@ fn batch_workers_share_one_chi_cache_deterministically() {
     // Repeated batches at growing thread counts: the cache warms up
     // across batches, answers never move.
     for threads in [1usize, 2, 4] {
-        let outcome = engine.answer_batch(&qs, &BatchConfig { k: 6, threads });
-        let got: Vec<_> = outcome.results.iter().map(fingerprint).collect();
+        let outcome = engine.answer_batch(
+            &qs,
+            &BatchConfig {
+                k: 6,
+                threads,
+                ..Default::default()
+            },
+        );
+        let got: Vec<_> = outcome
+            .results
+            .iter()
+            .map(|r| fingerprint(r.as_ref().expect("valid query")))
+            .collect();
         assert_eq!(got, expected, "threads = {threads}");
     }
     assert!(!shared.is_empty(), "shared cache must retain pair counts");
@@ -280,8 +302,16 @@ fn every_knob_on_equals_every_knob_off() {
         },
     );
     let qs = workload();
-    let a = parallel.answer_batch(&qs, &BatchConfig { k: 10, threads: 4 });
+    let a = parallel.answer_batch(
+        &qs,
+        &BatchConfig {
+            k: 10,
+            threads: 4,
+            ..Default::default()
+        },
+    );
     for (result, q) in a.results.iter().zip(&qs) {
+        let result = result.as_ref().expect("valid query");
         assert_eq!(fingerprint(result), fingerprint(&sequential.answer(q, 10)));
     }
 }
@@ -344,8 +374,16 @@ proptest! {
         let want: Vec<_> = std::iter::repeat_with(|| q.clone()).take(3)
             .map(|q| fingerprint(&sequential.answer(&q, 6)))
             .collect();
-        let got = parallel.answer_batch(&[q.clone(), q.clone(), q], &BatchConfig { k: 6, threads: 3 });
-        let got: Vec<_> = got.results.iter().map(fingerprint).collect();
+        let got = parallel.answer_batch(&[q.clone(), q.clone(), q], &BatchConfig {
+            k: 6,
+            threads: 3,
+            ..Default::default()
+        });
+        let got: Vec<_> = got
+            .results
+            .iter()
+            .map(|r| fingerprint(r.as_ref().expect("valid query")))
+            .collect();
         prop_assert_eq!(got, want);
     }
 }

@@ -35,11 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod fault;
 pub mod metrics;
 pub mod registry;
 pub mod span;
 
 pub use export::prometheus_name;
+pub use fault::{FaultAction, FaultPlan};
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKET_COUNT,
 };

@@ -160,6 +160,7 @@ pub fn encode_compressed(index: &PathIndex) -> Vec<u8> {
 
 /// Decode the compressed format.
 pub fn decode_compressed(mut buf: &[u8]) -> Result<PathIndex, StorageError> {
+    sama_obs::fault::point("index.load");
     if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
         return Err(StorageError::BadMagic);
     }

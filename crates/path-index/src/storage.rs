@@ -121,6 +121,7 @@ pub fn encode(index: &PathIndex) -> Vec<u8> {
 
 /// Decode a serialized index.
 pub fn decode(mut buf: &[u8]) -> Result<PathIndex, StorageError> {
+    sama_obs::fault::point("index.load");
     if buf.remaining() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
         return Err(StorageError::BadMagic);
     }

@@ -12,6 +12,7 @@
 
 use sama::engine::{
     BatchConfig, ClusterConfig, EngineConfig, SamaEngine, SharedChiCache, TraceConfig,
+    TruncationReason,
 };
 use sama::index::{decode_any, encode_compressed, serialize_index, ExtractionConfig, PathIndex};
 use sama::model::{parse_ntriples, parse_sparql, parse_turtle, DataGraph};
@@ -50,9 +51,10 @@ USAGE:
   sama index <data.nt|data.ttl> -o <index.bin> [--compress]
   sama update <index.bin> <more.nt|more.ttl> [-o <out.bin>] [--compress]
   sama query <index.bin> <query.rq|-> [-k N] [--threads N] [--explain]
-             [--explain-text] [--json]
+             [--explain-text] [--json] [--deadline-ms N]
   sama batch <index.bin> <q1.rq> [q2.rq ...] [-k N] [--threads N]
              [--shared-chi] [--json] [--metrics-out <file>] [--trace-out <file>]
+             [--deadline-ms N] [--max-queue N]
   sama stats <index.bin>                    indexing statistics
   sama paths <index.bin> [--limit N]        dump indexed paths
   sama metrics [<index.bin>] [--json]       dump the global metrics registry
@@ -63,7 +65,12 @@ USAGE:
   --explain          emit the per-query EXPLAIN trace as one JSONL line
   --explain-text     human-readable pipeline + per-answer breakdown
   --metrics-out F    write Prometheus text to F and a JSON snapshot to F.json
-  --trace-out F      write one EXPLAIN trace JSONL line per query to F";
+  --trace-out F      write one EXPLAIN trace JSONL line per query to F
+  --deadline-ms N    per-query time budget in milliseconds; an expired query
+                     returns its best-effort partial top-k, flagged
+                     deadline_exceeded (also: SAMA_DEADLINE_MS env var)
+  --max-queue N      batch admission bound: queries beyond the first N are
+                     shed with a typed error instead of queueing (0 = none)";
 
 fn load_index(path: &str) -> Result<PathIndex, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read index {path:?}: {e}"))?;
@@ -202,6 +209,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut explain = false;
     let mut explain_text = false;
     let mut json = false;
+    let mut deadline_ms: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -218,6 +226,14 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                     .ok_or("--threads needs a number")?
                     .parse()
                     .map_err(|_| "bad --threads value")?;
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    iter.next()
+                        .ok_or("--deadline-ms needs a number")?
+                        .parse()
+                        .map_err(|_| "bad --deadline-ms value")?,
+                );
             }
             "--explain" => explain = true,
             "--explain-text" => explain_text = true,
@@ -247,8 +263,16 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if explain {
         config.trace = TraceConfig::enabled();
     }
+    if let Some(ms) = deadline_ms {
+        config.deadline = Some(std::time::Duration::from_millis(ms));
+    }
     let engine = SamaEngine::from_index_with_config(load_index(index_path)?, config);
-    let result = engine.answer(&query.graph, k);
+    // `try_answer` validates the query first: a malformed query is a
+    // one-line diagnostic and a nonzero exit, not a panic or an empty
+    // answer set that looks like a miss.
+    let result = engine
+        .try_answer(&query.graph, k)
+        .map_err(|e| format!("query failed: {e}"))?;
 
     // --explain: one machine-readable JSONL line per query (what the
     // pipeline did — phases, clusters, cache hit ratios, truncation).
@@ -349,6 +373,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if result.answers.is_empty() {
         eprintln!("no answers");
     }
+    if matches!(result.truncation, Some(TruncationReason::DeadlineExceeded)) {
+        eprintln!("note: deadline exceeded — best-effort partial results");
+    }
     Ok(())
 }
 
@@ -360,6 +387,8 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let mut json = false;
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_queue = 0usize;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -376,6 +405,21 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                     .ok_or("--threads needs a number")?
                     .parse()
                     .map_err(|_| "bad --threads value")?;
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    iter.next()
+                        .ok_or("--deadline-ms needs a number")?
+                        .parse()
+                        .map_err(|_| "bad --deadline-ms value")?,
+                );
+            }
+            "--max-queue" => {
+                max_queue = iter
+                    .next()
+                    .ok_or("--max-queue needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --max-queue value")?;
             }
             "--shared-chi" => shared_chi = true,
             "--json" => json = true,
@@ -409,17 +453,30 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     if trace_out.is_some() {
         config.trace = TraceConfig::enabled();
     }
+    if let Some(ms) = deadline_ms {
+        config.deadline = Some(std::time::Duration::from_millis(ms));
+    }
     let mut engine = SamaEngine::from_index_with_config(load_index(index_path)?, config);
     if shared_chi {
         engine = engine.with_shared_chi_cache(SharedChiCache::with_defaults());
     }
-    let outcome = engine.answer_batch(&queries, &BatchConfig { k, threads });
+    let outcome = engine.answer_batch(
+        &queries,
+        &BatchConfig {
+            k,
+            threads,
+            max_queue_depth: max_queue,
+        },
+    );
     let stats = &outcome.stats;
 
     // Per-query EXPLAIN traces, one JSONL line each, labeled by file.
+    // Failed/shed slots carry no trace; they are skipped.
     if let Some(path) = &trace_out {
         let mut lines = String::new();
+        let mut written = 0usize;
         for (file, result) in query_paths.iter().zip(&outcome.results) {
+            let Ok(result) = result else { continue };
             let trace = result
                 .trace
                 .clone()
@@ -427,9 +484,10 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                 .with_label(file.as_str());
             lines.push_str(&trace.to_json_line());
             lines.push('\n');
+            written += 1;
         }
         std::fs::write(path, lines).map_err(|e| format!("cannot write {path:?}: {e}"))?;
-        eprintln!("wrote {} traces to {path}", outcome.results.len());
+        eprintln!("wrote {written} traces to {path}");
     }
 
     // Registry snapshot: Prometheus text exposition to <file>, JSON
@@ -452,20 +510,32 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "{{\"file\":\"{}\",\"answers\":{},\"best_score\":{},\"retrieved_paths\":{},\
-                 \"truncated\":{},\"latency_us\":{}}}",
-                json_escape(path),
-                result.answers.len(),
-                result
-                    .best()
-                    .map(|a| a.score().to_string())
-                    .unwrap_or_else(|| "null".into()),
-                result.retrieved_paths,
-                result.truncated,
-                result.timings.total().as_micros()
-            );
+            match result {
+                Ok(result) => {
+                    let _ = write!(
+                        out,
+                        "{{\"file\":\"{}\",\"answers\":{},\"best_score\":{},\
+                         \"retrieved_paths\":{},\"truncated\":{},\"latency_us\":{}}}",
+                        json_escape(path),
+                        result.answers.len(),
+                        result
+                            .best()
+                            .map(|a| a.score().to_string())
+                            .unwrap_or_else(|| "null".into()),
+                        result.retrieved_paths,
+                        result.truncated,
+                        result.timings.total().as_micros()
+                    );
+                }
+                Err(error) => {
+                    let _ = write!(
+                        out,
+                        "{{\"file\":\"{}\",\"error\":\"{}\"}}",
+                        json_escape(path),
+                        json_escape(&error.to_string())
+                    );
+                }
+            }
         }
         let lat = |l: &sama::engine::PhaseLatency| {
             format!(
@@ -494,22 +564,36 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     }
 
     for (path, result) in query_paths.iter().zip(&outcome.results) {
-        println!(
-            "{path}: {} answers, best score {}, {} paths retrieved{} ({:.2?})",
-            result.answers.len(),
-            result
-                .best()
-                .map(|a| format!("{:.2}", a.score()))
-                .unwrap_or_else(|| "-".into()),
-            result.retrieved_paths,
-            if result.truncated { ", truncated" } else { "" },
-            result.timings.total()
-        );
+        match result {
+            Ok(result) => println!(
+                "{path}: {} answers, best score {}, {} paths retrieved{} ({:.2?})",
+                result.answers.len(),
+                result
+                    .best()
+                    .map(|a| format!("{:.2}", a.score()))
+                    .unwrap_or_else(|| "-".into()),
+                result.retrieved_paths,
+                match result.truncation {
+                    Some(TruncationReason::DeadlineExceeded) => ", deadline exceeded",
+                    Some(TruncationReason::Cancelled) => ", cancelled",
+                    _ if result.truncated => ", truncated",
+                    _ => "",
+                },
+                result.timings.total()
+            ),
+            Err(error) => println!("{path}: FAILED ({error})"),
+        }
     }
     println!(
         "batch: {} queries on {} threads in {:.2?} ({:.1} q/s)",
         stats.queries, stats.threads, stats.wall_time, stats.queries_per_sec
     );
+    if stats.failed + stats.shed + stats.degraded > 0 {
+        println!(
+            "  {} failed, {} shed, {} degraded (deadline/cancel)",
+            stats.failed, stats.shed, stats.degraded
+        );
+    }
     for (phase, lat) in [
         ("total", &stats.total),
         ("preprocess", &stats.preprocessing),
