@@ -463,6 +463,99 @@ mod tests {
     }
 
     #[test]
+    fn empty_batch_is_a_noop() {
+        let mut index = index_of(&[("a", "p", "b"), ("b", "q", "c")]);
+        let before = sorted_paths(&index);
+        let stats = index
+            .insert_triples(&[], &ExtractionConfig::default())
+            .unwrap();
+        assert_eq!(stats.inserted_edges, 0);
+        assert_eq!(stats.added_paths, 0);
+        assert_eq!(stats.removed_paths, 0);
+        assert!(!stats.rebuilt);
+        assert_eq!(sorted_paths(&index), before);
+    }
+
+    #[test]
+    fn duplicate_triples_in_batch() {
+        // The same triple twice in one batch: the graph stores parallel
+        // edges, and the updated index must still equal a fresh build
+        // of that graph.
+        let index = index_of(&[("a", "p", "b")]);
+        let stats = assert_matches_rebuild(index, &[("b", "q", "c"), ("b", "q", "c")]);
+        assert_eq!(stats.inserted_edges, 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_triple() {
+        let index = index_of(&[("a", "p", "b"), ("b", "q", "c")]);
+        assert_matches_rebuild(index, &[("a", "p", "b")]);
+    }
+
+    #[test]
+    fn hub_promoted_graph_falls_back_to_rebuild() {
+        // A pure cycle has no true sources, so the base index is
+        // hub-promoted; incremental maintenance cannot reproduce hub
+        // semantics locally and must rebuild.
+        let mut index = index_of(&[("a", "p", "b"), ("b", "p", "a")]);
+        let stats = index
+            .insert_triples(
+                &[Triple::parse("b", "q", "c")],
+                &ExtractionConfig::default(),
+            )
+            .unwrap();
+        assert!(stats.rebuilt);
+        let rebuilt = PathIndex::build(index.graph().clone());
+        assert_eq!(sorted_paths(&index), sorted_paths(&rebuilt));
+    }
+
+    /// The inverted maps after an update agree with a fresh build for
+    /// *every* label: same paths under `paths_with_label`, same paths
+    /// under `paths_with_sink`. (`inverted_maps_stay_consistent` spot-
+    /// checks two labels; this is the exhaustive version. The rebuilt
+    /// index shares the updated graph, so label ids are comparable.)
+    #[test]
+    fn inverted_maps_match_fresh_build_for_every_label() {
+        let mut index = index_of(&[("a", "p", "b"), ("c", "q", "b"), ("b", "r", "d")]);
+        index
+            .insert_triples(
+                &[
+                    Triple::parse("d", "s", "e"),
+                    Triple::parse("x", "p", "b"),
+                    Triple::parse("e", "t", "\"leaf\""),
+                ],
+                &ExtractionConfig::default(),
+            )
+            .unwrap();
+        let rebuilt = PathIndex::build(index.graph().clone());
+
+        let render = |idx: &PathIndex, ids: &[crate::path::PathId]| -> Vec<String> {
+            let g = idx.graph().as_graph();
+            let mut v: Vec<String> = ids
+                .iter()
+                .map(|&id| idx.path(id).path.display(g).to_string())
+                .collect();
+            v.sort();
+            v
+        };
+        let label_count = index.graph().vocab().len();
+        assert_eq!(rebuilt.graph().vocab().len(), label_count);
+        for raw in 0..label_count {
+            let label = rdf_model::LabelId(raw as u32);
+            assert_eq!(
+                render(&index, index.paths_with_label(label)),
+                render(&rebuilt, rebuilt.paths_with_label(label)),
+                "paths_with_label diverge for label {raw}"
+            );
+            assert_eq!(
+                render(&index, index.paths_with_sink(label)),
+                render(&rebuilt, rebuilt.paths_with_sink(label)),
+                "paths_with_sink diverge for label {raw}"
+            );
+        }
+    }
+
+    #[test]
     fn repeated_updates_stay_equivalent() {
         let mut index = index_of(&[("a", "p", "b")]);
         let batches: Vec<Vec<Triple>> = vec![

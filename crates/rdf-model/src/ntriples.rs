@@ -1,7 +1,8 @@
 //! A line-oriented N-Triples parser and serializer.
 //!
 //! Supports the core N-Triples grammar: `<iri>`, `_:blank`, and
-//! `"literal"` terms with `\" \\ \n \r \t` escapes. Language tags
+//! `"literal"` terms with `\" \\ \n \r \t` plus `\uXXXX` /
+//! `\UXXXXXXXX` numeric escapes. Language tags
 //! (`@en`) and datatype annotations (`^^<iri>`) are *accepted and
 //! discarded*: the similarity measure compares plain labels only, so
 //! annotations carry no signal here. Comment lines (`#`) and blank lines
@@ -170,6 +171,16 @@ impl<'a> Cursor<'a> {
                         Some(b'n') => value.push('\n'),
                         Some(b'r') => value.push('\r'),
                         Some(b't') => value.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            value.push(self.uchar(4)?);
+                            continue;
+                        }
+                        Some(b'U') => {
+                            self.pos += 1;
+                            value.push(self.uchar(8)?);
+                            continue;
+                        }
                         Some(other) => {
                             return Err(
                                 self.error(format!("unsupported escape '\\{}'", other as char))
@@ -206,6 +217,25 @@ impl<'a> Cursor<'a> {
             self.iri()?; // consumed, discarded
         }
         Ok(Term::Literal(value))
+    }
+
+    /// Decode the hex digits of a `\uXXXX` / `\UXXXXXXXX` escape. The
+    /// cursor sits just past the `u`/`U` and is advanced past the
+    /// digits on success. Short digit runs and code points that are
+    /// not Unicode scalar values (e.g. the surrogate U+D800) are
+    /// parse errors, never panics.
+    fn uchar(&mut self, digits: usize) -> Result<char> {
+        let mut code: u32 = 0;
+        for _ in 0..digits {
+            let d = self
+                .peek()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| self.error(format!("\\u escape needs {digits} hex digits")))?;
+            code = code * 16 + d;
+            self.pos += 1;
+        }
+        char::from_u32(code)
+            .ok_or_else(|| self.error(format!("\\u escape U+{code:04X} is not a valid character")))
     }
 
     fn expect_dot(&mut self) -> Result<()> {
@@ -313,6 +343,56 @@ mod tests {
     fn unicode_literals() {
         let triples = parse_ntriples("<a> <p> \"héllo wörld ☃\" .").unwrap();
         assert_eq!(triples[0].object, Term::literal("héllo wörld ☃"));
+    }
+
+    #[test]
+    fn empty_literal() {
+        let triples = parse_ntriples("<a> <p> \"\" .").unwrap();
+        assert_eq!(triples[0].object, Term::literal(""));
+    }
+
+    #[test]
+    fn escaped_quotes_inside_literal() {
+        let triples = parse_ntriples(r#"<a> <p> "say \"hi\" twice" ."#).unwrap();
+        assert_eq!(triples[0].object, Term::literal("say \"hi\" twice"));
+    }
+
+    #[test]
+    fn uchar_escapes() {
+        let doc = "<a> <p> \"\\u0041\\u00E9\\u2603\" .";
+        let triples = parse_ntriples(doc).unwrap();
+        assert_eq!(triples[0].object, Term::literal("Aé☃"));
+        let doc = "<a> <p> \"\\U0001F600\" .";
+        let triples = parse_ntriples(doc).unwrap();
+        assert_eq!(triples[0].object, Term::literal("😀"));
+    }
+
+    #[test]
+    fn uchar_followed_by_plain_text() {
+        // The escape consumes exactly its digit count — trailing
+        // hex-looking characters stay literal.
+        let doc = "<a> <p> \"\\u004100\" .";
+        let triples = parse_ntriples(doc).unwrap();
+        assert_eq!(triples[0].object, Term::literal("A00"));
+    }
+
+    #[test]
+    fn rejects_short_uchar() {
+        assert!(parse_ntriples("<a> <p> \"\\u12\" .").is_err());
+        assert!(parse_ntriples("<a> <p> \"\\uZZZZ\" .").is_err());
+        assert!(parse_ntriples("<a> <p> \"\\u\" .").is_err());
+    }
+
+    #[test]
+    fn rejects_surrogate_uchar() {
+        // U+D800 is a surrogate, not a Unicode scalar value.
+        assert!(parse_ntriples("<a> <p> \"\\uD800\" .").is_err());
+        assert!(parse_ntriples("<a> <p> \"\\U00110000\" .").is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_escape() {
+        assert!(parse_ntriples("<a> <p> \"dangling\\").is_err());
     }
 
     #[test]

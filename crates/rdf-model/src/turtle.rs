@@ -3,7 +3,8 @@
 //! Supported: `@prefix`/`@base` directives (and SPARQL-style `PREFIX`/
 //! `BASE`), `<iri>` and `prefix:local` terms, the `a` keyword
 //! (rdf:type), predicate lists (`;`), object lists (`,`), labelled
-//! blank nodes (`_:b`), quoted literals with `\"`-style escapes,
+//! blank nodes (`_:b`), quoted literals with `\"`-style and
+//! `\uXXXX` / `\UXXXXXXXX` numeric escapes,
 //! language tags and datatype annotations (accepted, discarded — as in
 //! [`crate::ntriples`]), numeric and boolean literal shorthands, and
 //! `#` comments.
@@ -253,6 +254,29 @@ fn tokenize(input: &str) -> Result<Vec<(Token, usize)>> {
                             Some('n') => value.push('\n'),
                             Some('r') => value.push('\r'),
                             Some('t') => value.push('\t'),
+                            Some(u @ ('u' | 'U')) => {
+                                let digits = if u == 'u' { 4 } else { 8 };
+                                let mut code: u32 = 0;
+                                for _ in 0..digits {
+                                    let d = chars.next().and_then(|c| c.to_digit(16)).ok_or_else(
+                                        || {
+                                            err(
+                                                line,
+                                                format!("\\{u} escape needs {digits} hex digits"),
+                                            )
+                                        },
+                                    )?;
+                                    code = code * 16 + d;
+                                }
+                                value.push(char::from_u32(code).ok_or_else(|| {
+                                    err(
+                                        line,
+                                        format!(
+                                            "\\{u} escape U+{code:04X} is not a valid character"
+                                        ),
+                                    )
+                                })?);
+                            }
                             other => {
                                 return Err(err(line, format!("unsupported escape {other:?}")))
                             }
@@ -509,6 +533,47 @@ mod tests {
     #[test]
     fn missing_dot_rejected() {
         assert!(parse_turtle("@prefix e: <u:> . e:a e:p e:b").is_err());
+    }
+
+    #[test]
+    fn empty_literal() {
+        let doc = "@prefix e: <u:> . e:s e:p \"\" .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].object, Term::literal(""));
+    }
+
+    #[test]
+    fn escaped_quotes_inside_literal() {
+        let doc = "@prefix e: <u:> . e:s e:p \"say \\\"hi\\\"\" .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].object, Term::literal("say \"hi\""));
+    }
+
+    #[test]
+    fn uchar_escapes() {
+        let doc = "@prefix e: <u:> . e:s e:p \"\\u0041\\u00E9\\u2603\" .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].object, Term::literal("Aé☃"));
+        let doc = "@prefix e: <u:> . e:s e:p \"\\U0001F600\" .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].object, Term::literal("😀"));
+    }
+
+    #[test]
+    fn rejects_bad_uchar() {
+        // Short run, non-hex digits, and surrogate code points all
+        // fail cleanly instead of panicking.
+        assert!(parse_turtle("@prefix e: <u:> . e:s e:p \"\\u12\" .").is_err());
+        assert!(parse_turtle("@prefix e: <u:> . e:s e:p \"\\uZZZZ\" .").is_err());
+        assert!(parse_turtle("@prefix e: <u:> . e:s e:p \"\\uD800\" .").is_err());
+        assert!(parse_turtle("@prefix e: <u:> . e:s e:p \"\\U00110000\" .").is_err());
+    }
+
+    #[test]
+    fn unterminated_literal_rejected() {
+        assert!(parse_turtle("@prefix e: <u:> . e:s e:p \"open").is_err());
+        // A dangling escape at end of input must not panic.
+        assert!(parse_turtle("@prefix e: <u:> . e:s e:p \"open\\").is_err());
     }
 
     #[test]

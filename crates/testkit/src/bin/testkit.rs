@@ -1,0 +1,142 @@
+//! `testkit` — drive the correctness harness from the command line.
+//!
+//! ```text
+//! testkit list                     # catalog of invariants
+//! testkit run [--cases N] [--seed S] [--invariant NAME]
+//! testkit replay <case.json>      # re-run a persisted failure
+//! ```
+//!
+//! Exit codes: 0 all checks passed (or replayed case passes), 1 a
+//! check failed, 2 usage/file errors.
+
+use sama_testkit::{case::Case, invariants, runner};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => list(),
+        Some("run") => run(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        _ => {
+            eprintln!("usage: testkit <list | run [--cases N] [--seed S] [--invariant NAME] | replay <case.json>>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn list() -> ExitCode {
+    println!("{} invariants:", invariants::CATALOG.len());
+    for inv in invariants::CATALOG {
+        println!("  {:<28} [{:?}] {}", inv.name, inv.kind, inv.summary);
+    }
+    ExitCode::SUCCESS
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut cases = runner::case_budget();
+    let mut seed = runner::DEFAULT_BASE_SEED;
+    let mut only: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let parse_next = |it: &mut std::slice::Iter<String>, flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+                .cloned()
+        };
+        match arg.as_str() {
+            "--cases" => match parse_next(&mut it, "--cases")
+                .and_then(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+            {
+                Ok(n) if n > 0 => cases = n,
+                _ => return usage_error("--cases needs a positive integer"),
+            },
+            "--seed" => match parse_next(&mut it, "--seed")
+                .and_then(|v| v.parse::<u64>().map_err(|e| e.to_string()))
+            {
+                Ok(s) => seed = s,
+                Err(e) => return usage_error(&e),
+            },
+            "--invariant" => match parse_next(&mut it, "--invariant") {
+                Ok(name) => only = Some(name),
+                Err(e) => return usage_error(&e),
+            },
+            other => return usage_error(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    if let Some(name) = only {
+        let Some(inv) = invariants::find(&name) else {
+            return usage_error(&format!("unknown invariant {name:?} (see `testkit list`)"));
+        };
+        return match runner::run_invariant(inv, cases, seed) {
+            Ok(()) => {
+                println!("ok: {name} over {cases} case(s)");
+                ExitCode::SUCCESS
+            }
+            Err(failure) => {
+                eprintln!("{}", failure.report());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = runner::run_all(cases, seed);
+    println!(
+        "{} checks ({} invariants x {} cases), {} failure(s)",
+        report.checks,
+        invariants::CATALOG.len(),
+        report.cases_per_invariant,
+        report.failures.len()
+    );
+    if report.failures.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    for failure in &report.failures {
+        eprintln!("\n{}", failure.report());
+    }
+    ExitCode::FAILURE
+}
+
+fn replay(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        return usage_error("replay needs exactly one case file");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let case = match Case::from_json(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot parse {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replaying {path}: family {:?}, seed {}, k {}, {} data + {} query triple(s)",
+        case.family,
+        case.seed,
+        case.k,
+        case.data.len(),
+        case.query.len()
+    );
+    match runner::replay(&case) {
+        Ok(()) => {
+            println!("ok: invariant holds");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,310 @@
+//! Seeded adversarial case generators.
+//!
+//! Each family targets a failure mode the dataset generators in
+//! `crates/datasets` do not stress: degenerate single-edge paths, hub
+//! fan-out that explodes candidate clusters, tiny label alphabets that
+//! force collisions between node and edge labels, unicode/quoted
+//! labels that stress serialization boundaries, and disconnected
+//! multi-component queries. `generate(family, seed)` is a pure
+//! function of its arguments.
+
+use crate::case::Case;
+use datasets::Rng;
+use rdf_model::Triple;
+
+/// All generator families, in the order the runner sweeps them.
+pub const FAMILIES: &[&str] = &[
+    "chain",
+    "hub",
+    "collision",
+    "unicode",
+    "disconnected",
+    "random",
+];
+
+/// Produce a well-formed case for `family` from `seed`. Deterministic:
+/// the same `(family, seed)` always yields the same case. Panics on an
+/// unknown family (the runner only passes names from [`FAMILIES`]).
+pub fn generate(family: &str, seed: u64) -> Case {
+    // Families construct queries from their own data, so almost every
+    // draw is well-formed; the retry loop covers rare degenerate draws
+    // (e.g. a random graph whose extracted query decomposes to nothing)
+    // while staying deterministic.
+    for attempt in 0..64u64 {
+        let eff = seed.wrapping_add(attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng = Rng::new(eff ^ hash_name(family));
+        let case = match family {
+            "chain" => chain(seed, &mut rng),
+            "hub" => hub(seed, &mut rng),
+            "collision" => collision(seed, &mut rng),
+            "unicode" => unicode(seed, &mut rng),
+            "disconnected" => disconnected(seed, &mut rng),
+            "random" => random(seed, &mut rng),
+            other => panic!("unknown generator family {other:?}"),
+        };
+        if case.well_formed() {
+            return case;
+        }
+    }
+    panic!("family {family:?} produced no well-formed case for seed {seed}");
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+fn case(family: &str, seed: u64, rng: &mut Rng, data: Vec<Triple>, query: Vec<Triple>) -> Case {
+    Case {
+        family: family.to_string(),
+        seed,
+        k: rng.range(1, 6),
+        invariant: None,
+        data,
+        query,
+    }
+}
+
+/// Degenerate path graphs: one long chain, sometimes with a short
+/// branch, queried by a sub-chain with variables at random positions.
+fn chain(seed: u64, rng: &mut Rng) -> Case {
+    let len = rng.range(1, 8);
+    let mut data = Vec::new();
+    for i in 0..len {
+        data.push(Triple::parse(
+            &format!("n{i}"),
+            &format!("p{}", rng.below(3)),
+            &format!("n{}", i + 1),
+        ));
+    }
+    if len > 2 && rng.chance(0.4) {
+        let from = rng.below(len);
+        data.push(Triple::parse(&format!("n{from}"), "branch", "off"));
+    }
+    // Query: a prefix of the chain with some nodes turned into variables.
+    let qlen = rng.range(1, len.min(3) + 1);
+    let start = rng.below(len - qlen + 1);
+    let mut query = Vec::new();
+    for (i, t) in data.iter().enumerate().skip(start).take(qlen) {
+        let s = node_or_var(rng, i, start, "n");
+        let o = node_or_var(rng, i + 1, start, "n");
+        query.push(Triple::new(s, t.predicate.clone(), o));
+    }
+    force_some_variable(rng, &mut query);
+    case("chain", seed, rng, data, query)
+}
+
+/// Hub-only graphs: one center with large fan-in/fan-out and no other
+/// structure — every path is length ≤ 2 and the hub appears in all of
+/// them, stressing clustering and χ (the hub is a common node of
+/// everything).
+fn hub(seed: u64, rng: &mut Rng) -> Case {
+    let spokes = rng.range(3, 12);
+    let mut data = Vec::new();
+    for i in 0..spokes {
+        if rng.chance(0.5) {
+            data.push(Triple::parse(
+                "hub",
+                &format!("p{}", rng.below(2)),
+                &format!("s{i}"),
+            ));
+        } else {
+            data.push(Triple::parse(
+                &format!("s{i}"),
+                &format!("p{}", rng.below(2)),
+                "hub",
+            ));
+        }
+    }
+    let query = if rng.chance(0.5) {
+        vec![Triple::parse("?x", &format!("p{}", rng.below(2)), "?y")]
+    } else {
+        // Two-hop through the hub.
+        vec![
+            Triple::parse("?a", &format!("p{}", rng.below(2)), "?h"),
+            Triple::parse("?h", &format!("p{}", rng.below(2)), "?b"),
+        ]
+    };
+    case("hub", seed, rng, data, query)
+}
+
+/// Label collisions: a two-symbol alphabet used for BOTH node and edge
+/// labels, so `p` names a node and a predicate simultaneously and many
+/// distinct edges carry identical labels.
+fn collision(seed: u64, rng: &mut Rng) -> Case {
+    let alphabet = ["p", "q"];
+    let nodes = rng.range(3, 6);
+    let edges = rng.range(nodes, nodes * 2);
+    let mut data = Vec::new();
+    for _ in 0..edges {
+        let s = rng.below(nodes);
+        let mut o = rng.below(nodes);
+        if o == s {
+            o = (o + 1) % nodes;
+        }
+        data.push(Triple::parse(
+            // Half the node names come from the predicate alphabet.
+            &collide_name(s, &alphabet),
+            alphabet[rng.below(2)],
+            &collide_name(o, &alphabet),
+        ));
+    }
+    data.dedup();
+    let query = vec![Triple::parse("?x", alphabet[rng.below(2)], "?y")];
+    case("collision", seed, rng, data, query)
+}
+
+fn collide_name(i: usize, alphabet: &[&str]) -> String {
+    if i < alphabet.len() {
+        alphabet[i].to_string()
+    } else {
+        format!("m{i}")
+    }
+}
+
+/// Unicode and quoting hazards: multi-byte IRIs, literals containing
+/// quotes, backslashes, and newlines — anything that breaks a naive
+/// serializer breaks replay files too, so these cases double as a
+/// round-trip stress test.
+fn unicode(seed: u64, rng: &mut Rng) -> Case {
+    let names = ["héllo", "wörld", "☃", "日本語", "a b", "x\"y", "tab\tsep"];
+    let preds = ["прп", "p→q"];
+    let chain = rng.range(2, 4);
+    let mut data = Vec::new();
+    for i in 0..chain {
+        data.push(Triple::new(
+            rdf_model::Term::Iri(names[i % names.len()].to_string()),
+            rdf_model::Term::Iri(preds[rng.below(2)].to_string()),
+            if i + 1 == chain && rng.chance(0.5) {
+                rdf_model::Term::Literal("lit \"quoted\" \\ back\nnl".to_string())
+            } else {
+                rdf_model::Term::Iri(names[(i + 1) % names.len()].to_string())
+            },
+        ));
+    }
+    let query = vec![Triple::new(
+        rdf_model::Term::Variable("x".to_string()),
+        data[rng.below(data.len())].predicate.clone(),
+        rdf_model::Term::Variable("y".to_string()),
+    )];
+    case("unicode", seed, rng, data, query)
+}
+
+/// Disconnected queries: the query has two components that only match
+/// in different regions of the data, so answers must stitch unrelated
+/// clusters together (Ψ across paths with no common nodes).
+fn disconnected(seed: u64, rng: &mut Rng) -> Case {
+    let mut data = Vec::new();
+    // Component A: a short chain under predicate `pa`.
+    let la = rng.range(1, 3);
+    for i in 0..la {
+        data.push(Triple::parse(
+            &format!("a{i}"),
+            "pa",
+            &format!("a{}", i + 1),
+        ));
+    }
+    // Component B: a short chain under predicate `pb`, disjoint nodes.
+    let lb = rng.range(1, 3);
+    for i in 0..lb {
+        data.push(Triple::parse(
+            &format!("b{i}"),
+            "pb",
+            &format!("b{}", i + 1),
+        ));
+    }
+    let query = vec![
+        Triple::parse("?x", "pa", "?y"),
+        Triple::parse("?u", "pb", "?v"),
+    ];
+    case("disconnected", seed, rng, data, query)
+}
+
+/// Random small graphs with a query extracted from the data itself
+/// (guaranteeing at least one good answer) then perturbed.
+fn random(seed: u64, rng: &mut Rng) -> Case {
+    let nodes = rng.range(4, 10);
+    let edges = rng.range(nodes, nodes * 2);
+    let preds = rng.range(1, 4);
+    let mut data = Vec::new();
+    for _ in 0..edges {
+        let s = rng.below(nodes);
+        let mut o = rng.below(nodes);
+        if o == s {
+            o = (o + 1) % nodes;
+        }
+        data.push(Triple::parse(
+            &format!("n{s}"),
+            &format!("p{}", rng.below(preds)),
+            &format!("n{o}"),
+        ));
+    }
+    data.sort_by_key(|t| format!("{t:?}"));
+    data.dedup();
+    // Extract 1–3 edges from the data as the query skeleton.
+    let qn = rng.range(1, data.len().min(3) + 1);
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    rng.shuffle(&mut idx);
+    let mut query: Vec<Triple> = idx[..qn].iter().map(|&i| data[i].clone()).collect();
+    for t in &mut query {
+        if rng.chance(0.7) {
+            t.subject = var_for(&t.subject);
+        }
+        if rng.chance(0.7) {
+            t.object = var_for(&t.object);
+        }
+    }
+    force_some_variable(rng, &mut query);
+    case("random", seed, rng, data, query)
+}
+
+fn node_or_var(rng: &mut Rng, i: usize, start: usize, prefix: &str) -> rdf_model::Term {
+    if rng.chance(0.6) {
+        rdf_model::Term::Variable(format!("v{}", i - start))
+    } else {
+        rdf_model::Term::Iri(format!("{prefix}{i}"))
+    }
+}
+
+/// Name a variable after the constant it replaces so repeated nodes
+/// stay joined in the query.
+fn var_for(term: &rdf_model::Term) -> rdf_model::Term {
+    rdf_model::Term::Variable(format!("w_{}", term.lexical()))
+}
+
+/// Make sure the query is not fully ground — an all-constant query is
+/// legal but uninteresting for approximate matching.
+fn force_some_variable(rng: &mut Rng, query: &mut [Triple]) {
+    if query.iter().any(Triple::has_variable) {
+        return;
+    }
+    let i = rng.below(query.len());
+    query[i].object = rdf_model::Term::Variable("forced".to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_is_deterministic_and_well_formed() {
+        for family in FAMILIES {
+            for seed in 0..20u64 {
+                let a = generate(family, seed);
+                let b = generate(family, seed);
+                assert_eq!(a, b, "{family}/{seed} not deterministic");
+                assert!(a.well_formed(), "{family}/{seed} ill-formed");
+                assert_eq!(&a.family, family);
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_cases() {
+        let distinct: std::collections::HashSet<String> = (0..20u64)
+            .map(|seed| generate("random", seed).to_json())
+            .collect();
+        assert!(distinct.len() > 10, "random family barely varies");
+    }
+}

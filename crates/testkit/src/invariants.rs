@@ -1,0 +1,658 @@
+//! The invariant catalog: every cross-check the harness knows how to
+//! run against a [`Case`].
+//!
+//! Two kinds. **Differential** invariants run the same query through
+//! two implementations or configurations that must agree (serial vs.
+//! parallel, cached vs. uncached χ, engine vs. the VF2/GED oracles).
+//! **Metamorphic** invariants transform the input in a way with a known
+//! effect on the output (permutation ⇒ unchanged, query generalization
+//! ⇒ score can only drop) and check the relation.
+//!
+//! Soundness notes, learned the hard way:
+//! * Configuration differentials on one engine build compare
+//!   *bit-identical* fingerprints (`f64::to_bits`) — the engine
+//!   documents these paths as exact.
+//! * Metamorphic checks that *rebuild* the graph (triple reordering,
+//!   label renaming) compare score multisets within `1e-9`: rebuild
+//!   changes interning order, which changes floating-point summation
+//!   order.
+//! * "Delete a data edge ⇒ scores rise" is NOT an invariant under the
+//!   paper's path semantics: deleting an edge truncates maximal
+//!   source→sink paths at its endpoints, and a shorter data path can
+//!   align *cheaper* (fewer insertions). The sound monotonicity checks
+//!   here transform the *query* (Theorem 1's direction): a relabel or
+//!   a de-generalization can never improve the best score under
+//!   exhaustive retrieval.
+//! * VF2 agreement is one-directional: an exact (score-0) answer's
+//!   subgraph must embed the query, but an embedding inside a *longer*
+//!   data path does not yield a score-0 answer (the alignment pays
+//!   insertions for the unmatched prefix/suffix).
+
+use crate::case::Case;
+use datasets::Rng;
+use eval::oracle::ged_relevance;
+use graph_match::{Matcher, Vf2Matcher};
+use rdf_model::{DataGraph, Graph, Term, Triple};
+use sama_core::{
+    AlignmentMode, BatchConfig, ClusterConfig, EngineConfig, QueryBudget, QueryResult, SamaEngine,
+    SearchConfig, SharedChiCache, TraceConfig,
+};
+use std::time::Duration;
+
+/// Differential (two implementations agree) or metamorphic (a
+/// transformed input relates predictably to the original).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Two configurations/oracles must agree on one input.
+    Differential,
+    /// A transformed input must relate predictably to the original.
+    Metamorphic,
+}
+
+/// One named, documented cross-check.
+pub struct Invariant {
+    /// Stable name, used in case files and `testkit run --invariant`.
+    pub name: &'static str,
+    /// Differential or metamorphic.
+    pub kind: Kind,
+    /// One-line description for `testkit list` and failure messages.
+    pub summary: &'static str,
+    /// The check. `Err` carries a human-readable violation report.
+    pub check: fn(&Case) -> Result<(), String>,
+}
+
+/// Every public invariant, swept by the runner for every generated case.
+pub const CATALOG: &[Invariant] = &[
+    Invariant {
+        name: "chi_cache_identity",
+        kind: Kind::Differential,
+        summary: "cached vs uncached χ produce bit-identical answers",
+        check: chi_cache_identity,
+    },
+    Invariant {
+        name: "parallel_identity",
+        kind: Kind::Differential,
+        summary: "parallel clustering+alignment matches serial bit-for-bit",
+        check: parallel_identity,
+    },
+    Invariant {
+        name: "batch_identity",
+        kind: Kind::Differential,
+        summary: "the batch worker pool matches single-shot answers bit-for-bit",
+        check: batch_identity,
+    },
+    Invariant {
+        name: "shared_chi_identity",
+        kind: Kind::Differential,
+        summary: "a shared cross-query χ cache (cold and warm) changes nothing",
+        check: shared_chi_identity,
+    },
+    Invariant {
+        name: "exact_answers_embed",
+        kind: Kind::Differential,
+        summary: "every exact (score-0) answer's subgraph embeds the query (VF2 homomorphism)",
+        check: exact_answers_embed,
+    },
+    Invariant {
+        name: "ged_oracle_agreement",
+        kind: Kind::Differential,
+        summary: "size-preserving exact answers cost 0 under the exact GED oracle",
+        check: ged_oracle_agreement,
+    },
+    Invariant {
+        name: "triple_order_invariance",
+        kind: Kind::Metamorphic,
+        summary: "shuffling data/query triples (hence node ids) preserves scores",
+        check: triple_order_invariance,
+    },
+    Invariant {
+        name: "label_renaming_invariance",
+        kind: Kind::Metamorphic,
+        summary: "a consistent bijective renaming of constant labels preserves scores",
+        check: label_renaming_invariance,
+    },
+    Invariant {
+        name: "query_relabel_monotone",
+        kind: Kind::Metamorphic,
+        summary: "relabeling a query edge to a fresh predicate never improves the best score",
+        check: query_relabel_monotone,
+    },
+    Invariant {
+        name: "generalization_monotone",
+        kind: Kind::Metamorphic,
+        summary: "replacing a query constant with a variable never worsens the best score",
+        check: generalization_monotone,
+    },
+    Invariant {
+        name: "topk_prefix_stability",
+        kind: Kind::Metamorphic,
+        summary: "the top-k list is a bit-identical prefix of the top-(k+3) list",
+        check: topk_prefix_stability,
+    },
+    Invariant {
+        name: "deadline_unlimited_identity",
+        kind: Kind::Metamorphic,
+        summary: "an unlimited or distant deadline is bit-identical to no deadline",
+        check: deadline_unlimited_identity,
+    },
+];
+
+/// Resolve an invariant by name — catalog entries plus hidden
+/// deliberately-failing demos used to exercise the shrink/replay
+/// machinery itself.
+pub fn find(name: &str) -> Option<&'static Invariant> {
+    CATALOG
+        .iter()
+        .chain(DEMOS.iter())
+        .find(|inv| inv.name == name)
+}
+
+/// Hidden invariants that FAIL on purpose. Not part of [`CATALOG`] (the
+/// runner never sweeps them); `find` resolves them so the shrinker and
+/// `testkit replay` tests have a deterministic failure to chew on.
+pub const DEMOS: &[Invariant] = &[Invariant {
+    name: "demo_no_hub_label",
+    kind: Kind::Metamorphic,
+    summary: "demo invariant that rejects any data triple naming \"hub\"",
+    check: |case| {
+        if case.data.iter().any(|t| {
+            [&t.subject, &t.predicate, &t.object]
+                .iter()
+                .any(|x| x.lexical() == "hub")
+        }) {
+            Err("data contains the forbidden label \"hub\"".to_string())
+        } else {
+            Ok(())
+        }
+    },
+}];
+
+// ---------------------------------------------------------------------------
+// Engine plumbing shared by the checks.
+
+/// The reference configuration: serial, exhaustive retrieval, optimal
+/// alignment, budgets far beyond any generated case, tracing and
+/// deadlines off. Explicit about every knob an env flag could flip
+/// (`SAMA_PARALLEL`, `SAMA_TRACE`, `SAMA_DEADLINE_MS`) so harness runs
+/// are identical across CI legs.
+pub fn base_config() -> EngineConfig {
+    EngineConfig {
+        alignment: AlignmentMode::Optimal,
+        parallel_clustering: false,
+        cluster: ClusterConfig {
+            exhaustive: true,
+            max_cluster_size: 1 << 20,
+            max_candidates: 1 << 20,
+            parallel_alignment: false,
+            ..Default::default()
+        },
+        search: SearchConfig {
+            max_expansions: 2_000_000,
+            ..Default::default()
+        },
+        trace: TraceConfig::disabled(),
+        deadline: None,
+        ..Default::default()
+    }
+}
+
+fn engine(case: &Case, config: EngineConfig) -> SamaEngine {
+    SamaEngine::with_config(case.data_graph(), config)
+}
+
+/// A bit-exact fingerprint of a result: per-answer score components as
+/// raw `f64` bits, the chosen data paths, exactness, and the truncation
+/// flags. Two results with equal fingerprints are the same answers.
+pub fn fingerprint(result: &QueryResult) -> Vec<String> {
+    let mut lines: Vec<String> = result
+        .answers
+        .iter()
+        .map(|a| {
+            format!(
+                "s={:016x} l={:016x} p={:016x} exact={} paths={:?}",
+                a.score().to_bits(),
+                a.lambda().to_bits(),
+                a.psi().to_bits(),
+                a.is_exact(),
+                a.path_ids(),
+            )
+        })
+        .collect();
+    lines.push(format!(
+        "truncated={} reason={:?}",
+        result.truncated, result.truncation
+    ));
+    lines
+}
+
+/// Rebuild-tolerant summary: the sorted score multiset plus the
+/// truncation flag (see the module notes on summation order).
+fn score_multiset(result: &QueryResult) -> Vec<f64> {
+    let mut scores: Vec<f64> = result.answers.iter().map(|a| a.score()).collect();
+    scores.sort_by(f64::total_cmp);
+    scores
+}
+
+fn scores_approx_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-9)
+}
+
+fn diff(label: &str, left: &[String], right: &[String]) -> String {
+    format!("{label}:\n  left : {left:?}\n  right: {right:?}")
+}
+
+/// Turn an answer subgraph back into a standalone data graph for the
+/// oracles (nodes with equal labels merge, which is faithful: the
+/// engine's graphs are label-keyed too).
+fn graph_as_data(g: &Graph) -> Option<DataGraph> {
+    let triples: Vec<Triple> = g
+        .edges()
+        .map(|(_, e)| {
+            Triple::new(
+                g.node_term(e.from),
+                g.vocab().term(e.label),
+                g.node_term(e.to),
+            )
+        })
+        .collect();
+    if triples.is_empty() {
+        return None;
+    }
+    DataGraph::from_triples(&triples).ok()
+}
+
+// ---------------------------------------------------------------------------
+// Differential checks.
+
+fn chi_cache_identity(case: &Case) -> Result<(), String> {
+    let query = case.query_graph();
+    let cached = engine(case, base_config()).answer(&query, case.k);
+    let mut config = base_config();
+    config.search.use_chi_cache = false;
+    let uncached = engine(case, config).answer(&query, case.k);
+    if fingerprint(&cached) != fingerprint(&uncached) {
+        return Err(diff(
+            "cached vs uncached χ diverged",
+            &fingerprint(&cached),
+            &fingerprint(&uncached),
+        ));
+    }
+    Ok(())
+}
+
+fn parallel_identity(case: &Case) -> Result<(), String> {
+    let query = case.query_graph();
+    let serial = engine(case, base_config()).answer(&query, case.k);
+    let mut config = base_config();
+    config.parallel_clustering = true;
+    config.cluster.parallel_alignment = true;
+    config.cluster.parallel_threshold = 1;
+    let parallel = engine(case, config).answer(&query, case.k);
+    if fingerprint(&serial) != fingerprint(&parallel) {
+        return Err(diff(
+            "serial vs parallel diverged",
+            &fingerprint(&serial),
+            &fingerprint(&parallel),
+        ));
+    }
+    Ok(())
+}
+
+fn batch_identity(case: &Case) -> Result<(), String> {
+    let query = case.query_graph();
+    let eng = engine(case, base_config());
+    let single = eng.answer(&query, case.k);
+    let queries = vec![query.clone(), query.clone(), query];
+    let outcome = eng.answer_batch(
+        &queries,
+        &BatchConfig {
+            k: case.k,
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    for (i, slot) in outcome.results.iter().enumerate() {
+        match slot {
+            Err(e) => return Err(format!("batch slot {i} failed: {e}")),
+            Ok(result) => {
+                if fingerprint(result) != fingerprint(&single) {
+                    return Err(diff(
+                        &format!("batch slot {i} diverged from single-shot"),
+                        &fingerprint(&single),
+                        &fingerprint(result),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn shared_chi_identity(case: &Case) -> Result<(), String> {
+    let query = case.query_graph();
+    let plain = engine(case, base_config()).answer(&query, case.k);
+    let shared = engine(case, base_config()).with_shared_chi_cache(SharedChiCache::with_defaults());
+    // Cold pass feeds the cache, warm pass reads it; both must match.
+    let cold = shared.answer(&query, case.k);
+    let warm = shared.answer(&query, case.k);
+    if fingerprint(&plain) != fingerprint(&cold) {
+        return Err(diff(
+            "shared χ cache (cold) diverged",
+            &fingerprint(&plain),
+            &fingerprint(&cold),
+        ));
+    }
+    if fingerprint(&plain) != fingerprint(&warm) {
+        return Err(diff(
+            "shared χ cache (warm) diverged",
+            &fingerprint(&plain),
+            &fingerprint(&warm),
+        ));
+    }
+    Ok(())
+}
+
+fn exact_answers_embed(case: &Case) -> Result<(), String> {
+    let query = case.query_graph();
+    let eng = engine(case, base_config());
+    let result = eng.answer(&query, case.k);
+    for (rank, answer) in result.answers.iter().enumerate() {
+        if !answer.is_exact() {
+            continue;
+        }
+        let sub = answer.subgraph(eng.index());
+        let Some(data) = graph_as_data(&sub) else {
+            return Err(format!("exact answer #{rank} has an empty subgraph"));
+        };
+        // Homomorphism, not isomorphism: SPARQL (and the engine) let two
+        // query variables bind the same data node, so an exact answer's
+        // subgraph can be *smaller* than the query. (Found by this very
+        // harness: data {n5 -p1-> n0}, query {?a -p1-> ?b, ?c -p1-> ?d}
+        // collapses both patterns onto the one edge, score 0.)
+        let matcher = Vf2Matcher {
+            allow_shared_images: true,
+            ..Default::default()
+        };
+        let found = matcher.find_matches(&data, &query, 1);
+        if found.is_empty() {
+            return Err(format!(
+                "exact answer #{rank} (score 0) has no homomorphic VF2 embedding \
+                 of the query in its own subgraph:\n{}",
+                sub.to_sorted_lines().join("\n")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn ged_oracle_agreement(case: &Case) -> Result<(), String> {
+    let query = case.query_graph();
+    let eng = engine(case, base_config());
+    let result = eng.answer(&query, case.k);
+    for (rank, answer) in result.answers.iter().enumerate() {
+        if !answer.is_exact() {
+            continue;
+        }
+        let sub = answer.subgraph(eng.index());
+        // The exact GED oracle is exponential; generated cases are tiny
+        // but a hand-written replay file might not be.
+        if sub.node_count() > 10 {
+            continue;
+        }
+        // GED edits graphs node-for-node, so it prices a homomorphic
+        // collapse (several query variables on one data node) as a real
+        // edit even though the engine rightly scores it 0. Only when the
+        // subgraph has the query's exact node and edge counts is the
+        // engine's path-union map a bijection, and only then must the
+        // two oracles agree on "exact ⇔ cost 0".
+        if sub.node_count() != query.node_count() || sub.edge_count() != query.edge_count() {
+            continue;
+        }
+        let cost = ged_relevance(&query, &sub);
+        if cost.abs() > 1e-9 {
+            return Err(format!(
+                "answer #{rank} is engine-exact but the GED oracle prices its \
+                 subgraph at {cost} (expected 0)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic checks.
+
+fn triple_order_invariance(case: &Case) -> Result<(), String> {
+    let baseline = engine(case, base_config()).answer(&case.query_graph(), case.k);
+    let base_scores = score_multiset(&baseline);
+    let mut rng = Rng::new(case.seed ^ 0x5075_7a7a);
+    for trial in 0..3 {
+        let mut permuted = case.clone();
+        rng.shuffle(&mut permuted.data);
+        rng.shuffle(&mut permuted.query);
+        let result = engine(&permuted, base_config()).answer(&permuted.query_graph(), case.k);
+        let scores = score_multiset(&result);
+        if !scores_approx_equal(&base_scores, &scores) || baseline.truncated != result.truncated {
+            return Err(format!(
+                "triple permutation #{trial} changed the answers:\n  \
+                 original scores: {base_scores:?} (truncated={})\n  \
+                 permuted scores: {scores:?} (truncated={})",
+                baseline.truncated, result.truncated
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn label_renaming_invariance(case: &Case) -> Result<(), String> {
+    let baseline = engine(case, base_config()).answer(&case.query_graph(), case.k);
+    let base_scores = score_multiset(&baseline);
+
+    // A bijection over constant labels, keyed by kind+lexical so two
+    // same-spelled labels of different kinds stay distinct.
+    let mut mapping: std::collections::BTreeMap<(u8, String), String> =
+        std::collections::BTreeMap::new();
+    let mut rename = |term: &Term| -> Term {
+        let tag = match term {
+            Term::Variable(_) => return term.clone(),
+            Term::Iri(_) => 0u8,
+            Term::Literal(_) => 1,
+            Term::Blank(_) => 2,
+        };
+        let next = mapping.len();
+        let fresh = mapping
+            .entry((tag, term.lexical().to_string()))
+            .or_insert_with(|| format!("renamed_{next}"))
+            .clone();
+        match term {
+            Term::Iri(_) => Term::Iri(fresh),
+            Term::Literal(_) => Term::Literal(fresh),
+            Term::Blank(_) => Term::Blank(fresh),
+            Term::Variable(_) => unreachable!(),
+        }
+    };
+    let mut renamed = case.clone();
+    for t in renamed.data.iter_mut().chain(renamed.query.iter_mut()) {
+        t.subject = rename(&t.subject);
+        t.predicate = rename(&t.predicate);
+        t.object = rename(&t.object);
+    }
+
+    let result = engine(&renamed, base_config()).answer(&renamed.query_graph(), case.k);
+    let scores = score_multiset(&result);
+    if !scores_approx_equal(&base_scores, &scores) || baseline.truncated != result.truncated {
+        return Err(format!(
+            "bijective label renaming changed the answers:\n  \
+             original scores: {base_scores:?}\n  renamed scores: {scores:?}"
+        ));
+    }
+    Ok(())
+}
+
+fn query_relabel_monotone(case: &Case) -> Result<(), String> {
+    let eng = engine(case, base_config());
+    let result = eng.answer(&case.query_graph(), case.k);
+    let Some(best) = result.best().map(|a| a.score()) else {
+        return Ok(()); // no answers to compare against
+    };
+    let mut rng = Rng::new(case.seed ^ 0x07e1_abe1);
+    let candidates: Vec<usize> = (0..case.query.len())
+        .filter(|&i| !case.query[i].predicate.is_variable())
+        .collect();
+    if candidates.is_empty() {
+        return Ok(());
+    }
+    let mut worse = case.clone();
+    let at = *rng.pick(&candidates);
+    worse.query[at].predicate = Term::Iri("zzz_fresh_predicate".to_string());
+    if !worse.well_formed() {
+        return Ok(());
+    }
+    let worse_result = eng.answer(&worse.query_graph(), case.k);
+    let Some(worse_best) = worse_result.best().map(|a| a.score()) else {
+        return Ok(()); // relabeled query retrieves nothing — vacuously worse
+    };
+    if worse_best + 1e-9 < best {
+        return Err(format!(
+            "relabeling query edge {at} to a fresh predicate IMPROVED the best \
+             score: {best} -> {worse_best} (Theorem 1 violated)"
+        ));
+    }
+    Ok(())
+}
+
+fn generalization_monotone(case: &Case) -> Result<(), String> {
+    let eng = engine(case, base_config());
+    let result = eng.answer(&case.query_graph(), case.k);
+    let Some(best) = result.best().map(|a| a.score()) else {
+        return Ok(());
+    };
+    // Collect the constant node labels of the query (subjects/objects).
+    let mut constants: Vec<Term> = Vec::new();
+    for t in &case.query {
+        for term in [&t.subject, &t.object] {
+            if !term.is_variable() && !constants.contains(term) {
+                constants.push(term.clone());
+            }
+        }
+    }
+    if constants.is_empty() {
+        return Ok(());
+    }
+    let mut rng = Rng::new(case.seed ^ 0x6e6e_7a11);
+    let target = rng.pick(&constants).clone();
+    let fresh = Term::Variable("gen_fresh".to_string());
+    let mut general = case.clone();
+    for t in &mut general.query {
+        if t.subject == target {
+            t.subject = fresh.clone();
+        }
+        if t.object == target {
+            t.object = fresh.clone();
+        }
+    }
+    if !general.well_formed() {
+        return Ok(());
+    }
+    let general_result = eng.answer(&general.query_graph(), case.k);
+    let Some(general_best) = general_result.best().map(|a| a.score()) else {
+        return Err(format!(
+            "generalizing {target} to a variable lost all answers \
+             (original best score {best})"
+        ));
+    };
+    if general_best > best + 1e-9 {
+        return Err(format!(
+            "generalizing {target} to a variable WORSENED the best score: \
+             {best} -> {general_best} (Theorem 1 violated)"
+        ));
+    }
+    Ok(())
+}
+
+fn topk_prefix_stability(case: &Case) -> Result<(), String> {
+    let query = case.query_graph();
+    let eng = engine(case, base_config());
+    let small = eng.answer(&query, case.k);
+    let large = eng.answer(&query, case.k + 3);
+    let small_fp: Vec<String> = fingerprint(&small)
+        .into_iter()
+        .take(small.answers.len())
+        .collect();
+    let large_fp: Vec<String> = fingerprint(&large)
+        .into_iter()
+        .take(small.answers.len())
+        .collect();
+    if small_fp != large_fp {
+        return Err(diff(
+            &format!("top-{} is not a prefix of top-{}", case.k, case.k + 3),
+            &small_fp,
+            &large_fp,
+        ));
+    }
+    Ok(())
+}
+
+fn deadline_unlimited_identity(case: &Case) -> Result<(), String> {
+    let query = case.query_graph();
+    let none = engine(case, base_config()).answer(&query, case.k);
+    let eng = engine(case, base_config());
+    let unlimited = eng.answer_with_budget(&query, case.k, &QueryBudget::unlimited());
+    let mut distant_config = base_config();
+    distant_config.deadline = Some(Duration::from_secs(3600));
+    let distant = engine(case, distant_config).answer(&query, case.k);
+    if fingerprint(&none) != fingerprint(&unlimited) {
+        return Err(diff(
+            "unlimited budget diverged from no-deadline",
+            &fingerprint(&none),
+            &fingerprint(&unlimited),
+        ));
+    }
+    if fingerprint(&none) != fingerprint(&distant) {
+        return Err(diff(
+            "distant deadline diverged from no-deadline",
+            &fingerprint(&none),
+            &fingerprint(&distant),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_findable() {
+        let mut names: Vec<&str> = CATALOG.iter().map(|i| i.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate invariant names");
+        for inv in CATALOG {
+            assert!(find(inv.name).is_some());
+        }
+        assert!(find("demo_no_hub_label").is_some(), "demos resolvable");
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn catalog_covers_both_kinds() {
+        let differential = CATALOG
+            .iter()
+            .filter(|i| i.kind == Kind::Differential)
+            .count();
+        let metamorphic = CATALOG
+            .iter()
+            .filter(|i| i.kind == Kind::Metamorphic)
+            .count();
+        assert!(
+            differential >= 4,
+            "only {differential} differential invariants"
+        );
+        assert!(
+            metamorphic >= 4,
+            "only {metamorphic} metamorphic invariants"
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! A minimal JSON reader/writer for the testkit's own artefacts.
+//!
+//! The workspace has no serde; the harness needs exactly two things:
+//! round-tripping its replayable case files, and *structural* reads of
+//! the engine's EXPLAIN JSONL output for the golden-shape layer. A
+//! recursive-descent parser over the small JSON grammar covers both.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as `f64`; case files only use small ints).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys keep the last).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key of an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Escape a string for embedding in JSON output (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a JSON document. Errors are one-line messages with a byte
+/// offset — good enough to diagnose a hand-edited case file.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        chars: input.char_indices().peekable(),
+        input,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    match p.chars.peek() {
+        None => Ok(value),
+        Some(&(at, c)) => Err(format!("trailing content {c:?} at byte {at}")),
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    input: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(&(_, c)) if c.is_ascii_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((at, c)) => Err(format!("expected {want:?}, found {c:?} at byte {at}")),
+            None => Err(format!("expected {want:?}, found end of input")),
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.chars.peek() {
+            Some(&(_, '{')) => self.object(),
+            Some(&(_, '[')) => self.array(),
+            Some(&(_, '"')) => Ok(Json::Str(self.string()?)),
+            Some(&(_, c)) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(&(_, 't')) => self.keyword("true", Json::Bool(true)),
+            Some(&(_, 'f')) => self.keyword("false", Json::Bool(false)),
+            Some(&(_, 'n')) => self.keyword("null", Json::Null),
+            Some(&(at, c)) => Err(format!("unexpected {c:?} at byte {at}")),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for want in word.chars() {
+            self.expect(want)?;
+        }
+        Ok(value)
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some(&(_, '}'))) {
+            self.chars.next();
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => return Ok(Json::Obj(fields)),
+                Some((at, c)) => {
+                    return Err(format!("expected ',' or '}}' at byte {at}, found {c:?}"))
+                }
+                None => return Err("unterminated object".to_string()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if matches!(self.chars.peek(), Some(&(_, ']'))) {
+            self.chars.next();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, ']')) => return Ok(Json::Arr(items)),
+                Some((at, c)) => {
+                    return Err(format!("expected ',' or ']' at byte {at}, found {c:?}"))
+                }
+                None => return Err("unterminated array".to_string()),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".to_string()),
+                Some((_, '"')) => return Ok(out),
+                Some((at, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .chars
+                                .next()
+                                .and_then(|(_, c)| c.to_digit(16))
+                                .ok_or_else(|| format!("bad \\u escape at byte {at}"))?;
+                            code = code * 16 + d;
+                        }
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| format!("invalid \\u{code:04x} at byte {at}"))?;
+                        out.push(c);
+                    }
+                    other => return Err(format!("bad escape {other:?} at byte {at}")),
+                },
+                Some((_, c)) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = match self.chars.peek() {
+            Some(&(at, _)) => at,
+            None => return Err("expected number".to_string()),
+        };
+        let mut end = start;
+        while let Some(&(at, c)) = self.chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                end = at + c.len_utf8();
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        self.input[start..end]
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {:?} at byte {start}", &self.input[start..end]))
+    }
+}
+
+/// Flatten a JSON value into its set of key *paths* — the structural
+/// shape with all payloads erased. Array elements collapse into a
+/// single `[]` segment so the shape is independent of cardinality.
+pub fn shape(value: &Json) -> Vec<String> {
+    let mut out = Vec::new();
+    walk(value, "$", &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn walk(value: &Json, path: &str, out: &mut Vec<String>) {
+    match value {
+        Json::Obj(fields) => {
+            for (key, v) in fields {
+                let sub = format!("{path}.{key}");
+                out.push(sub.clone());
+                walk(v, &sub, out);
+            }
+        }
+        Json::Arr(items) => {
+            let sub = format!("{path}[]");
+            for v in items {
+                walk(v, &sub, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let doc = r#"{"a":[1,2.5,-3],"b":{"c":"x\ny","d":[true,false,null]},"e":"☃"}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("e").unwrap().as_str(), Some("☃"));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let original = "quote \" slash \\ nl \n tab \t unicode ☃";
+        let doc = format!("{{\"k\":\"{}\"}}", escape(original));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let v = parse(r#""A☃""#).unwrap();
+        assert_eq!(v.as_str(), Some("A☃"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"abc").is_err());
+        assert!(parse("{\"a\":1} x").is_err());
+    }
+
+    #[test]
+    fn shape_erases_payloads() {
+        let a = parse(r#"{"x":[{"y":1}],"z":"s"}"#).unwrap();
+        let b = parse(r#"{"x":[{"y":9},{"y":3}],"z":"other"}"#).unwrap();
+        assert_eq!(shape(&a), shape(&b));
+        assert_eq!(shape(&a), vec!["$.x", "$.x[].y", "$.z"]);
+    }
+}

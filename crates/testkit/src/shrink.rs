@@ -1,0 +1,164 @@
+//! ddmin-style case minimization.
+//!
+//! When an invariant fails, the raw generated case is rarely the story
+//! — most of its triples are bystanders. The shrinker repeatedly tries
+//! to drop chunks of data triples (halving chunk sizes, classic delta
+//! debugging), then query triples, keeping any candidate that is still
+//! well-formed AND still fails the same invariant. The result is a
+//! local minimum: removing any single remaining triple either breaks
+//! well-formedness or makes the failure vanish.
+
+use crate::case::Case;
+use crate::invariants::Invariant;
+
+/// Upper bound on invariant evaluations during one shrink — failing
+/// checks re-run the engine several times, so keep the budget modest.
+const MAX_EVALS: usize = 500;
+
+/// Outcome of a shrink run.
+pub struct Shrunk {
+    /// The minimized case (still failing, still well-formed).
+    pub case: Case,
+    /// The failure message of the minimized case.
+    pub message: String,
+    /// Invariant evaluations spent.
+    pub evals: usize,
+}
+
+/// Minimize `case` against `invariant`. `case` itself must fail the
+/// check (panics otherwise — callers shrink only observed failures).
+pub fn shrink(case: &Case, invariant: &Invariant) -> Shrunk {
+    let mut evals = 0usize;
+    let mut message = match check_counted(invariant, case, &mut evals) {
+        Some(msg) => msg,
+        None => panic!(
+            "shrink called on a case that does not fail {:?}",
+            invariant.name
+        ),
+    };
+    let mut best = case.clone();
+
+    // Alternate data- and query-side passes until neither shrinks.
+    loop {
+        let before = (best.data.len(), best.query.len());
+        shrink_list(&mut best, &mut message, invariant, &mut evals, Part::Data);
+        shrink_list(&mut best, &mut message, invariant, &mut evals, Part::Query);
+        if (best.data.len(), best.query.len()) == before || evals >= MAX_EVALS {
+            break;
+        }
+    }
+    Shrunk {
+        case: best,
+        message,
+        evals,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Part {
+    Data,
+    Query,
+}
+
+fn shrink_list(
+    best: &mut Case,
+    message: &mut String,
+    invariant: &Invariant,
+    evals: &mut usize,
+    part: Part,
+) {
+    let len = |case: &Case| match part {
+        Part::Data => case.data.len(),
+        Part::Query => case.query.len(),
+    };
+    let mut chunk = (len(best) / 2).max(1);
+    loop {
+        let mut start = 0;
+        let mut removed_any = false;
+        while start < len(best) && *evals < MAX_EVALS {
+            let end = (start + chunk).min(len(best));
+            let mut candidate = best.clone();
+            match part {
+                Part::Data => {
+                    candidate.data.drain(start..end);
+                }
+                Part::Query => {
+                    candidate.query.drain(start..end);
+                }
+            }
+            if candidate.well_formed() {
+                if let Some(msg) = check_counted(invariant, &candidate, evals) {
+                    *best = candidate;
+                    *message = msg;
+                    removed_any = true;
+                    // Do not advance: the next chunk shifted into place.
+                    continue;
+                }
+            }
+            start = end;
+        }
+        if chunk == 1 && !removed_any {
+            return;
+        }
+        if !removed_any {
+            chunk = (chunk / 2).max(1);
+        }
+        if *evals >= MAX_EVALS {
+            return;
+        }
+    }
+}
+
+/// Run the check, counting evaluations; `Some(message)` on failure.
+fn check_counted(invariant: &Invariant, case: &Case, evals: &mut usize) -> Option<String> {
+    *evals += 1;
+    (invariant.check)(case).err()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::find;
+    use rdf_model::Triple;
+
+    /// The demo invariant rejects any triple naming "hub"; a shrink must
+    /// strip every bystander triple and keep exactly one offender plus
+    /// whatever the query needs to stay well-formed.
+    #[test]
+    fn shrinks_to_single_offending_triple() {
+        let demo = find("demo_no_hub_label").expect("demo invariant");
+        let mut case = crate::gen::generate("chain", 7);
+        case.data.push(Triple::parse("hub", "p0", "spoke"));
+        for i in 0..6 {
+            case.data.push(Triple::parse(
+                &format!("noise{i}"),
+                "p0",
+                &format!("noise{}", i + 1),
+            ));
+        }
+        case.query = vec![Triple::parse("?x", "p0", "?y")];
+        assert!(case.well_formed());
+        assert!((demo.check)(&case).is_err());
+
+        let shrunk = shrink(&case, demo);
+        assert!((demo.check)(&shrunk.case).is_err(), "still failing");
+        assert!(shrunk.case.well_formed(), "still well-formed");
+        assert_eq!(
+            shrunk.case.data.len(),
+            1,
+            "one data triple survives: {:?}",
+            shrunk.case.data
+        );
+        assert_eq!(shrunk.case.query.len(), 1);
+        assert!(shrunk.message.contains("hub"));
+        assert!(shrunk.evals <= MAX_EVALS);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fail")]
+    fn refuses_passing_cases() {
+        let demo = find("demo_no_hub_label").unwrap();
+        let case = crate::gen::generate("chain", 3); // no "hub" label
+        shrink(&case, demo);
+    }
+}

@@ -453,6 +453,118 @@ fn turtle_input_accepted() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("parsed 3 triples"));
 }
 
+/// Every `sama query` error path: a one-line `error:` diagnostic on
+/// stderr and exit code 1 — never a panic, and never a silent empty
+/// answer set that looks like a miss.
+#[test]
+fn query_error_paths() {
+    let nt = temp_path("data_err.nt");
+    let idx = temp_path("index_err.bin");
+    let ok_rq = temp_path("err_ok.rq");
+    let empty_rq = temp_path("err_empty.rq");
+    let bad_rq = temp_path("err_bad.rq");
+    let corrupt = temp_path("err_corrupt.bin");
+    let _cleanup = Cleanup(vec![
+        nt.clone(),
+        idx.clone(),
+        ok_rq.clone(),
+        empty_rq.clone(),
+        bad_rq.clone(),
+        corrupt.clone(),
+    ]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    std::fs::write(&ok_rq, "SELECT ?x WHERE { ?x <sponsor> ?y . }\n").unwrap();
+    std::fs::write(&empty_rq, "SELECT ?x WHERE { }\n").unwrap();
+    std::fs::write(&bad_rq, "FROB ?x WHERE { ?x <p> ?y }\n").unwrap();
+    std::fs::write(&corrupt, "garbage-not-an-index").unwrap();
+    let out = sama()
+        .args(["index", nt.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // A query with no triple patterns parses but is rejected by the
+    // engine with a typed InvalidQuery error.
+    let out = sama()
+        .args(["query", idx.to_str().unwrap(), empty_rq.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid query"), "{stderr}");
+    assert!(stderr.contains("no triple patterns"), "{stderr}");
+
+    // Malformed SPARQL fails at parse time with a located diagnostic.
+    let out = sama()
+        .args(["query", idx.to_str().unwrap(), bad_rq.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+
+    // Unreadable query file.
+    let out = sama()
+        .args(["query", idx.to_str().unwrap(), "/no/such/query.rq"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    // Missing and corrupt index files are distinct diagnostics.
+    let out = sama()
+        .args(["query", "/no/such/index.bin", ok_rq.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read index"));
+    let out = sama()
+        .args(["query", corrupt.to_str().unwrap(), ok_rq.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot decode index"), "{stderr}");
+    assert!(stderr.contains("bad magic"), "{stderr}");
+
+    // Missing positional args print the query usage line.
+    let out = sama()
+        .args(["query", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: sama query"));
+
+    // An already-expired deadline is NOT an error: exit 0, best-effort
+    // (possibly empty) results, and an explanatory stderr note.
+    let out = sama()
+        .args([
+            "query",
+            idx.to_str().unwrap(),
+            ok_rq.to_str().unwrap(),
+            "--deadline-ms",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deadline exceeded"), "{stderr}");
+
+    // A malformed --deadline-ms value is a usage error.
+    let out = sama()
+        .args([
+            "query",
+            idx.to_str().unwrap(),
+            ok_rq.to_str().unwrap(),
+            "--deadline-ms",
+            "soon",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--deadline-ms"));
+}
+
 #[test]
 fn helpful_errors() {
     // Unknown command.

@@ -110,3 +110,40 @@ fn sparql_variable_predicate_query() {
     // CarlaBunes only reaches bills through amendments: approximate.
     assert!(result.best().unwrap().score() > 0.0);
 }
+
+/// Update-then-answer equivalence: an engine over an incrementally
+/// updated index returns the same ranked answers as an engine over an
+/// index built fresh on the full dataset. (The update batch follows
+/// document order, so interning is identical and scores compare
+/// exactly.)
+#[test]
+fn updated_index_answers_like_fresh_build() {
+    use sama::index::ExtractionConfig;
+    let all = parse_ntriples(NT_DOC).expect("valid N-Triples");
+    let (base, extra) = all.split_at(5);
+    let query = parse_sparql(SPARQL_Q).unwrap();
+
+    let mut updated = PathIndex::build(DataGraph::from_triples(base).expect("ground"));
+    let stats = updated
+        .insert_triples(extra, &ExtractionConfig::default())
+        .expect("insert succeeds");
+    assert_eq!(stats.inserted_edges, extra.len());
+
+    let fresh = PathIndex::build(DataGraph::from_triples(&all).expect("ground"));
+    assert_eq!(updated.path_count(), fresh.path_count());
+
+    let updated_result = SamaEngine::from_index(updated).answer(&query.graph, 10);
+    let fresh_result = SamaEngine::from_index(fresh).answer(&query.graph, 10);
+    assert_eq!(updated_result.answers.len(), fresh_result.answers.len());
+    assert!(!updated_result.answers.is_empty());
+    for (a, b) in updated_result
+        .answers
+        .iter()
+        .zip(fresh_result.answers.iter())
+    {
+        assert_eq!(a.score(), b.score());
+        assert_eq!(a.lambda(), b.lambda());
+        assert_eq!(a.psi(), b.psi());
+    }
+    assert_eq!(updated_result.best().unwrap().score(), 0.0);
+}

@@ -23,6 +23,97 @@ fn arb_data_graph() -> impl Strategy<Value = DataGraph> {
     })
 }
 
+/// Plain-assert body of `alignment_bounds`, shared with the promoted
+/// regression tests below so recorded failures survive a cleanup of the
+/// proptest-regressions file. Returns `false` when the draw is
+/// degenerate (nothing extractable/decomposable to check).
+fn check_alignment_bounds(data: &DataGraph, var_mask: u8) -> bool {
+    let g = data.as_graph();
+    let extraction = extract_paths(g, &ExtractionConfig::default());
+    if extraction.paths.is_empty() {
+        return false;
+    }
+
+    // Build a small query from the first path, with some nodes
+    // turned into variables by the mask.
+    let p0 = &extraction.paths[0];
+    let take = p0.nodes.len().min(3);
+    let mut b = QueryGraph::builder();
+    let term_for = |i: usize| -> Term {
+        if var_mask & (1 << i.min(7)) != 0 {
+            Term::var(format!("v{i}"))
+        } else {
+            g.node_term(p0.nodes[p0.nodes.len() - take + i])
+        }
+    };
+    if take == 1 {
+        // Single node: make a 1-edge query to itself via a fresh var.
+        b.triple_str("?x", "p0", &g.node_term(p0.nodes[0]).to_string())
+            .unwrap();
+    } else {
+        for i in 0..take - 1 {
+            let e = p0.edges[p0.edges.len() + 1 - take + i];
+            let s = term_for(i);
+            let o = term_for(i + 1);
+            let pred = g.vocab().term(g.edge(e).label);
+            b.triple(&Triple::new(s, pred, o)).unwrap();
+        }
+    }
+    let q = b.build();
+    let qpaths = decompose_query(&q, g.vocab(), &NoSynonyms, &ExtractionConfig::default());
+    if qpaths.is_empty() {
+        return false;
+    }
+    let params = ScoreParams::paper();
+
+    for qp in &qpaths {
+        for dp in extraction.paths.iter().take(10) {
+            let labels = dp.labels(g);
+            let greedy = align(qp, &labels, &params, AlignmentMode::Greedy);
+            let optimal = align(qp, &labels, &params, AlignmentMode::Optimal);
+            assert!(greedy.lambda >= -1e-12);
+            assert!(optimal.lambda >= -1e-12);
+            assert!(
+                greedy.lambda + 1e-9 >= optimal.lambda,
+                "greedy {} < optimal {}",
+                greedy.lambda,
+                optimal.lambda
+            );
+            // Witness bound: ops never exceed |p| + |q| units.
+            let budget = (labels.len() + qp.len()) as u32 * 2;
+            assert!(greedy.counts.total_ops() <= budget);
+        }
+    }
+    true
+}
+
+/// Promoted from `property_based.proptest-regressions`
+/// (cc 0636…e3b4): proptest once shrank an `alignment_bounds` failure
+/// to the single-edge graph `{n0 -p0-> n1}` with no variables. Kept as
+/// a named test so the case survives even if the regressions file is
+/// cleaned up.
+#[test]
+fn regression_alignment_bounds_single_edge_no_vars() {
+    let mut b = DataGraph::builder();
+    b.triple_str("n0", "p0", "n1").unwrap();
+    let data = b.build();
+    assert!(
+        check_alignment_bounds(&data, 0),
+        "regression case must be non-degenerate"
+    );
+}
+
+/// The same shrunk graph swept across every variable mask — the mask
+/// was part of the recorded case, so pin all of them.
+#[test]
+fn regression_alignment_bounds_single_edge_all_masks() {
+    for var_mask in 0u8..8 {
+        let mut b = DataGraph::builder();
+        b.triple_str("n0", "p0", "n1").unwrap();
+        check_alignment_bounds(&b.build(), var_mask);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -53,53 +144,7 @@ proptest! {
     /// and the operation count respects the O(|p|+|q|) witness bound.
     #[test]
     fn alignment_bounds(data in arb_data_graph(), var_mask in 0u8..8) {
-        let g = data.as_graph();
-        let extraction = extract_paths(g, &ExtractionConfig::default());
-        prop_assume!(!extraction.paths.is_empty());
-
-        // Build a small query from the first path, with some nodes
-        // turned into variables by the mask.
-        let p0 = &extraction.paths[0];
-        let take = p0.nodes.len().min(3);
-        let mut b = QueryGraph::builder();
-        let term_for = |i: usize| -> Term {
-            if var_mask & (1 << i.min(7)) != 0 {
-                Term::var(format!("v{i}"))
-            } else {
-                g.node_term(p0.nodes[p0.nodes.len() - take + i])
-            }
-        };
-        if take == 1 {
-            // Single node: make a 1-edge query to itself via a fresh var.
-            b.triple_str("?x", "p0", &g.node_term(p0.nodes[0]).to_string()).unwrap();
-        } else {
-            for i in 0..take - 1 {
-                let e = p0.edges[p0.edges.len() + 1 - take + i];
-                let s = term_for(i);
-                let o = term_for(i + 1);
-                let pred = g.vocab().term(g.edge(e).label);
-                b.triple(&Triple::new(s, pred, o)).unwrap();
-            }
-        }
-        let q = b.build();
-        let qpaths = decompose_query(&q, g.vocab(), &NoSynonyms, &ExtractionConfig::default());
-        prop_assume!(!qpaths.is_empty());
-        let params = ScoreParams::paper();
-
-        for qp in &qpaths {
-            for dp in extraction.paths.iter().take(10) {
-                let labels = dp.labels(g);
-                let greedy = align(qp, &labels, &params, AlignmentMode::Greedy);
-                let optimal = align(qp, &labels, &params, AlignmentMode::Optimal);
-                prop_assert!(greedy.lambda >= -1e-12);
-                prop_assert!(optimal.lambda >= -1e-12);
-                prop_assert!(greedy.lambda + 1e-9 >= optimal.lambda,
-                    "greedy {} < optimal {}", greedy.lambda, optimal.lambda);
-                // Witness bound: ops never exceed |p| + |q| units.
-                let budget = (labels.len() + qp.len()) as u32 * 2;
-                prop_assert!(greedy.counts.total_ops() <= budget);
-            }
-        }
+        check_alignment_bounds(&data, var_mask);
     }
 
     /// Conformity: ratio ∈ [0,1]; penalty ≥ 0, zero iff fully
