@@ -175,12 +175,12 @@ fn bench_incremental_update(c: &mut Criterion) {
 fn bench_compression(c: &mut Criterion) {
     let fx = fixture(3_000);
     let index = path_index::PathIndex::build(fx.dataset.graph.clone());
-    let plain = path_index::encode(&index);
+    let plain = path_index::encode(&index).expect("index fits format");
     let compressed = path_index::encode_compressed(&index);
     let mut group = c.benchmark_group("ablation/compression");
     group.sample_size(10);
     group.bench_function("encode_plain", |b| {
-        b.iter(|| black_box(path_index::encode(&index)).len());
+        b.iter(|| black_box(path_index::encode(&index).expect("index fits format")).len());
     });
     group.bench_function("encode_compressed", |b| {
         b.iter(|| black_box(path_index::encode_compressed(&index)).len());

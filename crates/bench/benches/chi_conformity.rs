@@ -8,7 +8,7 @@
 
 use bench::fixture;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use path_index::{ExtractionConfig, IndexLike, PathId};
+use path_index::{ExtractionConfig, PathId};
 use sama_core::{
     build_clusters, chi_count, chi_count_sorted, decompose_query, search_top_k, AlignmentMode,
     ChiCache, Cluster, ClusterConfig, IntersectionGraph, QueryPath, ScoreParams, SearchConfig,
@@ -39,7 +39,7 @@ fn sweep_hash(index: &path_index::PathIndex, ids: &[PathId]) -> usize {
     let mut acc = 0usize;
     for &a in ids {
         for &b in ids {
-            acc += chi_count(&index.indexed(a).path, &index.indexed(b).path);
+            acc += chi_count(&index.path(a).path, &index.path(b).path);
         }
     }
     acc
@@ -49,10 +49,7 @@ fn sweep_sorted(index: &path_index::PathIndex, ids: &[PathId]) -> usize {
     let mut acc = 0usize;
     for &a in ids {
         for &b in ids {
-            acc += chi_count_sorted(
-                index.indexed(a).sorted_nodes(),
-                index.indexed(b).sorted_nodes(),
-            );
+            acc += chi_count_sorted(index.path(a).sorted_nodes(), index.path(b).sorted_nodes());
         }
     }
     acc

@@ -29,7 +29,7 @@ fn bench_sama_warm(c: &mut Criterion) {
 fn bench_sama_cold(c: &mut Criterion) {
     let fx = fixture(TRIPLES);
     let mut index = fx.engine.index().clone();
-    let bytes = serialize_index(&mut index);
+    let bytes = serialize_index(&mut index).expect("index fits format");
     let mut group = c.benchmark_group("fig6/sama_cold");
     group.sample_size(10);
     // Cold cache: deserialize the index before answering (the paper's

@@ -1,0 +1,275 @@
+//! Index open cost: `SAMAIDX1` full decode vs `SAMAIDX2` zero-copy
+//! mmap open, on a million-triple synthetic graph.
+//!
+//! The claim under test is the PR's headline: opening a v2 index is
+//! two-plus orders of magnitude faster than decoding a v1 index and
+//! allocates a vanishing fraction of the heap, because the mapping *is*
+//! the index — no vocabulary rebuild, no hash-map re-insertion, no path
+//! materialisation. A counting `#[global_allocator]` measures gross
+//! bytes allocated inside each open path, and a four-way query matrix
+//! (v1 decode / v2 owned decode / v2 mmap / v2 aligned-copy fallback)
+//! proves the answers stay bit-identical before any number is reported.
+//!
+//! Writes `results/BENCH_index.json` (override with `BENCH_INDEX_OUT`).
+//! Scale down with `SAMA_BENCH_CHAINS` for smoke runs.
+
+use path_index::{decode_any, decode_v2, encode_v2, MappedIndex, PathIndex};
+use rdf_model::{DataGraph, QueryGraph};
+use sama_core::{QueryResult, SamaEngine};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+// --- counting allocator -------------------------------------------------
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// Counts gross bytes handed out (allocations plus realloc growth);
+/// frees are deliberately not subtracted — the bench measures how much
+/// heap an open path *touches*, not its resident high-water mark.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// is a relaxed atomic side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            ALLOCATED.fetch_add((new_size - layout.size()) as u64, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Median (time_ns, bytes_allocated) of `runs` executions of `f`.
+fn measure<R>(runs: usize, mut f: impl FnMut() -> R) -> (u128, u64) {
+    let mut times: Vec<u128> = Vec::with_capacity(runs);
+    let mut bytes: Vec<u64> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let before = ALLOCATED.load(Ordering::Relaxed);
+        let t = Instant::now();
+        black_box(f());
+        times.push(t.elapsed().as_nanos());
+        bytes.push(ALLOCATED.load(Ordering::Relaxed) - before);
+    }
+    times.sort_unstable();
+    bytes.sort_unstable();
+    (times[runs / 2], bytes[runs / 2])
+}
+
+// --- fixture ------------------------------------------------------------
+
+const EDGES_PER_CHAIN: usize = 4;
+const PREDICATES: usize = 8;
+const SINKS: usize = 50;
+
+/// Disjoint chains `n{i}_0 → … → n{i}_3 → "sink {i%50}"`, four edges
+/// each, predicates staggered by chain so queries stay selective. Path
+/// count equals chain count — a million triples, a quarter-million
+/// paths, and one-and-a-quarter-million vocabulary terms.
+fn synthetic_graph(chains: usize) -> DataGraph {
+    let mut b = DataGraph::builder();
+    for i in 0..chains {
+        for j in 0..EDGES_PER_CHAIN {
+            let s = format!("n{i}_{j}");
+            let p = format!("p{}", (i + j) % PREDICATES);
+            let o = if j + 1 == EDGES_PER_CHAIN {
+                format!("\"sink {}\"", i % SINKS)
+            } else {
+                format!("n{i}_{}", j + 1)
+            };
+            b.triple_str(&s, &p, &o).expect("synthetic triples parse");
+        }
+    }
+    b.build()
+}
+
+fn q(triples: &[(&str, &str, &str)]) -> QueryGraph {
+    let mut b = QueryGraph::builder();
+    for &(s, p, o) in triples {
+        b.triple_str(s, p, o).expect("query triples parse");
+    }
+    b.build()
+}
+
+/// Constant-anchored queries consistent with the chain layout above.
+fn query_matrix() -> Vec<QueryGraph> {
+    vec![
+        // Prefix of chain 123 (preds p3, p4).
+        q(&[("n123_0", "p3", "?x"), ("?x", "p4", "?y")]),
+        // Suffix into a shared sink literal (chains i≡7 mod 50, i≡7 mod 8).
+        q(&[("?x", "p2", "\"sink 7\"")]),
+        // Interior node of chain 99 (edge j=2, pred p5).
+        q(&[("?a", "p5", "n99_3")]),
+    ]
+}
+
+#[allow(clippy::type_complexity)]
+fn fingerprint(r: &QueryResult) -> (Vec<(Vec<Option<path_index::PathId>>, u64)>, usize, bool) {
+    (
+        r.answers
+            .iter()
+            .map(|a| (a.path_ids(), a.score().to_bits()))
+            .collect(),
+        r.retrieved_paths,
+        r.truncated,
+    )
+}
+
+// --- bench --------------------------------------------------------------
+
+fn main() {
+    // `cargo test --benches` runs this target with `--test`; the full
+    // fixture takes minutes, so only run it when invoked deliberately.
+    if std::env::args().any(|a| a == "--test") {
+        println!("index_open: skipped in test mode (run via `cargo bench` to emit the baseline)");
+        return;
+    }
+
+    let chains: usize = std::env::var("SAMA_BENCH_CHAINS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250_000);
+    let triples = chains * EDGES_PER_CHAIN;
+    eprintln!("building fixture: {chains} chains, {triples} triples");
+
+    let t = Instant::now();
+    let index = PathIndex::build(synthetic_graph(chains));
+    eprintln!(
+        "built index: {} paths in {:.1?}",
+        index.path_count(),
+        t.elapsed()
+    );
+    let paths = index.path_count();
+
+    let v1_bytes = path_index::encode(&index).expect("fixture fits v1 format");
+    let v2_bytes = encode_v2(&index).expect("fixture fits v2 format");
+    drop(index);
+
+    let dir = std::env::temp_dir().join("sama_bench_index_open");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let v1_path = dir.join("fixture.sama");
+    let v2_path = dir.join("fixture.sama2");
+    std::fs::write(&v1_path, &v1_bytes).expect("write v1");
+    std::fs::write(&v2_path, &v2_bytes).expect("write v2");
+
+    // --- four-way bit-identity before any timing ----------------------
+    let queries = query_matrix();
+    let engines: Vec<(&str, Vec<_>)> = {
+        let from_v1 = SamaEngine::from_index(decode_any(&v1_bytes).expect("v1 decodes"));
+        let from_v2 = SamaEngine::from_index(decode_v2(&v2_bytes).expect("v2 decodes"));
+        let mapped = SamaEngine::from_index(MappedIndex::open(&v2_path).expect("v2 maps"));
+        let fallback =
+            SamaEngine::from_index(MappedIndex::from_bytes(&v2_bytes).expect("v2 copies"));
+        vec![
+            (
+                "v1_decode",
+                queries
+                    .iter()
+                    .map(|q| fingerprint(&from_v1.answer(q, 5)))
+                    .collect(),
+            ),
+            (
+                "v2_decode",
+                queries
+                    .iter()
+                    .map(|q| fingerprint(&from_v2.answer(q, 5)))
+                    .collect(),
+            ),
+            (
+                "v2_mmap",
+                queries
+                    .iter()
+                    .map(|q| fingerprint(&mapped.answer(q, 5)))
+                    .collect(),
+            ),
+            (
+                "v2_fallback",
+                queries
+                    .iter()
+                    .map(|q| fingerprint(&fallback.answer(q, 5)))
+                    .collect(),
+            ),
+        ]
+    };
+    let reference = &engines[0].1;
+    assert!(
+        reference.iter().any(|(answers, _, _)| !answers.is_empty()),
+        "query matrix found no answers — fixture or queries are broken"
+    );
+    for (name, prints) in &engines[1..] {
+        assert_eq!(prints, reference, "{name} diverged from v1 answers");
+    }
+    eprintln!(
+        "bit-identity verified across v1/v2/mmap/fallback on {} queries",
+        queries.len()
+    );
+
+    // --- open-path measurements ---------------------------------------
+    // v1: read the file and decode into the owned PathIndex.
+    let (v1_ns, v1_alloc) = measure(3, || {
+        let raw = std::fs::read(&v1_path).expect("read v1");
+        decode_any(&raw).expect("v1 decodes")
+    });
+    // v2 mmap: map the file; hot structures are borrowed in place.
+    let (mmap_ns, mmap_alloc) = measure(15, || MappedIndex::open(&v2_path).expect("v2 maps"));
+    // v2 fallback: read + one aligned copy (no mmap available).
+    let (fb_ns, fb_alloc) = measure(5, || {
+        let raw = std::fs::read(&v2_path).expect("read v2");
+        MappedIndex::from_bytes(&raw).expect("v2 copies")
+    });
+
+    let speedup = v1_ns as f64 / mmap_ns.max(1) as f64;
+    let alloc_ratio = v1_alloc as f64 / mmap_alloc.max(1) as f64;
+    eprintln!(
+        "open: v1 decode {v1_ns} ns / {v1_alloc} B, v2 mmap {mmap_ns} ns / {mmap_alloc} B \
+         ({speedup:.0}x faster, {alloc_ratio:.0}x fewer bytes), v2 fallback {fb_ns} ns / {fb_alloc} B"
+    );
+    assert!(
+        speedup >= 10.0,
+        "v2 mmap open must be >=10x faster than v1 decode (got {speedup:.1}x)"
+    );
+    assert!(
+        alloc_ratio >= 10.0,
+        "v2 mmap open must allocate >=10x fewer bytes (got {alloc_ratio:.1}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"fixture\": {{\"triples\": {triples}, \"paths\": {paths}, \
+         \"chains\": {chains}}},\n  \
+         \"file_bytes\": {{\"v1\": {}, \"v2\": {}}},\n  \
+         \"open\": {{\n    \
+         \"v1_decode\": {{\"ns\": {v1_ns}, \"bytes_allocated\": {v1_alloc}}},\n    \
+         \"v2_mmap\": {{\"ns\": {mmap_ns}, \"bytes_allocated\": {mmap_alloc}}},\n    \
+         \"v2_fallback\": {{\"ns\": {fb_ns}, \"bytes_allocated\": {fb_alloc}}}\n  }},\n  \
+         \"speedup_x\": {speedup:.1},\n  \"alloc_ratio_x\": {alloc_ratio:.1},\n  \
+         \"identity_verified\": true\n}}\n",
+        v1_bytes.len(),
+        v2_bytes.len(),
+    );
+    let out = std::env::var("BENCH_INDEX_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../results/BENCH_index.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(err) => eprintln!("could not write {out}: {err}"),
+    }
+    print!("{json}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

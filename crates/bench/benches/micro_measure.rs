@@ -37,7 +37,7 @@ fn bench_align(c: &mut Criterion) {
             b.iter(|| {
                 let mut acc = 0.0f64;
                 for (_, ip) in engine.index().paths() {
-                    acc += align(q, &ip.labels, &params, mode).lambda;
+                    acc += align(q, ip.labels.view(), &params, mode).lambda;
                 }
                 black_box(acc)
             });

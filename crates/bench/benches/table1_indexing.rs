@@ -61,9 +61,11 @@ fn bench_serialize(c: &mut Criterion) {
     for name in ["govtrack", "lubm"] {
         let data = corpus(name, 10_000);
         let index = PathIndex::build_with_config(data, &extraction_for(name));
-        group.throughput(Throughput::Bytes(encode(&index).len() as u64));
+        group.throughput(Throughput::Bytes(
+            encode(&index).expect("index fits format").len() as u64,
+        ));
         group.bench_function(BenchmarkId::new(name, 10_000), |b| {
-            b.iter(|| black_box(encode(&index)).len());
+            b.iter(|| black_box(encode(&index).expect("index fits format")).len());
         });
     }
     group.finish();
@@ -74,7 +76,7 @@ fn bench_decode(c: &mut Criterion) {
     group.sample_size(10);
     let data = corpus("lubm", 10_000);
     let index = PathIndex::build(data);
-    let bytes = encode(&index);
+    let bytes = encode(&index).expect("index fits format");
     group.throughput(Throughput::Bytes(bytes.len() as u64));
     group.bench_function("lubm/10000", |b| {
         b.iter(|| {

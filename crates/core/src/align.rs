@@ -34,7 +34,7 @@
 
 use crate::params::ScoreParams;
 use crate::qpath::{QueryLabel, QueryPath};
-use path_index::PathLabels;
+use path_index::LabelsRef;
 use rdf_model::LabelId;
 
 /// The per-operation counters of one alignment.
@@ -110,7 +110,7 @@ pub enum AlignmentMode {
 /// `params`.
 pub fn align(
     q: &QueryPath,
-    p: &PathLabels,
+    p: LabelsRef<'_>,
     params: &ScoreParams,
     mode: AlignmentMode,
 ) -> Alignment {
@@ -140,7 +140,7 @@ fn q_unit(q: &QueryPath, u: usize) -> (&QueryLabel, &QueryLabel) {
 }
 
 #[inline]
-fn p_unit(p: &PathLabels, u: usize) -> (LabelId, LabelId) {
+fn p_unit(p: LabelsRef<'_>, u: usize) -> (LabelId, LabelId) {
     let k = p.node_labels.len();
     (p.edge_labels[k - 1 - u], p.node_labels[k - 1 - u])
 }
@@ -198,7 +198,7 @@ fn unit_compatible(q: (&QueryLabel, &QueryLabel), p: (LabelId, LabelId)) -> bool
     q.0.admits(p.0) && q.1.admits(p.1)
 }
 
-fn align_greedy(q: &QueryPath, p: &PathLabels, params: &ScoreParams) -> Alignment {
+fn align_greedy(q: &QueryPath, p: LabelsRef<'_>, params: &ScoreParams) -> Alignment {
     let m = unit_count(p.node_labels.len());
     let n = unit_count(q.nodes.len());
     let mut tally = Tally::new();
@@ -248,7 +248,7 @@ enum Step {
     Delete,
 }
 
-fn align_optimal(q: &QueryPath, p: &PathLabels, params: &ScoreParams) -> Alignment {
+fn align_optimal(q: &QueryPath, p: LabelsRef<'_>, params: &ScoreParams) -> Alignment {
     let m = unit_count(p.node_labels.len());
     let n = unit_count(q.nodes.len());
 
@@ -356,7 +356,7 @@ fn align_optimal(q: &QueryPath, p: &PathLabels, params: &ScoreParams) -> Alignme
 mod tests {
     use super::*;
     use crate::qpath::decompose_query;
-    use path_index::{extract_paths, ExtractionConfig, NoSynonyms};
+    use path_index::{extract_paths, ExtractionConfig, NoSynonyms, PathLabels};
     use rdf_model::{DataGraph, QueryGraph};
 
     /// Build the paper's running-example fragment: data path
@@ -414,7 +414,7 @@ mod tests {
         let q1 = find_q(&qpaths, 4);
         let p = find_p(&d, &dpaths, "CB");
         for mode in [AlignmentMode::Greedy, AlignmentMode::Optimal] {
-            let a = align(q1, p, &ScoreParams::paper(), mode);
+            let a = align(q1, p.view(), &ScoreParams::paper(), mode);
             assert_eq!(a.lambda, 0.0, "mode {mode:?}");
             assert!(a.counts.is_exact());
             // φ binds ?v1→A0056 and ?v2→B1432.
@@ -429,7 +429,7 @@ mod tests {
         let q2 = find_q(&qpaths, 3);
         let p = find_p(&d, &dpaths, "CB");
         for mode in [AlignmentMode::Greedy, AlignmentMode::Optimal] {
-            let a = align(q2, p, &ScoreParams::paper(), mode);
+            let a = align(q2, p.view(), &ScoreParams::paper(), mode);
             assert_eq!(a.lambda, 1.5, "mode {mode:?}");
             assert_eq!(a.counts.nodes_inserted, 1);
             assert_eq!(a.counts.edges_inserted, 1);
@@ -444,7 +444,7 @@ mod tests {
         let q1 = find_q(&qpaths, 4);
         let p2 = find_p(&d, &dpaths, "JR");
         for mode in [AlignmentMode::Greedy, AlignmentMode::Optimal] {
-            let a = align(q1, p2, &ScoreParams::paper(), mode);
+            let a = align(q1, p2.view(), &ScoreParams::paper(), mode);
             assert_eq!(a.lambda, 1.0, "mode {mode:?}");
             assert_eq!(a.counts.nodes_mismatched, 1);
             assert_eq!(a.counts.nodes_inserted, 0);
@@ -469,7 +469,12 @@ mod tests {
             .map(|p| p.labels(d.as_graph()))
             .collect();
         let p = find_p(&d, &dpaths, "CB"); // 4 nodes
-        let a = align(&qpaths[0], p, &ScoreParams::paper(), AlignmentMode::Optimal);
+        let a = align(
+            &qpaths[0],
+            p.view(),
+            &ScoreParams::paper(),
+            AlignmentMode::Optimal,
+        );
         assert_eq!(a.counts.nodes_deleted, 1);
         assert_eq!(a.counts.edges_deleted, 1);
     }
@@ -480,8 +485,8 @@ mod tests {
         let params = ScoreParams::paper();
         for q in &qpaths {
             for p in &dpaths {
-                let g = align(q, p, &params, AlignmentMode::Greedy);
-                let o = align(q, p, &params, AlignmentMode::Optimal);
+                let g = align(q, p.view(), &params, AlignmentMode::Greedy);
+                let o = align(q, p.view(), &params, AlignmentMode::Optimal);
                 assert!(
                     g.lambda >= o.lambda - 1e-12,
                     "greedy {} < optimal {} for q={} p={:?}",
@@ -517,7 +522,7 @@ mod tests {
         // 2-node query vs 4-node data: two inserted units.
         let a = align(
             &qpaths[0],
-            &p,
+            p.view(),
             &ScoreParams::paper(),
             AlignmentMode::Optimal,
         );

@@ -90,7 +90,7 @@ impl Answer {
         let mut edge_ids: Vec<EdgeId> = Vec::new();
         for c in &self.choices {
             if let Some(e) = &c.entry {
-                edge_ids.extend(index.indexed(e.path_id).path.edges.iter().copied());
+                edge_ids.extend(index.path_edges(e.path_id).iter().copied());
             }
         }
         edge_ids.sort_unstable();

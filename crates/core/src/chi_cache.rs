@@ -276,10 +276,7 @@ impl ChiCache {
             }
         }
         let start = Instant::now();
-        let count = chi_count_sorted(
-            index.indexed(key.0).sorted_nodes(),
-            index.indexed(key.1).sorted_nodes(),
-        );
+        let count = chi_count_sorted(index.sorted_nodes(key.0), index.sorted_nodes(key.1));
         self.stats.chi_time += start.elapsed();
         self.stats.misses += 1;
         if !self.disabled {

@@ -334,11 +334,10 @@ fn build_cluster<I: IndexLike + Sync>(
 /// everywhere for answers to be score-identical.
 fn entry_cmp<I: IndexLike + ?Sized>(index: &I, x: &ClusterEntry, y: &ClusterEntry) -> Ordering {
     x.lambda().total_cmp(&y.lambda()).then_with(|| {
-        let px = &index.indexed(x.path_id).path;
-        let py = &index.indexed(y.path_id).path;
-        px.nodes
-            .cmp(&py.nodes)
-            .then_with(|| px.edges.cmp(&py.edges))
+        index
+            .path_nodes(x.path_id)
+            .cmp(index.path_nodes(y.path_id))
+            .then_with(|| index.path_edges(x.path_id).cmp(index.path_edges(y.path_id)))
     })
 }
 
@@ -359,10 +358,9 @@ fn align_candidates_budgeted<I: IndexLike + ?Sized>(
         if i % ALIGN_CHECK_INTERVAL == 0 && budget.exceeded().is_some() {
             break;
         }
-        let indexed = index.indexed(pid);
         entries.push(ClusterEntry {
             path_id: pid,
-            alignment: align(q, &indexed.labels, params, mode),
+            alignment: align(q, index.labels(pid), params, mode),
         });
     }
     entries
@@ -378,12 +376,9 @@ fn align_candidates<I: IndexLike + ?Sized>(
 ) -> Vec<ClusterEntry> {
     considered
         .iter()
-        .map(|&pid| {
-            let indexed = index.indexed(pid);
-            ClusterEntry {
-                path_id: pid,
-                alignment: align(q, &indexed.labels, params, mode),
-            }
+        .map(|&pid| ClusterEntry {
+            path_id: pid,
+            alignment: align(q, index.labels(pid), params, mode),
         })
         .collect()
 }

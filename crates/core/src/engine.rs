@@ -182,7 +182,11 @@ impl QueryResult {
                     let _ = writeln!(
                         out,
                         "\n      → {} [λ={}{}]",
-                        index.indexed(entry.path_id).path.display(graph),
+                        path_index::display_parts(
+                            graph,
+                            index.path_nodes(entry.path_id),
+                            index.path_edges(entry.path_id),
+                        ),
                         entry.lambda(),
                         if counts.is_exact() {
                             ", exact".to_string()
@@ -726,7 +730,7 @@ mod tests {
     #[test]
     fn engine_from_serialized_index_agrees() {
         let engine = SamaEngine::new(figure1_data());
-        let bytes = path_index::encode(engine.index());
+        let bytes = path_index::encode(engine.index()).unwrap();
         let loaded = path_index::decode(&bytes).unwrap();
         let cold = SamaEngine::from_index(loaded);
         let warm_result = engine.answer(&q1(), 5);

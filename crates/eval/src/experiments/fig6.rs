@@ -71,7 +71,7 @@ fn avg_ms(runs: usize, mut f: impl FnMut()) -> f64 {
 pub fn run(triples: usize, runs: usize, k: usize) -> Fig6 {
     let fx = LubmFixture::new(triples, 42);
     let mut index = fx.engine.index().clone();
-    let bytes = serialize_index(&mut index);
+    let bytes = serialize_index(&mut index).expect("index fits format");
 
     let rows = fx
         .workload

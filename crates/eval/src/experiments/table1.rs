@@ -128,7 +128,9 @@ pub fn run(scale: f64) -> Table1 {
         .map(|(name, build)| {
             let graph = build();
             let mut index = PathIndex::build_with_config(graph, &extraction_for(name));
-            let bytes = serialize_index(&mut index).len();
+            let bytes = serialize_index(&mut index)
+                .expect("index fits format")
+                .len();
             let stats = index.stats();
             Table1Row {
                 dataset: name.to_string(),

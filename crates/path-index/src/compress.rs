@@ -262,11 +262,16 @@ pub fn decode_compressed(mut buf: &[u8]) -> Result<PathIndex, StorageError> {
     ))
 }
 
-/// Decode either format by magic: the plain [`crate::storage`] layout
-/// or the compressed one.
+/// Decode any supported format by magic: the zero-copy v2 layout
+/// ([`crate::v2`]), the plain v1 [`crate::storage`] layout, or the
+/// compressed one.
 pub fn decode_any(buf: &[u8]) -> Result<PathIndex, StorageError> {
     if buf.len() >= MAGIC.len() && &buf[..MAGIC.len()] == MAGIC {
         decode_compressed(buf)
+    } else if buf.len() >= crate::v2::MAGIC2.len()
+        && &buf[..crate::v2::MAGIC2.len()] == crate::v2::MAGIC2
+    {
+        crate::v2::decode_v2(buf)
     } else {
         crate::storage::decode(buf)
     }
@@ -354,7 +359,7 @@ mod tests {
     #[test]
     fn compressed_is_smaller_than_plain() {
         let index = sample_index();
-        let plain = crate::storage::encode(&index);
+        let plain = crate::storage::encode(&index).unwrap();
         let compressed = encode_compressed(&index);
         assert!(
             (compressed.len() as f64) < plain.len() as f64 * 0.8,
@@ -367,7 +372,7 @@ mod tests {
     #[test]
     fn decode_any_dispatches_on_magic() {
         let index = sample_index();
-        let plain = crate::storage::encode(&index);
+        let plain = crate::storage::encode(&index).unwrap();
         let compressed = encode_compressed(&index);
         assert_eq!(
             decode_any(&plain).unwrap().path_count(),

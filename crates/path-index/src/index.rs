@@ -128,6 +128,108 @@ impl PathIndex {
         }
     }
 
+    /// Build with explicit extraction limits, fanning path extraction
+    /// out over `threads` workers (clamped to `available_parallelism`;
+    /// `0` means "use every core"). Sources are partitioned into
+    /// contiguous chunks and the per-chunk results concatenated in
+    /// chunk order, so the resulting path ids, inverted maps, and
+    /// serialized bytes are **identical** to the sequential
+    /// [`PathIndex::build_with_config`] — only wall-clock time differs.
+    ///
+    /// Caveat: with extraction *budgets* (`max_paths_per_source` etc.)
+    /// the per-chunk accounting of `dropped` can differ from a
+    /// sequential run on pathological graphs; the path set itself is
+    /// still per-source and therefore identical.
+    pub fn build_parallel(graph: DataGraph, config: &ExtractionConfig, threads: usize) -> Self {
+        let build_span = sama_obs::span!("index.build_ns");
+        let start = Instant::now();
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            threads.min(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(threads),
+            )
+        };
+        let sources = graph.as_graph().effective_sources();
+        let chunk = sources.len().div_ceil(threads.max(1)).max(1);
+        let chunks: Vec<&[NodeId]> = sources.chunks(chunk).collect();
+
+        let extractions: Vec<crate::extract::Extraction> = if chunks.len() <= 1 {
+            vec![crate::extract::extract_paths_from_sources(
+                graph.as_graph(),
+                &sources,
+                config,
+            )]
+        } else {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Mutex;
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<crate::extract::Extraction>>> =
+                chunks.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(chunks.len()) {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(part) = chunks.get(i) else { break };
+                        let extraction = crate::extract::extract_paths_from_sources(
+                            graph.as_graph(),
+                            part,
+                            config,
+                        );
+                        *slots[i].lock().expect("extraction slot poisoned") = Some(extraction);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("extraction slot poisoned")
+                        .expect("every chunk extracted")
+                })
+                .collect()
+        };
+
+        let mut all_paths = Vec::new();
+        let mut depth_truncated = 0u64;
+        let mut dropped = 0u64;
+        for extraction in extractions {
+            all_paths.extend(extraction.paths);
+            depth_truncated += extraction.depth_truncated;
+            dropped += extraction.dropped;
+        }
+        let paths: Vec<IndexedPath> = all_paths
+            .into_iter()
+            .map(|path| {
+                let labels = path.labels(graph.as_graph());
+                IndexedPath::new(path, labels)
+            })
+            .collect();
+        let hyper = HyperGraphView::build(
+            graph.as_graph(),
+            &paths.iter().map(|ip| ip.path.clone()).collect::<Vec<_>>(),
+        );
+        let stats = IndexStats {
+            triples: graph.edge_count(),
+            hyper_vertices: hyper.vertex_count,
+            hyper_edges: hyper.edge_count(),
+            path_count: paths.len(),
+            build_time: start.elapsed(),
+            serialized_bytes: None,
+            depth_truncated,
+            dropped,
+        };
+        drop(build_span);
+        sama_obs::counter_add("index.builds_total", 1);
+        sama_obs::gauge_set("index.paths", stats.path_count as i64);
+        sama_obs::gauge_set("index.triples", stats.triples as i64);
+        Self::from_parts(graph, paths, stats)
+    }
+
     /// Reassemble an index from its parts (used by [`crate::storage`]).
     pub(crate) fn from_parts(graph: DataGraph, paths: Vec<IndexedPath>, stats: IndexStats) -> Self {
         let mut by_label: FxHashMap<LabelId, Vec<PathId>> = FxHashMap::default();
@@ -252,6 +354,16 @@ impl PathIndex {
     pub(crate) fn set_serialized_bytes(&mut self, bytes: usize) {
         self.stats.serialized_bytes = Some(bytes);
     }
+
+    /// The inverted label → paths map (read-only; v2 encoder input).
+    pub(crate) fn label_map(&self) -> &FxHashMap<LabelId, Vec<PathId>> {
+        &self.by_label
+    }
+
+    /// The inverted sink-label → paths map (read-only; v2 encoder input).
+    pub(crate) fn sink_map(&self) -> &FxHashMap<LabelId, Vec<PathId>> {
+        &self.by_sink
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +380,44 @@ mod tests {
         b.triple_str("PD", "sponsor", "B1432").unwrap();
         b.triple_str("PD", "gender", "\"Male\"").unwrap();
         PathIndex::build(b.build())
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        // A wider graph than `sample_index` so several chunks exist:
+        // 40 sources, shared mid nodes, shared literal sinks.
+        let mut b = DataGraph::builder();
+        for i in 0..40 {
+            b.triple_str(
+                &format!("s{i}"),
+                &format!("p{}", i % 3),
+                &format!("m{}", i % 7),
+            )
+            .unwrap();
+            b.triple_str(&format!("m{}", i % 7), "q", &format!("\"leaf {}\"", i % 4))
+                .unwrap();
+        }
+        let data = b.build();
+        let sequential = PathIndex::build(data.clone());
+        for threads in [1, 2, 3, 8, 0] {
+            let mut parallel =
+                PathIndex::build_parallel(data.clone(), &ExtractionConfig::default(), threads);
+            assert_eq!(parallel.path_count(), sequential.path_count());
+            // Wall-clock is the one field allowed to differ.
+            parallel.stats.build_time = sequential.stats.build_time;
+            // Strongest possible check: the serialized bytes (which
+            // cover vocabulary order, path ids, pools, postings, and
+            // both stored hash tables) must match exactly.
+            assert_eq!(
+                crate::v2::encode_v2(&parallel).unwrap(),
+                crate::v2::encode_v2(&sequential).unwrap(),
+                "parallel build diverged at {threads} threads"
+            );
+            assert_eq!(
+                crate::storage::encode(&parallel).unwrap(),
+                crate::storage::encode(&sequential).unwrap(),
+            );
+        }
     }
 
     #[test]

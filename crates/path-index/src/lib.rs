@@ -45,14 +45,18 @@ pub mod stats;
 pub mod storage;
 pub mod synonyms;
 pub mod update;
+pub mod v2;
 
 pub use compress::{decode_any, decode_compressed, encode_compressed};
 pub use extract::{extract_paths, Extraction, ExtractionConfig};
 pub use hypergraph::{HyperEdge, HyperEdgeKind, HyperGraphView};
 pub use index::{IndexedPath, PathIndex};
-pub use path::{Path, PathDisplay, PathId, PathLabels};
+pub use path::{display_parts, LabelsRef, Path, PathDisplay, PathId, PathLabels};
 pub use shard::{IndexLike, ShardedIndex};
 pub use stats::{format_bytes, IndexStats};
 pub use storage::{decode, encode, serialize_index, StorageError};
 pub use synonyms::{NoSynonyms, SynonymProvider, Thesaurus};
 pub use update::UpdateStats;
+pub use v2::{
+    decode_v2, encode_v2, serialize_index_v2, AlignedBytes, IndexView, MappedIndex, MAGIC2,
+};

@@ -140,6 +140,50 @@ impl PathLabels {
     pub fn sink_label(&self) -> LabelId {
         *self.node_labels.last().expect("paths are non-empty")
     }
+
+    /// Borrow as a [`LabelsRef`] — the form the alignment loop consumes.
+    #[inline]
+    pub fn view(&self) -> LabelsRef<'_> {
+        LabelsRef {
+            node_labels: &self.node_labels,
+            edge_labels: &self.edge_labels,
+        }
+    }
+}
+
+/// A borrowed view of a path's label sequences.
+///
+/// This is the lingua franca between indexes and the alignment loop:
+/// an owned [`PathLabels`] lends one via [`PathLabels::view`], and the
+/// zero-copy mapped index serves them straight out of its on-disk label
+/// pools without materializing anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelsRef<'a> {
+    /// Node labels `ln1 … lnk`.
+    pub node_labels: &'a [LabelId],
+    /// Edge labels `le1 … le(k-1)`.
+    pub edge_labels: &'a [LabelId],
+}
+
+impl LabelsRef<'_> {
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// `true` if there are no node labels (cannot occur for well-formed
+    /// paths; present for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_labels.is_empty()
+    }
+
+    /// The label at the sink end.
+    #[inline]
+    pub fn sink_label(&self) -> LabelId {
+        *self.node_labels.last().expect("paths are non-empty")
+    }
 }
 
 /// Displays a path in the paper's `JR-sponsor-A1589-aTo-B0532` form.
@@ -150,9 +194,37 @@ pub struct PathDisplay<'a> {
 
 impl fmt::Display for PathDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, &n) in self.path.nodes.iter().enumerate() {
+        display_parts(self.graph, &self.path.nodes, &self.path.edges).fmt(f)
+    }
+}
+
+/// Render borrowed node/edge id slices in the paper's display form,
+/// without constructing an owned [`Path`]. Used by consumers that read
+/// ids straight out of a mapped index.
+pub fn display_parts<'a>(
+    graph: &'a Graph,
+    nodes: &'a [NodeId],
+    edges: &'a [EdgeId],
+) -> PathPartsDisplay<'a> {
+    PathPartsDisplay {
+        graph,
+        nodes,
+        edges,
+    }
+}
+
+/// Display adapter returned by [`display_parts`].
+pub struct PathPartsDisplay<'a> {
+    graph: &'a Graph,
+    nodes: &'a [NodeId],
+    edges: &'a [EdgeId],
+}
+
+impl fmt::Display for PathPartsDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, &n) in self.nodes.iter().enumerate() {
             if i > 0 {
-                let e = self.path.edges[i - 1];
+                let e = self.edges[i - 1];
                 write!(f, "-{}-", self.graph.vocab().term(self.graph.edge(e).label))?;
             }
             write!(f, "{}", self.graph.vocab().term(self.graph.node_label(n)))?;

@@ -18,13 +18,23 @@
 
 use crate::extract::{extract_paths_from_sources, ExtractionConfig};
 use crate::index::{IndexedPath, PathIndex};
-use crate::path::PathId;
+use crate::path::{LabelsRef, PathId};
 use crate::stats::IndexStats;
 use crate::synonyms::SynonymProvider;
-use rdf_model::DataGraph;
+use rdf_model::{DataGraph, EdgeId, NodeId};
 
-/// The lookup interface shared by [`PathIndex`] and [`ShardedIndex`] —
-/// everything the query-answering pipeline needs from an index.
+/// The lookup interface shared by [`PathIndex`], [`ShardedIndex`] and
+/// the zero-copy [`crate::MappedIndex`] — everything the
+/// query-answering pipeline needs from an index.
+///
+/// All per-path accessors return *borrowed slices* so an implementation
+/// backed by a read-only file mapping can serve the hot alignment and
+/// conformity loops directly out of its on-disk arrays, with no
+/// per-lookup allocation or materialization.
+///
+/// # Panics
+/// The per-path accessors panic if `id` is out of range; use ids
+/// produced by the same index.
 pub trait IndexLike {
     /// The indexed data graph.
     fn data(&self) -> &DataGraph;
@@ -32,8 +42,18 @@ pub trait IndexLike {
     /// Total number of indexed paths.
     fn total_paths(&self) -> usize;
 
-    /// Resolve a path id.
-    fn indexed(&self, id: PathId) -> &IndexedPath;
+    /// Node ids of a path, source end first.
+    fn path_nodes(&self, id: PathId) -> &[NodeId];
+
+    /// Edge ids of a path (`len() - 1` entries).
+    fn path_edges(&self, id: PathId) -> &[EdgeId];
+
+    /// The label sequences of a path (what alignment compares).
+    fn labels(&self, id: PathId) -> LabelsRef<'_>;
+
+    /// The path's node ids sorted ascending and deduplicated (what the
+    /// conformity function `χ` intersects).
+    fn sorted_nodes(&self, id: PathId) -> &[NodeId];
 
     /// Paths whose sink label matches `lexical` (or a synonym).
     fn sink_matching(&self, lexical: &str, synonyms: &dyn SynonymProvider) -> Vec<PathId>;
@@ -54,8 +74,20 @@ impl IndexLike for PathIndex {
         self.path_count()
     }
 
-    fn indexed(&self, id: PathId) -> &IndexedPath {
-        self.path(id)
+    fn path_nodes(&self, id: PathId) -> &[NodeId] {
+        &self.path(id).path.nodes
+    }
+
+    fn path_edges(&self, id: PathId) -> &[EdgeId] {
+        &self.path(id).path.edges
+    }
+
+    fn labels(&self, id: PathId) -> LabelsRef<'_> {
+        self.path(id).labels.view()
+    }
+
+    fn sorted_nodes(&self, id: PathId) -> &[NodeId] {
+        self.path(id).sorted_nodes()
     }
 
     fn sink_matching(&self, lexical: &str, synonyms: &dyn SynonymProvider) -> Vec<PathId> {
@@ -71,11 +103,13 @@ impl IndexLike for PathIndex {
     }
 }
 
-/// A collection of per-source-partition [`PathIndex`]es behind one
-/// global path-id space.
+/// A collection of per-source-partition shards behind one global
+/// `PathId` space. Shards are any [`IndexLike`] — owned [`PathIndex`]es
+/// built in-process, or [`crate::MappedIndex`]es sharing read-only file
+/// mappings.
 #[derive(Debug, Clone)]
-pub struct ShardedIndex {
-    shards: Vec<PathIndex>,
+pub struct ShardedIndex<I: IndexLike = PathIndex> {
+    shards: Vec<I>,
     /// `offsets[i]` = first global id of shard `i`; a final entry holds
     /// the total, so `offsets.len() == shards.len() + 1`.
     offsets: Vec<u32>,
@@ -161,7 +195,9 @@ impl ShardedIndex {
         };
         Self::from_shards(shards)
     }
+}
 
+impl<I: IndexLike> ShardedIndex<I> {
     /// Assemble a sharded index from pre-built per-partition indexes
     /// (e.g. shards deserialized from disk, or the build pool above).
     /// Shards may be empty — an empty shard occupies zero ids, so its
@@ -171,13 +207,13 @@ impl ShardedIndex {
     /// # Panics
     /// Panics if `shards` is empty — [`IndexLike::data`] needs at least
     /// one shard's graph replica.
-    pub fn from_shards(shards: Vec<PathIndex>) -> Self {
+    pub fn from_shards(shards: Vec<I>) -> Self {
         assert!(!shards.is_empty(), "at least one shard");
         let mut offsets = Vec::with_capacity(shards.len() + 1);
         let mut total = 0u32;
         for shard in &shards {
             offsets.push(total);
-            total += shard.path_count() as u32;
+            total += shard.total_paths() as u32;
         }
         offsets.push(total);
         ShardedIndex { shards, offsets }
@@ -189,7 +225,7 @@ impl ShardedIndex {
     }
 
     /// The shards themselves (read-only).
-    pub fn shards(&self) -> &[PathIndex] {
+    pub fn shards(&self) -> &[I] {
         &self.shards
     }
 
@@ -220,7 +256,7 @@ impl ShardedIndex {
         ids.into_iter().map(|id| PathId(id.0 + offset)).collect()
     }
 
-    fn fan_out(&self, lookup: impl Fn(&PathIndex) -> Vec<PathId>) -> Vec<PathId> {
+    fn fan_out(&self, lookup: impl Fn(&I) -> Vec<PathId>) -> Vec<PathId> {
         let _span = sama_obs::span!("shard.fan_out_ns");
         sama_obs::counter_add("shard.fan_outs_total", 1);
         let mut out = Vec::new();
@@ -231,26 +267,41 @@ impl ShardedIndex {
     }
 }
 
-impl IndexLike for ShardedIndex {
+impl<I: IndexLike> IndexLike for ShardedIndex<I> {
     fn data(&self) -> &DataGraph {
-        self.shards[0].graph()
+        self.shards[0].data()
     }
 
     fn total_paths(&self) -> usize {
         *self.offsets.last().expect("offsets non-empty") as usize
     }
 
-    fn indexed(&self, id: PathId) -> &IndexedPath {
+    fn path_nodes(&self, id: PathId) -> &[NodeId] {
         let (shard, local) = self.locate(id);
-        self.shards[shard].path(local)
+        self.shards[shard].path_nodes(local)
+    }
+
+    fn path_edges(&self, id: PathId) -> &[EdgeId] {
+        let (shard, local) = self.locate(id);
+        self.shards[shard].path_edges(local)
+    }
+
+    fn labels(&self, id: PathId) -> LabelsRef<'_> {
+        let (shard, local) = self.locate(id);
+        self.shards[shard].labels(local)
+    }
+
+    fn sorted_nodes(&self, id: PathId) -> &[NodeId] {
+        let (shard, local) = self.locate(id);
+        self.shards[shard].sorted_nodes(local)
     }
 
     fn sink_matching(&self, lexical: &str, synonyms: &dyn SynonymProvider) -> Vec<PathId> {
-        self.fan_out(|shard| shard.paths_with_sink_matching(lexical, synonyms))
+        self.fan_out(|shard| shard.sink_matching(lexical, synonyms))
     }
 
     fn label_matching(&self, lexical: &str, synonyms: &dyn SynonymProvider) -> Vec<PathId> {
-        self.fan_out(|shard| shard.paths_with_label_matching(lexical, synonyms))
+        self.fan_out(|shard| shard.label_matching(lexical, synonyms))
     }
 
     fn all_path_ids(&self) -> Vec<PathId> {
@@ -305,11 +356,12 @@ mod tests {
             let sharded_paths = render(
                 (0..sharded.total_paths() as u32)
                     .map(|i| {
-                        sharded
-                            .indexed(PathId(i))
-                            .path
-                            .display(sharded.data().as_graph())
-                            .to_string()
+                        crate::path::display_parts(
+                            sharded.data().as_graph(),
+                            sharded.path_nodes(PathId(i)),
+                            sharded.path_edges(PathId(i)),
+                        )
+                        .to_string()
                     })
                     .collect(),
             );
@@ -335,11 +387,12 @@ mod tests {
                 .to_string()
         };
         let sharded_render = |id: PathId| {
-            sharded
-                .indexed(id)
-                .path
-                .display(sharded.data().as_graph())
-                .to_string()
+            crate::path::display_parts(
+                sharded.data().as_graph(),
+                sharded.path_nodes(id),
+                sharded.path_edges(id),
+            )
+            .to_string()
         };
         for probe in ["leaf", "m1", "p"] {
             assert_eq!(
@@ -360,7 +413,7 @@ mod tests {
         let sharded = ShardedIndex::build(sample_graph(), 4, &ExtractionConfig::default());
         for i in 0..sharded.total_paths() as u32 {
             let (_, _) = sharded.locate(PathId(i)); // must not panic
-            let _ = sharded.indexed(PathId(i));
+            let _ = sharded.path_nodes(PathId(i));
         }
     }
 
@@ -381,7 +434,7 @@ mod tests {
         assert_eq!(sharded.shard_count(), 8);
         // Seven of the eight shards are empty; the one path still
         // resolves (and the empty shards contribute duplicate offsets).
-        let _ = sharded.indexed(PathId(0));
+        let _ = sharded.path_nodes(PathId(0));
         assert!(sharded.offsets.windows(2).any(|w| w[0] == w[1]));
     }
 
@@ -435,11 +488,12 @@ mod tests {
                     "id {i} resolved to empty shard {shard}"
                 );
                 assert!((local.0 as usize) < sharded.shards()[shard].path_count());
-                sharded
-                    .indexed(PathId(i))
-                    .path
-                    .display(sharded.data().as_graph())
-                    .to_string()
+                crate::path::display_parts(
+                    sharded.data().as_graph(),
+                    sharded.path_nodes(PathId(i)),
+                    sharded.path_edges(PathId(i)),
+                )
+                .to_string()
             })
             .collect();
         rendered.sort();

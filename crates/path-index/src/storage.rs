@@ -43,6 +43,11 @@ pub enum StorageError {
     BadUtf8,
     /// A kind byte, label id, node id or edge id was out of range.
     Corrupt(&'static str),
+    /// A section's element count or byte offset exceeds the format's
+    /// `u32` range — the index is too large for this format.
+    TooLarge(&'static str),
+    /// An I/O error while opening or reading an index file.
+    Io(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -52,6 +57,10 @@ impl std::fmt::Display for StorageError {
             StorageError::Truncated => write!(f, "serialized index is truncated"),
             StorageError::BadUtf8 => write!(f, "invalid UTF-8 in label table"),
             StorageError::Corrupt(what) => write!(f, "corrupt index: {what}"),
+            StorageError::TooLarge(what) => {
+                write!(f, "index too large for format: {what} exceeds u32 range")
+            }
+            StorageError::Io(err) => write!(f, "index i/o error: {err}"),
         }
     }
 }
@@ -59,35 +68,72 @@ impl std::fmt::Display for StorageError {
 impl std::error::Error for StorageError {}
 
 /// Serialize `index` and record the byte length in its stats.
-pub fn serialize_index(index: &mut PathIndex) -> Vec<u8> {
-    let bytes = encode(index);
+///
+/// # Errors
+/// [`StorageError::TooLarge`] if any section exceeds the format's
+/// `u32` count range.
+pub fn serialize_index(index: &mut PathIndex) -> Result<Vec<u8>, StorageError> {
+    let bytes = encode(index)?;
     index.set_serialized_bytes(bytes.len());
-    bytes
+    Ok(bytes)
+}
+
+/// Convert a length to the on-disk `u32` count representation, refusing
+/// (rather than silently truncating) anything past 4G-1 elements.
+pub(crate) fn try_u32(n: usize, what: &'static str) -> Result<u32, StorageError> {
+    u32::try_from(n).map_err(|_| StorageError::TooLarge(what))
+}
+
+fn put_count(buf: &mut Vec<u8>, n: usize, what: &'static str) -> Result<(), StorageError> {
+    buf.put_u32_le(try_u32(n, what)?);
+    Ok(())
 }
 
 /// Serialize without mutating stats (for size probes).
-pub fn encode(index: &PathIndex) -> Vec<u8> {
+///
+/// # Errors
+/// [`StorageError::TooLarge`] if any section exceeds the format's
+/// `u32` count range.
+pub fn encode(index: &PathIndex) -> Result<Vec<u8>, StorageError> {
     let graph = index.graph().as_graph();
-    let mut buf = Vec::with_capacity(64 + graph.edge_count() * 12);
+    let vocab = graph.vocab();
+    // Size the buffer from every section, not just the edges: for deep
+    // indexes the paths section (k + k-1 ids per path) dominates the
+    // edge table by an order of magnitude.
+    let vocab_bytes: usize = vocab.iter().map(|(_, _, lex)| 5 + lex.len()).sum();
+    let path_bytes: usize = index
+        .paths()
+        .map(|(_, ip)| 4 + (2 * ip.path.nodes.len() - 1) * 4)
+        .sum();
+    let estimate = MAGIC.len()
+        + 4
+        + vocab_bytes
+        + 4
+        + graph.node_count() * 4
+        + 4
+        + graph.edge_count() * 12
+        + 4
+        + path_bytes
+        + 7 * 8;
+    let mut buf = Vec::with_capacity(estimate);
     buf.put_slice(MAGIC);
 
     // Vocabulary.
-    let vocab = graph.vocab();
-    buf.put_u32_le(vocab.len() as u32);
+    put_count(&mut buf, vocab.len(), "vocabulary entries")?;
     for (_, kind, lexical) in vocab.iter() {
         buf.put_u8(kind_to_byte(kind));
-        buf.put_u32_le(lexical.len() as u32);
+        put_count(&mut buf, lexical.len(), "label bytes")?;
         buf.put_slice(lexical.as_bytes());
     }
 
     // Nodes.
-    buf.put_u32_le(graph.node_count() as u32);
+    put_count(&mut buf, graph.node_count(), "nodes")?;
     for n in graph.nodes() {
         buf.put_u32_le(graph.node_label(n).0);
     }
 
     // Edges.
-    buf.put_u32_le(graph.edge_count() as u32);
+    put_count(&mut buf, graph.edge_count(), "edges")?;
     for (_, e) in graph.edges() {
         buf.put_u32_le(e.from.0);
         buf.put_u32_le(e.to.0);
@@ -95,9 +141,9 @@ pub fn encode(index: &PathIndex) -> Vec<u8> {
     }
 
     // Paths.
-    buf.put_u32_le(index.path_count() as u32);
+    put_count(&mut buf, index.path_count(), "paths")?;
     for (_, ip) in index.paths() {
-        buf.put_u32_le(ip.path.nodes.len() as u32);
+        put_count(&mut buf, ip.path.nodes.len(), "path nodes")?;
         for n in ip.path.nodes.iter() {
             buf.put_u32_le(n.0);
         }
@@ -116,7 +162,11 @@ pub fn encode(index: &PathIndex) -> Vec<u8> {
     buf.put_u64_le(stats.dropped);
     buf.put_u64_le(stats.build_time.as_nanos() as u64);
 
-    buf
+    debug_assert!(
+        buf.capacity() >= buf.len(),
+        "estimate must cover the payload"
+    );
+    Ok(buf)
 }
 
 /// Decode a serialized index.
@@ -241,7 +291,7 @@ pub fn decode(mut buf: &[u8]) -> Result<PathIndex, StorageError> {
 /// After decoding we know the byte size equals what `encode` produces;
 /// recompute it lazily only when asked. (Cheap enough for stats use.)
 fn total_len_hint(index: &PathIndex) -> usize {
-    encode(index).len()
+    encode(index).map(|b| b.len()).unwrap_or(0)
 }
 
 fn kind_to_byte(kind: TermKind) -> u8 {
@@ -300,7 +350,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything() {
         let mut idx = sample_index();
-        let bytes = serialize_index(&mut idx);
+        let bytes = serialize_index(&mut idx).unwrap();
         assert_eq!(idx.stats().serialized_bytes, Some(bytes.len()));
 
         let loaded = decode(&bytes).unwrap();
@@ -328,7 +378,7 @@ mod tests {
     #[test]
     fn truncation_detected_everywhere() {
         let mut idx = sample_index();
-        let bytes = serialize_index(&mut idx);
+        let bytes = serialize_index(&mut idx).unwrap();
         // Chopping the buffer at any point must fail cleanly, never panic.
         for cut in 0..bytes.len() {
             let result = decode(&bytes[..cut]);
@@ -339,7 +389,7 @@ mod tests {
     #[test]
     fn corrupt_label_id_rejected() {
         let mut idx = sample_index();
-        let mut bytes = serialize_index(&mut idx);
+        let mut bytes = serialize_index(&mut idx).unwrap();
         // The first node-label u32 sits right after the vocab block;
         // corrupt every u32-aligned position and require no panics.
         for pos in (8..bytes.len().saturating_sub(4)).step_by(4) {
@@ -351,9 +401,35 @@ mod tests {
     }
 
     #[test]
+    fn count_overflow_is_typed_not_truncated() {
+        let mut buf = Vec::new();
+        assert!(put_count(&mut buf, u32::MAX as usize, "ok").is_ok());
+        let err = put_count(&mut buf, u32::MAX as usize + 1, "paths").unwrap_err();
+        assert_eq!(err, StorageError::TooLarge("paths"));
+        assert_eq!(
+            err.to_string(),
+            "index too large for format: paths exceeds u32 range"
+        );
+    }
+
+    #[test]
+    fn capacity_estimate_covers_paths_section() {
+        // A deep chain: the paths section dominates the edge table, so
+        // an edge-only estimate would force reallocation mid-encode.
+        let mut b = DataGraph::builder();
+        for i in 0..64 {
+            b.triple_str(&format!("n{i}"), "p", &format!("n{}", i + 1))
+                .unwrap();
+        }
+        let idx = PathIndex::build(b.build());
+        let bytes = encode(&idx).unwrap();
+        assert!(!bytes.is_empty());
+    }
+
+    #[test]
     fn decode_recomputes_serialized_size() {
         let mut idx = sample_index();
-        let bytes = serialize_index(&mut idx);
+        let bytes = serialize_index(&mut idx).unwrap();
         let loaded = decode(&bytes).unwrap();
         assert_eq!(loaded.stats().serialized_bytes, Some(bytes.len()));
     }

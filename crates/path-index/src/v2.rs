@@ -1,0 +1,1361 @@
+//! `SAMAIDX2` — the zero-copy on-disk index format.
+//!
+//! Where [`crate::storage`] (`SAMAIDX1`) eagerly decodes every node,
+//! edge and path into owned heap structures and then *rebuilds* the
+//! inverted label/sink maps on every load, `SAMAIDX2` lays the whole
+//! index out as aligned little-endian arrays that are readable **in
+//! place** from a single read-only mapping:
+//!
+//! ```text
+//! header   magic b"SAMAIDX2", u32 version, u32 section count,
+//!          u64 file length                                  (24 bytes)
+//! table    20 × { u64 offset, u64 length }                 (320 bytes)
+//! sections each 8-byte aligned, in table order:
+//!   0 counts        u64 × 8  (vocab, nodes, edges, paths,
+//!                             path-node pool, sorted pool,
+//!                             label table cap, sink table cap)
+//!   1 vocab-kinds   u8  × vocab            term kind per label
+//!   2 vocab-offs    u32 × vocab+1          offsets into vocab-blob
+//!   3 vocab-blob    utf-8 bytes            concatenated lexical forms
+//!   4 node-labels   u32 × nodes            label id per node
+//!   5 edge-from     u32 × edges ┐
+//!   6 edge-to       u32 × edges ├ edge table, struct-of-arrays
+//!   7 edge-label    u32 × edges ┘
+//!   8 path-offs     u32 × paths+1          node-pool offsets (CSR);
+//!                                          edge offset of path i is
+//!                                          path-offs[i] − i
+//!   9 path-nodes    u32 × pool             node ids, all paths
+//!  10 path-edges    u32 × pool−paths       edge ids, all paths
+//!  11 path-nlabels  u32 × pool             node labels, all paths
+//!  12 path-elabels  u32 × pool−paths       edge labels, all paths
+//!  13 sorted-offs   u32 × paths+1          sorted-node-pool offsets
+//!  14 sorted-nodes  u32 × sorted pool      per-path sorted+deduped ids
+//!  15 label-table   u32 × 3·cap            open addressing, stored
+//!  16 label-posts   u32 × n                postings (path ids)
+//!  17 sink-table    u32 × 3·cap            open addressing, stored
+//!  18 sink-posts    u32 × n                postings (path ids)
+//!  19 stats         u64 × 7                Table 1 numbers
+//! ```
+//!
+//! The hash tables are power-of-two open-addressing with linear
+//! probing (multiplicative Fibonacci hashing on the high bits), slot =
+//! `{label, postings start, postings len}`, empty key `u32::MAX` —
+//! stored at build time, so lookups on load need **no rebuild and no
+//! allocation**. The label pools (sections 11/12) duplicate what a
+//! gather through sections 4/7 could compute precisely so the hot
+//! alignment loop reads one contiguous slice per path.
+//!
+//! Opening ([`MappedIndex::open`]) maps the file (via the vendored
+//! `memmap2` shim; [`MappedIndex::from_bytes`] is the pure in-memory
+//! fallback), parses the ~344-byte header, and runs one allocation-free
+//! sequential validation pass over the arrays so every later accessor
+//! can index without panicking on corrupt data. The data graph itself
+//! (vocabulary interning + adjacency) is materialized **lazily** on
+//! first access — the open path allocates nothing proportional to the
+//! path store, which is what makes cold opens of million-triple
+//! indexes take milliseconds (see `benches/index_open.rs`).
+//!
+//! The format is little-endian and is read in place only on
+//! little-endian hosts (all supported targets); parsing returns a typed
+//! error on big-endian rather than misreading.
+
+use crate::index::{IndexedPath, PathIndex};
+use crate::path::{LabelsRef, Path, PathId, PathLabels};
+use crate::shard::IndexLike;
+use crate::stats::IndexStats;
+use crate::storage::{try_u32, StorageError};
+use crate::synonyms::SynonymProvider;
+use rdf_model::{DataGraph, EdgeId, Graph, LabelId, NodeId, TermKind};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// The format magic.
+pub const MAGIC2: &[u8; 8] = b"SAMAIDX2";
+const VERSION: u32 = 2;
+const SECTION_COUNT: usize = 20;
+const HEADER_LEN: usize = 24;
+const TABLE_LEN: usize = SECTION_COUNT * 16;
+/// Empty hash-table slot marker (never a valid label id: ids are < len).
+const EMPTY: u32 = u32::MAX;
+
+const S_COUNTS: usize = 0;
+const S_VOCAB_KINDS: usize = 1;
+const S_VOCAB_OFFS: usize = 2;
+const S_VOCAB_BLOB: usize = 3;
+const S_NODE_LABELS: usize = 4;
+const S_EDGE_FROM: usize = 5;
+const S_EDGE_TO: usize = 6;
+const S_EDGE_LABEL: usize = 7;
+const S_PATH_OFFS: usize = 8;
+const S_PATH_NODES: usize = 9;
+const S_PATH_EDGES: usize = 10;
+const S_PATH_NLABELS: usize = 11;
+const S_PATH_ELABELS: usize = 12;
+const S_SORTED_OFFS: usize = 13;
+const S_SORTED_NODES: usize = 14;
+const S_LABEL_TABLE: usize = 15;
+const S_LABEL_POSTS: usize = 16;
+const S_SINK_TABLE: usize = 17;
+const S_SINK_POSTS: usize = 18;
+const S_STATS: usize = 19;
+
+/// Human-readable section names, table order (for `sama index --stats`).
+pub const SECTION_NAMES: [&str; SECTION_COUNT] = [
+    "counts",
+    "vocab-kinds",
+    "vocab-offsets",
+    "vocab-blob",
+    "node-labels",
+    "edge-from",
+    "edge-to",
+    "edge-label",
+    "path-offsets",
+    "path-node-pool",
+    "path-edge-pool",
+    "path-node-labels",
+    "path-edge-labels",
+    "sorted-offsets",
+    "sorted-node-pool",
+    "label-table",
+    "label-postings",
+    "sink-table",
+    "sink-postings",
+    "stats",
+];
+
+// ---------------------------------------------------------------------------
+// Casting helpers. Soundness: NodeId/EdgeId/LabelId are
+// `#[repr(transparent)]` over `u32` (guaranteed in `rdf-model`), and
+// every byte range handed to these starts 4-aligned because section
+// offsets are multiples of 8 within an 8-aligned buffer.
+
+#[inline]
+fn cast_u32s(bytes: &[u8]) -> &[u32] {
+    debug_assert_eq!(bytes.as_ptr() as usize % 4, 0);
+    debug_assert_eq!(bytes.len() % 4, 0);
+    // SAFETY: alignment/length checked above; u32 has no invalid bit
+    // patterns; the source is an immutable borrow for the same lifetime.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast(), bytes.len() / 4) }
+}
+
+#[inline]
+fn cast_u64s(bytes: &[u8]) -> &[u64] {
+    debug_assert_eq!(bytes.as_ptr() as usize % 8, 0);
+    debug_assert_eq!(bytes.len() % 8, 0);
+    // SAFETY: as above, with 8-byte alignment (section offsets are
+    // multiples of 8).
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast(), bytes.len() / 8) }
+}
+
+#[inline]
+fn as_node_ids(ids: &[u32]) -> &[NodeId] {
+    // SAFETY: NodeId is repr(transparent) over u32.
+    unsafe { std::slice::from_raw_parts(ids.as_ptr().cast(), ids.len()) }
+}
+
+#[inline]
+fn as_edge_ids(ids: &[u32]) -> &[EdgeId] {
+    // SAFETY: EdgeId is repr(transparent) over u32.
+    unsafe { std::slice::from_raw_parts(ids.as_ptr().cast(), ids.len()) }
+}
+
+#[inline]
+fn as_label_ids(ids: &[u32]) -> &[LabelId] {
+    // SAFETY: LabelId is repr(transparent) over u32.
+    unsafe { std::slice::from_raw_parts(ids.as_ptr().cast(), ids.len()) }
+}
+
+/// Fibonacci (multiplicative) hash of a label id into a power-of-two
+/// table of `cap ≥ 2` slots — part of the on-disk format; never change
+/// without bumping the version.
+#[inline]
+fn slot_of(label: u32, cap: usize) -> usize {
+    debug_assert!(cap.is_power_of_two() && cap >= 2);
+    let h = (label as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> (64 - cap.trailing_zeros())) as usize
+}
+
+// ---------------------------------------------------------------------------
+// Encoding.
+
+struct Writer {
+    buf: Vec<u8>,
+    table: [(u64, u64); SECTION_COUNT],
+    next: usize,
+}
+
+impl Writer {
+    fn new(capacity: usize) -> Self {
+        let mut buf = Vec::with_capacity(capacity);
+        buf.extend_from_slice(MAGIC2);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(SECTION_COUNT as u32).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes()); // file length, patched
+        buf.resize(HEADER_LEN + TABLE_LEN, 0); // table, patched
+        Writer {
+            buf,
+            table: [(0, 0); SECTION_COUNT],
+            next: 0,
+        }
+    }
+
+    /// Write one section: pad to 8, record offset/length.
+    fn section(&mut self, write: impl FnOnce(&mut Vec<u8>)) {
+        while !self.buf.len().is_multiple_of(8) {
+            self.buf.push(0);
+        }
+        let start = self.buf.len();
+        write(&mut self.buf);
+        self.table[self.next] = ((start as u64), (self.buf.len() - start) as u64);
+        self.next += 1;
+    }
+
+    fn u32_section(&mut self, values: impl IntoIterator<Item = u32>) {
+        self.section(|buf| {
+            for v in values {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        });
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        assert_eq!(self.next, SECTION_COUNT, "every section written");
+        let len = self.buf.len() as u64;
+        self.buf[16..24].copy_from_slice(&len.to_le_bytes());
+        for (i, (off, size)) in self.table.iter().enumerate() {
+            let at = HEADER_LEN + i * 16;
+            self.buf[at..at + 8].copy_from_slice(&off.to_le_bytes());
+            self.buf[at + 8..at + 16].copy_from_slice(&size.to_le_bytes());
+        }
+        self.buf
+    }
+}
+
+/// Build one stored open-addressing table plus its postings pool from
+/// an inverted map. Entries are inserted in ascending label order so
+/// the encoding is deterministic.
+fn build_table(
+    map: &rdf_model::FxHashMap<LabelId, Vec<PathId>>,
+) -> Result<(Vec<u32>, Vec<u32>), StorageError> {
+    let cap = (map.len() * 2).next_power_of_two().max(4);
+    let mut table = vec![EMPTY; cap * 3];
+    let mut postings: Vec<u32> = Vec::with_capacity(map.values().map(Vec::len).sum());
+    let mut labels: Vec<LabelId> = map.keys().copied().collect();
+    labels.sort_unstable();
+    for label in labels {
+        let ids = &map[&label];
+        let start = try_u32(postings.len(), "postings pool")?;
+        let len = try_u32(ids.len(), "postings run")?;
+        postings.extend(ids.iter().map(|id| id.0));
+        let mut slot = slot_of(label.0, cap);
+        while table[slot * 3] != EMPTY {
+            slot = (slot + 1) & (cap - 1);
+        }
+        table[slot * 3] = label.0;
+        table[slot * 3 + 1] = start;
+        table[slot * 3 + 2] = len;
+    }
+    Ok((table, postings))
+}
+
+/// Serialize `index` in the `SAMAIDX2` zero-copy format.
+///
+/// # Errors
+/// [`StorageError::TooLarge`] if any section exceeds the format's
+/// `u32` count range.
+pub fn encode_v2(index: &PathIndex) -> Result<Vec<u8>, StorageError> {
+    let graph = index.graph().as_graph();
+    let vocab = graph.vocab();
+    let vocab_len = try_u32(vocab.len(), "vocabulary entries")? as u64;
+    let node_count = try_u32(graph.node_count(), "nodes")? as u64;
+    let edge_count = try_u32(graph.edge_count(), "edges")? as u64;
+    let path_count = try_u32(index.path_count(), "paths")? as u64;
+    let node_pool: usize = index.paths().map(|(_, ip)| ip.path.nodes.len()).sum();
+    let sorted_pool: usize = index.paths().map(|(_, ip)| ip.sorted_nodes().len()).sum();
+    try_u32(node_pool, "path node pool")?;
+    try_u32(sorted_pool, "sorted node pool")?;
+    let blob_len: usize = vocab.iter().map(|(_, _, lex)| lex.len()).sum();
+    try_u32(blob_len, "vocabulary blob")?;
+
+    let (label_table, label_posts) = build_table(index.label_map())?;
+    let (sink_table, sink_posts) = build_table(index.sink_map())?;
+
+    let estimate = HEADER_LEN
+        + TABLE_LEN
+        + 64
+        + vocab.len() * 5
+        + blob_len
+        + (graph.node_count() + 3 * graph.edge_count()) * 4
+        + (4 * node_pool + 2 * (index.path_count() + 1) + sorted_pool) * 4
+        + (label_table.len() + label_posts.len() + sink_table.len() + sink_posts.len()) * 4
+        + 56
+        + 8 * SECTION_COUNT;
+    let mut w = Writer::new(estimate);
+
+    // 0: counts.
+    w.section(|buf| {
+        for v in [
+            vocab_len,
+            node_count,
+            edge_count,
+            path_count,
+            node_pool as u64,
+            sorted_pool as u64,
+            (label_table.len() / 3) as u64,
+            (sink_table.len() / 3) as u64,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    });
+    // 1-3: vocabulary.
+    w.section(|buf| {
+        buf.extend(vocab.iter().map(|(_, kind, _)| match kind {
+            TermKind::Iri => 0u8,
+            TermKind::Literal => 1,
+            TermKind::Blank => 2,
+            TermKind::Variable => 3,
+        }));
+    });
+    w.section(|buf| {
+        let mut off = 0u32;
+        buf.extend_from_slice(&off.to_le_bytes());
+        for (_, _, lex) in vocab.iter() {
+            off += lex.len() as u32; // guarded by the blob_len check above
+            buf.extend_from_slice(&off.to_le_bytes());
+        }
+    });
+    w.section(|buf| {
+        for (_, _, lex) in vocab.iter() {
+            buf.extend_from_slice(lex.as_bytes());
+        }
+    });
+    // 4: node labels.
+    w.u32_section(graph.nodes().map(|n| graph.node_label(n).0));
+    // 5-7: edge table.
+    w.u32_section(graph.edges().map(|(_, e)| e.from.0));
+    w.u32_section(graph.edges().map(|(_, e)| e.to.0));
+    w.u32_section(graph.edges().map(|(_, e)| e.label.0));
+    // 8: path offsets (CSR into the node pool).
+    w.section(|buf| {
+        let mut off = 0u32;
+        buf.extend_from_slice(&off.to_le_bytes());
+        for (_, ip) in index.paths() {
+            off += ip.path.nodes.len() as u32; // guarded by node_pool check
+            buf.extend_from_slice(&off.to_le_bytes());
+        }
+    });
+    // 9-12: path pools.
+    w.u32_section(
+        index
+            .paths()
+            .flat_map(|(_, ip)| ip.path.nodes.iter().map(|n| n.0)),
+    );
+    w.u32_section(
+        index
+            .paths()
+            .flat_map(|(_, ip)| ip.path.edges.iter().map(|e| e.0)),
+    );
+    w.u32_section(
+        index
+            .paths()
+            .flat_map(|(_, ip)| ip.labels.node_labels.iter().map(|l| l.0)),
+    );
+    w.u32_section(
+        index
+            .paths()
+            .flat_map(|(_, ip)| ip.labels.edge_labels.iter().map(|l| l.0)),
+    );
+    // 13-14: sorted node sets.
+    w.section(|buf| {
+        let mut off = 0u32;
+        buf.extend_from_slice(&off.to_le_bytes());
+        for (_, ip) in index.paths() {
+            off += ip.sorted_nodes().len() as u32; // guarded above
+            buf.extend_from_slice(&off.to_le_bytes());
+        }
+    });
+    w.u32_section(
+        index
+            .paths()
+            .flat_map(|(_, ip)| ip.sorted_nodes().iter().map(|n| n.0)),
+    );
+    // 15-18: stored inverted maps.
+    w.u32_section(label_table);
+    w.u32_section(label_posts);
+    w.u32_section(sink_table);
+    w.u32_section(sink_posts);
+    // 19: stats.
+    w.section(|buf| {
+        let stats = index.stats();
+        for v in [
+            stats.triples as u64,
+            stats.hyper_vertices as u64,
+            stats.hyper_edges as u64,
+            stats.path_count as u64,
+            stats.depth_truncated,
+            stats.dropped,
+            stats.build_time.as_nanos() as u64,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    });
+
+    Ok(w.finish())
+}
+
+/// Serialize in the v2 format and record the byte length in the stats.
+///
+/// # Errors
+/// See [`encode_v2`].
+pub fn serialize_index_v2(index: &mut PathIndex) -> Result<Vec<u8>, StorageError> {
+    let bytes = encode_v2(index)?;
+    index.set_serialized_bytes(bytes.len());
+    Ok(bytes)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+/// Section geometry: byte `(offset, length)` per section plus the
+/// decoded counts — everything needed to slice a validated buffer
+/// without re-parsing.
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    sec: [(usize, usize); SECTION_COUNT],
+    vocab_len: usize,
+    node_count: usize,
+    edge_count: usize,
+    path_count: usize,
+    node_pool: usize,
+    sorted_pool: usize,
+    stats: [u64; 7],
+}
+
+fn read_u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+impl Layout {
+    /// Structural parse: header, section table, and size consistency.
+    /// Cheap (no section scans); [`IndexView::validate`] does the deep
+    /// pass.
+    fn parse(bytes: &[u8]) -> Result<Layout, StorageError> {
+        if cfg!(target_endian = "big") {
+            return Err(StorageError::Corrupt(
+                "SAMAIDX2 is little-endian and cannot be mapped on this host",
+            ));
+        }
+        if !(bytes.as_ptr() as usize).is_multiple_of(8) {
+            return Err(StorageError::Corrupt("index buffer is not 8-byte aligned"));
+        }
+        if bytes.len() < HEADER_LEN + TABLE_LEN {
+            if bytes.len() < MAGIC2.len() || &bytes[..MAGIC2.len()] != MAGIC2 {
+                return Err(StorageError::BadMagic);
+            }
+            return Err(StorageError::Truncated);
+        }
+        if &bytes[..MAGIC2.len()] != MAGIC2 {
+            return Err(StorageError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(StorageError::Corrupt("unsupported SAMAIDX2 version"));
+        }
+        let sections = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+        if sections as usize != SECTION_COUNT {
+            return Err(StorageError::Corrupt("unexpected section count"));
+        }
+        if read_u64_at(bytes, 16) != bytes.len() as u64 {
+            return Err(StorageError::Truncated);
+        }
+
+        let mut sec = [(0usize, 0usize); SECTION_COUNT];
+        let mut prev_end = HEADER_LEN + TABLE_LEN;
+        for (i, entry) in sec.iter_mut().enumerate() {
+            let at = HEADER_LEN + i * 16;
+            let off = usize::try_from(read_u64_at(bytes, at))
+                .map_err(|_| StorageError::Corrupt("section offset overflow"))?;
+            let len = usize::try_from(read_u64_at(bytes, at + 8))
+                .map_err(|_| StorageError::Corrupt("section length overflow"))?;
+            if off % 8 != 0 {
+                return Err(StorageError::Corrupt("section offset misaligned"));
+            }
+            if off < prev_end {
+                return Err(StorageError::Corrupt("sections overlap or out of order"));
+            }
+            let end = off
+                .checked_add(len)
+                .ok_or(StorageError::Corrupt("section extent overflow"))?;
+            if end > bytes.len() {
+                return Err(StorageError::Truncated);
+            }
+            prev_end = end;
+            *entry = (off, len);
+        }
+
+        if sec[S_COUNTS].1 != 64 {
+            return Err(StorageError::Corrupt("counts section size"));
+        }
+        let c = cast_u64s(&bytes[sec[S_COUNTS].0..sec[S_COUNTS].0 + 64]);
+        let as_usize = |v: u64, what: &'static str| -> Result<usize, StorageError> {
+            if v > u32::MAX as u64 {
+                return Err(StorageError::Corrupt(what));
+            }
+            Ok(v as usize)
+        };
+        let vocab_len = as_usize(c[0], "vocabulary count")?;
+        let node_count = as_usize(c[1], "node count")?;
+        let edge_count = as_usize(c[2], "edge count")?;
+        let path_count = as_usize(c[3], "path count")?;
+        let node_pool = as_usize(c[4], "path node pool size")?;
+        let sorted_pool = as_usize(c[5], "sorted pool size")?;
+        let label_cap = as_usize(c[6], "label table capacity")?;
+        let sink_cap = as_usize(c[7], "sink table capacity")?;
+        if node_pool < path_count {
+            return Err(StorageError::Corrupt("node pool smaller than path count"));
+        }
+        for (cap, what) in [
+            (label_cap, "label table capacity not a power of two"),
+            (sink_cap, "sink table capacity not a power of two"),
+        ] {
+            if !cap.is_power_of_two() || cap < 2 {
+                return Err(StorageError::Corrupt(what));
+            }
+        }
+
+        let expect = |s: usize, want: usize, what: &'static str| -> Result<(), StorageError> {
+            if sec[s].1 != want {
+                return Err(StorageError::Corrupt(what));
+            }
+            Ok(())
+        };
+        expect(S_VOCAB_KINDS, vocab_len, "vocab kinds section size")?;
+        expect(S_VOCAB_OFFS, (vocab_len + 1) * 4, "vocab offsets size")?;
+        expect(S_NODE_LABELS, node_count * 4, "node labels section size")?;
+        expect(S_EDGE_FROM, edge_count * 4, "edge-from section size")?;
+        expect(S_EDGE_TO, edge_count * 4, "edge-to section size")?;
+        expect(S_EDGE_LABEL, edge_count * 4, "edge-label section size")?;
+        expect(S_PATH_OFFS, (path_count + 1) * 4, "path offsets size")?;
+        expect(S_PATH_NODES, node_pool * 4, "path node pool size")?;
+        expect(
+            S_PATH_EDGES,
+            (node_pool - path_count) * 4,
+            "path edge pool size",
+        )?;
+        expect(S_PATH_NLABELS, node_pool * 4, "path node label pool size")?;
+        expect(
+            S_PATH_ELABELS,
+            (node_pool - path_count) * 4,
+            "path edge label pool size",
+        )?;
+        expect(S_SORTED_OFFS, (path_count + 1) * 4, "sorted offsets size")?;
+        expect(S_SORTED_NODES, sorted_pool * 4, "sorted pool size")?;
+        expect(S_LABEL_TABLE, label_cap * 12, "label table size")?;
+        expect(S_SINK_TABLE, sink_cap * 12, "sink table size")?;
+        for s in [S_LABEL_POSTS, S_SINK_POSTS] {
+            if sec[s].1 % 4 != 0 {
+                return Err(StorageError::Corrupt("postings section size"));
+            }
+        }
+        expect(S_STATS, 56, "stats section size")?;
+        let st = cast_u64s(&bytes[sec[S_STATS].0..sec[S_STATS].0 + 56]);
+        let stats: [u64; 7] = st.try_into().expect("7 stats");
+        if stats[3] != path_count as u64 {
+            return Err(StorageError::Corrupt("stats path count mismatch"));
+        }
+
+        Ok(Layout {
+            sec,
+            vocab_len,
+            node_count,
+            edge_count,
+            path_count,
+            node_pool,
+            sorted_pool,
+            stats,
+        })
+    }
+
+    #[inline]
+    fn bytes_of<'a>(&self, bytes: &'a [u8], s: usize) -> &'a [u8] {
+        let (off, len) = self.sec[s];
+        &bytes[off..off + len]
+    }
+
+    #[inline]
+    fn u32s<'a>(&self, bytes: &'a [u8], s: usize) -> &'a [u32] {
+        cast_u32s(self.bytes_of(bytes, s))
+    }
+
+    /// Slice a parsed buffer into a full borrowed view.
+    fn view<'a>(&self, bytes: &'a [u8]) -> IndexView<'a> {
+        IndexView {
+            layout: *self,
+            vocab_kinds: self.bytes_of(bytes, S_VOCAB_KINDS),
+            vocab_offs: self.u32s(bytes, S_VOCAB_OFFS),
+            vocab_blob: self.bytes_of(bytes, S_VOCAB_BLOB),
+            node_labels: as_label_ids(self.u32s(bytes, S_NODE_LABELS)),
+            edge_from: as_node_ids(self.u32s(bytes, S_EDGE_FROM)),
+            edge_to: as_node_ids(self.u32s(bytes, S_EDGE_TO)),
+            edge_label: as_label_ids(self.u32s(bytes, S_EDGE_LABEL)),
+            path_offs: self.u32s(bytes, S_PATH_OFFS),
+            path_nodes: as_node_ids(self.u32s(bytes, S_PATH_NODES)),
+            path_edges: as_edge_ids(self.u32s(bytes, S_PATH_EDGES)),
+            path_nlabels: as_label_ids(self.u32s(bytes, S_PATH_NLABELS)),
+            path_elabels: as_label_ids(self.u32s(bytes, S_PATH_ELABELS)),
+            sorted_offs: self.u32s(bytes, S_SORTED_OFFS),
+            sorted_nodes: as_node_ids(self.u32s(bytes, S_SORTED_NODES)),
+            label_table: self.u32s(bytes, S_LABEL_TABLE),
+            label_posts: self.u32s(bytes, S_LABEL_POSTS),
+            sink_table: self.u32s(bytes, S_SINK_TABLE),
+            sink_posts: self.u32s(bytes, S_SINK_POSTS),
+        }
+    }
+}
+
+/// A borrowed, zero-copy view over a `SAMAIDX2` buffer: every accessor
+/// returns slices pointing straight into the underlying bytes.
+///
+/// Obtain one with [`IndexView::parse`] (which validates) or from
+/// [`MappedIndex::view`] (already validated at open).
+#[derive(Debug, Clone, Copy)]
+pub struct IndexView<'a> {
+    layout: Layout,
+    vocab_kinds: &'a [u8],
+    vocab_offs: &'a [u32],
+    vocab_blob: &'a [u8],
+    node_labels: &'a [LabelId],
+    edge_from: &'a [NodeId],
+    edge_to: &'a [NodeId],
+    edge_label: &'a [LabelId],
+    path_offs: &'a [u32],
+    path_nodes: &'a [NodeId],
+    path_edges: &'a [EdgeId],
+    path_nlabels: &'a [LabelId],
+    path_elabels: &'a [LabelId],
+    sorted_offs: &'a [u32],
+    sorted_nodes: &'a [NodeId],
+    label_table: &'a [u32],
+    label_posts: &'a [u32],
+    sink_table: &'a [u32],
+    sink_posts: &'a [u32],
+}
+
+impl<'a> IndexView<'a> {
+    /// Parse and fully validate a buffer. The buffer must be 8-byte
+    /// aligned (file mappings and [`AlignedBytes`] both are).
+    ///
+    /// # Errors
+    /// Typed [`StorageError`]s for any structural or range violation —
+    /// never panics, never allocates proportionally to the input.
+    pub fn parse(bytes: &'a [u8]) -> Result<IndexView<'a>, StorageError> {
+        let layout = Layout::parse(bytes)?;
+        let view = layout.view(bytes);
+        view.validate()?;
+        Ok(view)
+    }
+
+    /// The deep validation pass: one allocation-free sequential scan
+    /// establishing every invariant the accessors rely on, so that no
+    /// lookup on a successfully opened index can panic or read out of
+    /// range.
+    fn validate(&self) -> Result<(), StorageError> {
+        let l = &self.layout;
+        let corrupt = |what: &'static str| StorageError::Corrupt(what);
+
+        // Vocabulary: monotone offsets, utf-8 entries, known kinds.
+        if self.vocab_offs[0] != 0
+            || *self.vocab_offs.last().expect("len >= 1") as usize != self.vocab_blob.len()
+        {
+            return Err(corrupt("vocab offsets do not span blob"));
+        }
+        for w in self.vocab_offs.windows(2) {
+            if w[0] > w[1] {
+                return Err(corrupt("vocab offsets not monotone"));
+            }
+        }
+        for i in 0..l.vocab_len {
+            let lex =
+                &self.vocab_blob[self.vocab_offs[i] as usize..self.vocab_offs[i + 1] as usize];
+            if std::str::from_utf8(lex).is_err() {
+                return Err(StorageError::BadUtf8);
+            }
+        }
+        if self.vocab_kinds.iter().any(|&k| k > 3) {
+            return Err(corrupt("unknown term kind"));
+        }
+
+        // Graph arrays: ids in range, no variable labels in data.
+        let label_ok =
+            |l_: LabelId| (l_.0 as usize) < l.vocab_len && self.vocab_kinds[l_.0 as usize] != 3;
+        if !self.node_labels.iter().copied().all(label_ok) {
+            return Err(corrupt("node label out of range"));
+        }
+        if !self.edge_label.iter().copied().all(label_ok) {
+            return Err(corrupt("edge label out of range"));
+        }
+        if self
+            .edge_from
+            .iter()
+            .chain(self.edge_to.iter())
+            .any(|n| n.0 as usize >= l.node_count)
+        {
+            return Err(corrupt("edge endpoint out of range"));
+        }
+
+        // Path CSR: strictly increasing offsets spanning the pools.
+        if self.path_offs[0] != 0
+            || *self.path_offs.last().expect("len >= 1") as usize != l.node_pool
+        {
+            return Err(corrupt("path offsets do not span pool"));
+        }
+        if self.path_offs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(corrupt("empty path"));
+        }
+        if self.path_nodes.iter().any(|n| n.0 as usize >= l.node_count) {
+            return Err(corrupt("path node out of range"));
+        }
+        if self.path_edges.iter().any(|e| e.0 as usize >= l.edge_count) {
+            return Err(corrupt("path edge out of range"));
+        }
+        if !self.path_nlabels.iter().copied().all(label_ok)
+            || !self.path_elabels.iter().copied().all(label_ok)
+        {
+            return Err(corrupt("path label out of range"));
+        }
+
+        // Sorted node sets: strictly ascending within each path.
+        if self.sorted_offs[0] != 0
+            || *self.sorted_offs.last().expect("len >= 1") as usize != l.sorted_pool
+        {
+            return Err(corrupt("sorted offsets do not span pool"));
+        }
+        if self.sorted_offs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(corrupt("empty sorted node set"));
+        }
+        if self
+            .sorted_nodes
+            .iter()
+            .any(|n| n.0 as usize >= l.node_count)
+        {
+            return Err(corrupt("sorted node out of range"));
+        }
+        for i in 0..l.path_count {
+            let s =
+                &self.sorted_nodes[self.sorted_offs[i] as usize..self.sorted_offs[i + 1] as usize];
+            if s.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(corrupt("sorted node set not strictly ascending"));
+            }
+        }
+
+        // Stored hash tables: keys and postings runs in range.
+        for (table, posts) in [
+            (self.label_table, self.label_posts),
+            (self.sink_table, self.sink_posts),
+        ] {
+            for slot in table.chunks_exact(3) {
+                if slot[0] == EMPTY {
+                    continue;
+                }
+                if slot[0] as usize >= l.vocab_len {
+                    return Err(corrupt("table key out of range"));
+                }
+                let end = (slot[1] as u64) + (slot[2] as u64);
+                if end > posts.len() as u64 {
+                    return Err(corrupt("postings run out of range"));
+                }
+            }
+            if posts.iter().any(|&p| p as usize >= l.path_count) {
+                return Err(corrupt("posting out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of indexed paths.
+    #[inline]
+    pub fn path_count(&self) -> usize {
+        self.layout.path_count
+    }
+
+    /// Node ids of path `id` (panics if out of range, like
+    /// [`PathIndex::path`]).
+    #[inline]
+    pub fn path_nodes(&self, id: PathId) -> &'a [NodeId] {
+        let (a, b) = self.node_span(id);
+        &self.path_nodes[a..b]
+    }
+
+    /// Edge ids of path `id`.
+    #[inline]
+    pub fn path_edges(&self, id: PathId) -> &'a [EdgeId] {
+        let (a, b) = self.node_span(id);
+        &self.path_edges[a - id.index()..b - id.index() - 1]
+    }
+
+    /// Label sequences of path `id`, straight from the stored pools.
+    #[inline]
+    pub fn labels(&self, id: PathId) -> LabelsRef<'a> {
+        let (a, b) = self.node_span(id);
+        LabelsRef {
+            node_labels: &self.path_nlabels[a..b],
+            edge_labels: &self.path_elabels[a - id.index()..b - id.index() - 1],
+        }
+    }
+
+    /// Sorted, deduplicated node ids of path `id`.
+    #[inline]
+    pub fn sorted_nodes(&self, id: PathId) -> &'a [NodeId] {
+        let a = self.sorted_offs[id.index()] as usize;
+        let b = self.sorted_offs[id.index() + 1] as usize;
+        &self.sorted_nodes[a..b]
+    }
+
+    #[inline]
+    fn node_span(&self, id: PathId) -> (usize, usize) {
+        (
+            self.path_offs[id.index()] as usize,
+            self.path_offs[id.index() + 1] as usize,
+        )
+    }
+
+    /// Postings for `label` in a stored table; empty slice if absent.
+    fn table_get(table: &[u32], posts: &'a [u32], label: LabelId) -> &'a [u32] {
+        let cap = table.len() / 3;
+        let mut slot = slot_of(label.0, cap);
+        // Bounded probe: a full table without the key must terminate.
+        for _ in 0..cap {
+            let key = table[slot * 3];
+            if key == label.0 {
+                let start = table[slot * 3 + 1] as usize;
+                let len = table[slot * 3 + 2] as usize;
+                return &posts[start..start + len];
+            }
+            if key == EMPTY {
+                break;
+            }
+            slot = (slot + 1) & (cap - 1);
+        }
+        &[]
+    }
+
+    /// Paths containing `label` (stored inverted map; no rebuild).
+    pub fn paths_with_label(&self, label: LabelId) -> &'a [u32] {
+        Self::table_get(self.label_table, self.label_posts, label)
+    }
+
+    /// Paths whose sink carries `label` (stored inverted map).
+    pub fn paths_with_sink(&self, label: LabelId) -> &'a [u32] {
+        Self::table_get(self.sink_table, self.sink_posts, label)
+    }
+
+    /// The stats block stored in the file.
+    pub fn stats(&self) -> IndexStats {
+        let s = self.layout.stats;
+        IndexStats {
+            triples: s[0] as usize,
+            hyper_vertices: s[1] as usize,
+            hyper_edges: s[2] as usize,
+            path_count: s[3] as usize,
+            build_time: Duration::from_nanos(s[6]),
+            serialized_bytes: None,
+            depth_truncated: s[4],
+            dropped: s[5],
+        }
+    }
+
+    /// Per-section byte sizes in table order, paired with
+    /// [`SECTION_NAMES`] (for `sama index --stats`).
+    pub fn section_sizes(&self) -> [usize; SECTION_COUNT] {
+        let mut out = [0; SECTION_COUNT];
+        for (i, (_, len)) in self.layout.sec.iter().enumerate() {
+            out[i] = *len;
+        }
+        out
+    }
+
+    /// Rebuild the owned [`DataGraph`] (vocabulary, nodes, edges,
+    /// adjacency) from the mapped sections. Infallible on a validated
+    /// view.
+    fn materialize_graph(&self) -> DataGraph {
+        let mut graph = Graph::new();
+        let vocab = graph.vocab_mut();
+        for i in 0..self.layout.vocab_len {
+            let lex =
+                &self.vocab_blob[self.vocab_offs[i] as usize..self.vocab_offs[i + 1] as usize];
+            let lex = std::str::from_utf8(lex).expect("validated utf-8");
+            let kind = match self.vocab_kinds[i] {
+                0 => TermKind::Iri,
+                1 => TermKind::Literal,
+                2 => TermKind::Blank,
+                _ => TermKind::Variable,
+            };
+            vocab.push_raw(kind, lex);
+        }
+        for &label in self.node_labels {
+            graph
+                .add_node_with_label(label)
+                .expect("validated node label");
+        }
+        for i in 0..self.layout.edge_count {
+            graph
+                .add_edge_with_label(self.edge_from[i], self.edge_to[i], self.edge_label[i])
+                .expect("validated edge");
+        }
+        DataGraph::try_from_graph(graph).expect("validated: no variable labels in data sections")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Owning handles.
+
+/// An 8-byte-aligned owned byte buffer — the pure-`Vec` fallback
+/// backing for environments where file mapping is unavailable or
+/// undesired, and the staging area for [`decode_v2`].
+#[derive(Debug, Clone)]
+pub struct AlignedBytes {
+    words: Box<[u64]>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// Copy `bytes` into a fresh 8-aligned buffer.
+    pub fn copy_from(bytes: &[u8]) -> Self {
+        let mut words = vec![0u64; bytes.len().div_ceil(8)].into_boxed_slice();
+        // SAFETY: u64 -> u8 reinterpretation of an initialized buffer.
+        let dst = unsafe {
+            std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), words.len() * 8)
+        };
+        dst[..bytes.len()].copy_from_slice(bytes);
+        AlignedBytes {
+            words,
+            len: bytes.len(),
+        }
+    }
+
+    /// The buffer contents.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: u64 -> u8 reinterpretation; `len <= words.len() * 8`.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+#[derive(Debug)]
+enum Backing {
+    Mapped(memmap2::Mmap),
+    Owned(AlignedBytes),
+}
+
+impl Backing {
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Backing::Mapped(m) => m,
+            Backing::Owned(b) => b.as_slice(),
+        }
+    }
+}
+
+/// An index served directly from a `SAMAIDX2` buffer — the zero-copy
+/// counterpart of [`PathIndex`].
+///
+/// Opening performs an `mmap` plus one allocation-free validation scan;
+/// the hot lookup structures (path store, sorted node sets, stored
+/// inverted maps) are then read in place for the lifetime of the
+/// handle, shared by every worker thread that borrows it. The
+/// [`DataGraph`] (needed for query vocabulary resolution and answer
+/// assembly) is materialized lazily on first access.
+#[derive(Debug)]
+pub struct MappedIndex {
+    backing: Backing,
+    layout: Layout,
+    stats: IndexStats,
+    data: OnceLock<DataGraph>,
+}
+
+impl MappedIndex {
+    /// Map an index file read-only and validate it.
+    ///
+    /// The file must not be modified while the handle is alive (the
+    /// standard mmap contract; index files are immutable artifacts).
+    ///
+    /// # Errors
+    /// [`StorageError::Io`] on filesystem errors, [`StorageError`]
+    /// variants on malformed content (including a v1 file, rejected
+    /// with `BadMagic` — use [`crate::decode_any`] for format-agnostic
+    /// loading).
+    pub fn open(path: &std::path::Path) -> Result<MappedIndex, StorageError> {
+        sama_obs::fault::point("index.load");
+        let file = std::fs::File::open(path).map_err(|e| StorageError::Io(e.to_string()))?;
+        // SAFETY: the caller upholds the no-concurrent-modification
+        // contract documented above.
+        let map =
+            unsafe { memmap2::Mmap::map(&file) }.map_err(|e| StorageError::Io(e.to_string()))?;
+        Self::from_backing(Backing::Mapped(map))
+    }
+
+    /// Build from in-memory bytes (copied once into an aligned buffer)
+    /// — the fallback path that works anywhere, with identical
+    /// semantics to [`MappedIndex::open`].
+    ///
+    /// # Errors
+    /// As [`MappedIndex::open`], minus I/O.
+    pub fn from_bytes(bytes: &[u8]) -> Result<MappedIndex, StorageError> {
+        sama_obs::fault::point("index.load");
+        Self::from_backing(Backing::Owned(AlignedBytes::copy_from(bytes)))
+    }
+
+    fn from_backing(backing: Backing) -> Result<MappedIndex, StorageError> {
+        let _span = sama_obs::span!("index.open_ns");
+        let layout = Layout::parse(backing.bytes())?;
+        let view = layout.view(backing.bytes());
+        view.validate()?;
+        let mut stats = view.stats();
+        stats.serialized_bytes = Some(backing.bytes().len());
+        sama_obs::counter_add("index.opens_total", 1);
+        Ok(MappedIndex {
+            backing,
+            layout,
+            stats,
+            data: OnceLock::new(),
+        })
+    }
+
+    /// The borrowed zero-copy view (no re-validation).
+    #[inline]
+    pub fn view(&self) -> IndexView<'_> {
+        self.layout.view(self.backing.bytes())
+    }
+
+    /// Build statistics as stored in the file (plus the byte length).
+    #[inline]
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// `true` if this handle is backed by a real file mapping (as
+    /// opposed to the owned in-memory fallback).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped(_))
+    }
+
+    #[inline]
+    fn u32s(&self, s: usize) -> &[u32] {
+        self.layout.u32s(self.backing.bytes(), s)
+    }
+
+    fn match_via<'s>(
+        &'s self,
+        lexical: &str,
+        synonyms: &dyn SynonymProvider,
+        lookup: impl Fn(IndexView<'s>, LabelId) -> &'s [u32],
+    ) -> Vec<PathId> {
+        let vocab = self.data().vocab();
+        let view = self.view();
+        let mut out: Vec<PathId> = Vec::new();
+        if let Some(label) = vocab.get_constant(lexical) {
+            out.extend(lookup(view, label).iter().map(|&p| PathId(p)));
+        }
+        for synonym in synonyms.synonyms(lexical) {
+            if let Some(label) = vocab.get_constant(&synonym) {
+                out.extend(lookup(view, label).iter().map(|&p| PathId(p)));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl crate::shard::IndexLike for MappedIndex {
+    fn data(&self) -> &DataGraph {
+        self.data.get_or_init(|| {
+            let _span = sama_obs::span!("index.materialize_ns");
+            self.view().materialize_graph()
+        })
+    }
+
+    fn total_paths(&self) -> usize {
+        self.layout.path_count
+    }
+
+    #[inline]
+    fn path_nodes(&self, id: PathId) -> &[NodeId] {
+        let offs = self.u32s(S_PATH_OFFS);
+        let (a, b) = (offs[id.index()] as usize, offs[id.index() + 1] as usize);
+        &as_node_ids(self.u32s(S_PATH_NODES))[a..b]
+    }
+
+    #[inline]
+    fn path_edges(&self, id: PathId) -> &[EdgeId] {
+        let offs = self.u32s(S_PATH_OFFS);
+        let (a, b) = (offs[id.index()] as usize, offs[id.index() + 1] as usize);
+        &as_edge_ids(self.u32s(S_PATH_EDGES))[a - id.index()..b - id.index() - 1]
+    }
+
+    #[inline]
+    fn labels(&self, id: PathId) -> LabelsRef<'_> {
+        let offs = self.u32s(S_PATH_OFFS);
+        let (a, b) = (offs[id.index()] as usize, offs[id.index() + 1] as usize);
+        LabelsRef {
+            node_labels: &as_label_ids(self.u32s(S_PATH_NLABELS))[a..b],
+            edge_labels: &as_label_ids(self.u32s(S_PATH_ELABELS))
+                [a - id.index()..b - id.index() - 1],
+        }
+    }
+
+    #[inline]
+    fn sorted_nodes(&self, id: PathId) -> &[NodeId] {
+        let offs = self.u32s(S_SORTED_OFFS);
+        let (a, b) = (offs[id.index()] as usize, offs[id.index() + 1] as usize);
+        &as_node_ids(self.u32s(S_SORTED_NODES))[a..b]
+    }
+
+    fn sink_matching(&self, lexical: &str, synonyms: &dyn SynonymProvider) -> Vec<PathId> {
+        let _span = sama_obs::span!("index.locate_ns");
+        sama_obs::counter_add("index.sink_lookups_total", 1);
+        self.match_via(lexical, synonyms, |v, l| v.paths_with_sink(l))
+    }
+
+    fn label_matching(&self, lexical: &str, synonyms: &dyn SynonymProvider) -> Vec<PathId> {
+        let _span = sama_obs::span!("index.locate_ns");
+        sama_obs::counter_add("index.label_lookups_total", 1);
+        self.match_via(lexical, synonyms, |v, l| v.paths_with_label(l))
+    }
+
+    fn all_path_ids(&self) -> Vec<PathId> {
+        (0..self.layout.path_count as u32).map(PathId).collect()
+    }
+}
+
+/// Decode a `SAMAIDX2` buffer into a fully owned [`PathIndex`] — the
+/// migration path for consumers that need an owned, mutable index
+/// (e.g. `sama update`). Prefer [`MappedIndex`] for serving.
+///
+/// # Errors
+/// Typed [`StorageError`]s on malformed input.
+pub fn decode_v2(buf: &[u8]) -> Result<PathIndex, StorageError> {
+    sama_obs::fault::point("index.load");
+    let owned = AlignedBytes::copy_from(buf);
+    let view = IndexView::parse(owned.as_slice())?;
+    let data = view.materialize_graph();
+    let mut paths = Vec::with_capacity(view.path_count());
+    for i in 0..view.path_count() {
+        let id = PathId(i as u32);
+        let path = Path::new(view.path_nodes(id).to_vec(), view.path_edges(id).to_vec());
+        let l = view.labels(id);
+        let labels = PathLabels {
+            node_labels: l.node_labels.into(),
+            edge_labels: l.edge_labels.into(),
+        };
+        paths.push(IndexedPath::new(path, labels));
+    }
+    let mut stats = view.stats();
+    stats.serialized_bytes = Some(buf.len());
+    Ok(PathIndex::from_parts(data, paths, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::IndexLike;
+    use crate::synonyms::NoSynonyms;
+    use rdf_model::Term;
+
+    fn sample_index() -> PathIndex {
+        let mut b = DataGraph::builder();
+        b.triple_str("CB", "sponsor", "A0056").unwrap();
+        b.triple_str("A0056", "aTo", "B1432").unwrap();
+        b.triple_str("B1432", "subject", "\"Health Care\"").unwrap();
+        b.triple_str("PD", "sponsor", "B1432").unwrap();
+        b.triple_str("PD", "gender", "\"Male\"").unwrap();
+        PathIndex::build(b.build())
+    }
+
+    fn bigger_index() -> PathIndex {
+        let mut b = DataGraph::builder();
+        for i in 0..40 {
+            b.triple_str(&format!("s{i}"), "p", &format!("m{}", i % 7))
+                .unwrap();
+            b.triple_str(&format!("m{}", i % 7), "q", &format!("\"leaf {}\"", i % 3))
+                .unwrap();
+        }
+        PathIndex::build(b.build())
+    }
+
+    #[test]
+    fn roundtrip_through_decode_v2() {
+        for idx in [sample_index(), bigger_index()] {
+            let bytes = encode_v2(&idx).unwrap();
+            let loaded = decode_v2(&bytes).unwrap();
+            assert_eq!(loaded.path_count(), idx.path_count());
+            assert_eq!(
+                loaded.graph().as_graph().to_sorted_lines(),
+                idx.graph().as_graph().to_sorted_lines()
+            );
+            for (id, ip) in idx.paths() {
+                assert_eq!(&loaded.path(id).path, &ip.path);
+                assert_eq!(&loaded.path(id).labels, &ip.labels);
+                assert_eq!(loaded.path(id).sorted_nodes(), ip.sorted_nodes());
+            }
+            assert_eq!(loaded.stats().triples, idx.stats().triples);
+            assert_eq!(loaded.stats().serialized_bytes, Some(bytes.len()));
+        }
+    }
+
+    #[test]
+    fn mapped_view_agrees_with_owned_index() {
+        let idx = bigger_index();
+        let bytes = encode_v2(&idx).unwrap();
+        let mapped = MappedIndex::from_bytes(&bytes).unwrap();
+        assert!(!mapped.is_mapped());
+        assert_eq!(mapped.total_paths(), idx.path_count());
+        for (id, ip) in idx.paths() {
+            assert_eq!(mapped.path_nodes(id), &*ip.path.nodes);
+            assert_eq!(mapped.path_edges(id), &*ip.path.edges);
+            assert_eq!(mapped.labels(id), ip.labels.view());
+            assert_eq!(mapped.sorted_nodes(id), ip.sorted_nodes());
+        }
+        // Stored inverted maps agree with the rebuilt ones.
+        for probe in ["p", "q", "m1", "leaf 2", "absent"] {
+            assert_eq!(
+                mapped.sink_matching(probe, &NoSynonyms),
+                idx.sink_matching(probe, &NoSynonyms),
+                "sink {probe}"
+            );
+            assert_eq!(
+                mapped.label_matching(probe, &NoSynonyms),
+                idx.label_matching(probe, &NoSynonyms),
+                "label {probe}"
+            );
+        }
+        // The lazily materialized graph is the original.
+        assert_eq!(
+            mapped.data().as_graph().to_sorted_lines(),
+            idx.graph().as_graph().to_sorted_lines()
+        );
+        assert_eq!(mapped.stats().triples, idx.stats().triples);
+    }
+
+    #[test]
+    fn open_maps_a_real_file() {
+        let idx = sample_index();
+        let bytes = encode_v2(&idx).unwrap();
+        let path = std::env::temp_dir().join(format!("samaidx2-open-{}.idx", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = MappedIndex::open(&path).unwrap();
+        assert!(mapped.is_mapped());
+        assert_eq!(mapped.total_paths(), idx.path_count());
+        assert_eq!(mapped.sink_matching("Health Care", &NoSynonyms).len(), 2);
+        drop(mapped);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_missing_file_is_io_error() {
+        let err = MappedIndex::open(std::path::Path::new("/nonexistent/sama.idx")).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+    }
+
+    #[test]
+    fn v1_bytes_rejected_with_bad_magic() {
+        let mut idx = sample_index();
+        let v1 = crate::storage::serialize_index(&mut idx).unwrap();
+        assert!(matches!(decode_v2(&v1), Err(StorageError::BadMagic)));
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let idx = sample_index();
+        let bytes = encode_v2(&idx).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_v2(&bytes[..cut]).is_err(),
+                "cut at {cut} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn stored_tables_match_probe_set() {
+        let idx = bigger_index();
+        let bytes = encode_v2(&idx).unwrap();
+        let owned = AlignedBytes::copy_from(&bytes);
+        let view = IndexView::parse(owned.as_slice()).unwrap();
+        let vocab = idx.graph().vocab();
+        for (label, _, _) in vocab.iter() {
+            assert_eq!(
+                view.paths_with_label(label)
+                    .iter()
+                    .map(|&p| PathId(p))
+                    .collect::<Vec<_>>(),
+                idx.paths_with_label(label),
+                "label {label}"
+            );
+            assert_eq!(
+                view.paths_with_sink(label)
+                    .iter()
+                    .map(|&p| PathId(p))
+                    .collect::<Vec<_>>(),
+                idx.paths_with_sink(label),
+                "sink {label}"
+            );
+        }
+        // An id past the vocabulary misses cleanly.
+        assert!(view.paths_with_label(LabelId(9999)).is_empty());
+    }
+
+    #[test]
+    fn section_sizes_are_reported() {
+        let idx = sample_index();
+        let bytes = encode_v2(&idx).unwrap();
+        let owned = AlignedBytes::copy_from(&bytes);
+        let view = IndexView::parse(owned.as_slice()).unwrap();
+        let sizes = view.section_sizes();
+        assert_eq!(sizes[S_COUNTS], 64);
+        assert_eq!(sizes[S_STATS], 56);
+        let total: usize = sizes.iter().sum();
+        assert!(total <= bytes.len());
+        assert!(total + HEADER_LEN + TABLE_LEN + 8 * SECTION_COUNT >= bytes.len());
+    }
+
+    #[test]
+    fn single_node_paths_roundtrip() {
+        // Isolated node: a path with one node and zero edges.
+        let mut b = DataGraph::builder();
+        b.triple_str("a", "p", "b").unwrap();
+        b.node(&Term::iri("lonely")).unwrap();
+        let idx = PathIndex::build(b.build());
+        let bytes = encode_v2(&idx).unwrap();
+        let mapped = MappedIndex::from_bytes(&bytes).unwrap();
+        for (id, ip) in idx.paths() {
+            assert_eq!(mapped.path_nodes(id), &*ip.path.nodes);
+            assert_eq!(mapped.path_edges(id), &*ip.path.edges);
+        }
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let idx = PathIndex::build(DataGraph::builder().build());
+        let bytes = encode_v2(&idx).unwrap();
+        let mapped = MappedIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(mapped.total_paths(), 0);
+        assert!(mapped.all_path_ids().is_empty());
+        let back = decode_v2(&bytes).unwrap();
+        assert_eq!(back.path_count(), 0);
+    }
+
+    #[test]
+    fn vocabulary_term_kinds_survive() {
+        let mut b = DataGraph::builder();
+        b.triple_str("iri", "p", "\"literal\"").unwrap();
+        let idx = PathIndex::build(b.build());
+        let bytes = encode_v2(&idx).unwrap();
+        let loaded = decode_v2(&bytes).unwrap();
+        let v = loaded.graph().vocab();
+        assert!(v.get(&Term::iri("iri")).is_some());
+        assert!(v.get(&Term::literal("literal")).is_some());
+        assert_eq!(v.get(&Term::literal("iri")), None);
+    }
+}

@@ -69,7 +69,7 @@ proptest! {
     #[test]
     fn both_formats_roundtrip(base in arb_dag_triples(10, 20)) {
         let index = PathIndex::build(DataGraph::from_triples(&base).expect("ground"));
-        let plain = encode(&index);
+        let plain = encode(&index).expect("index fits format");
         let compressed = encode_compressed(&index);
         let from_plain = decode_any(&plain).expect("plain decodes");
         let from_compressed = decode_any(&compressed).expect("compressed decodes");

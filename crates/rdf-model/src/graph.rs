@@ -12,7 +12,12 @@ use crate::term::Term;
 use std::fmt;
 
 /// Identifier of a node within one [`Graph`]. Dense, starting at zero.
+///
+/// `repr(transparent)` over `u32` is a stability guarantee relied on by
+/// zero-copy deserializers (`path-index`'s mmap view casts mapped
+/// little-endian `u32` arrays directly to id slices).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -30,7 +35,10 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of an edge within one [`Graph`]. Dense, starting at zero.
+///
+/// `repr(transparent)` over `u32`: see [`NodeId`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {

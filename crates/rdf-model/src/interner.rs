@@ -15,6 +15,7 @@ use std::fmt;
 /// Identifiers are assigned consecutively from zero, so they can index
 /// side tables directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct LabelId(pub u32);
 
 impl LabelId {
@@ -93,6 +94,22 @@ impl Vocabulary {
     #[inline]
     pub fn intern(&mut self, term: &Term) -> LabelId {
         self.intern_parts(term.kind(), term.lexical())
+    }
+
+    /// Append an entry *positionally*, without deduplication: the new id
+    /// is always `len()`. Used by deserializers reconstructing a
+    /// vocabulary id-for-id, where ids are defined by file position and
+    /// must never shift because an earlier entry happened to repeat. If
+    /// the `(kind, lexical)` pair was already present, the first entry
+    /// keeps winning lookups.
+    pub fn push_raw(&mut self, kind: TermKind, lexical: &str) -> LabelId {
+        let id = LabelId(self.lexical.len() as u32);
+        self.lexical.push(Box::from(lexical));
+        self.kinds.push(kind);
+        self.lookup[kind_slot(kind)]
+            .entry(Box::from(lexical))
+            .or_insert(id);
+        id
     }
 
     /// Look up a term without interning it.
@@ -221,6 +238,18 @@ mod tests {
             let id = v.intern(&term);
             assert_eq!(v.term(id), term);
         }
+    }
+
+    #[test]
+    fn push_raw_is_positional_and_first_wins() {
+        let mut v = Vocabulary::new();
+        let a = v.push_raw(TermKind::Iri, "x");
+        let b = v.push_raw(TermKind::Iri, "x"); // duplicate: new slot, old lookup
+        assert_eq!(a, LabelId(0));
+        assert_eq!(b, LabelId(1));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.lexical(b), "x");
+        assert_eq!(v.get(&Term::iri("x")), Some(a));
     }
 
     #[test]

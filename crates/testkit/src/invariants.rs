@@ -32,6 +32,7 @@ use crate::case::Case;
 use datasets::Rng;
 use eval::oracle::ged_relevance;
 use graph_match::{Matcher, Vf2Matcher};
+use path_index::{MappedIndex, PathIndex};
 use rdf_model::{DataGraph, Graph, Term, Triple};
 use sama_core::{
     AlignmentMode, BatchConfig, ClusterConfig, EngineConfig, QueryBudget, QueryResult, SamaEngine,
@@ -134,6 +135,13 @@ pub const CATALOG: &[Invariant] = &[
         kind: Kind::Metamorphic,
         summary: "an unlimited or distant deadline is bit-identical to no deadline",
         check: deadline_unlimited_identity,
+    },
+    Invariant {
+        name: "v1_v2_migration_identity",
+        kind: Kind::Differential,
+        summary: "a v1-decoded and a v2-mapped index answer bit-identically, \
+                  with the same EXPLAIN phase structure",
+        check: v1_v2_migration_identity,
     },
 ];
 
@@ -415,6 +423,84 @@ fn ged_oracle_agreement(case: &Case) -> Result<(), String> {
                  subgraph at {cost} (expected 0)"
             ));
         }
+    }
+    Ok(())
+}
+
+/// The timing-free structure of an EXPLAIN trace: which query paths
+/// were decomposed, what every cluster retrieved/aligned/kept, and how
+/// the search ended. Two runs over equal indexes must match exactly;
+/// only durations and cache ratios may differ.
+fn trace_structure(result: &QueryResult) -> Vec<String> {
+    let Some(trace) = &result.trace else {
+        return vec!["<no trace>".into()];
+    };
+    let mut lines: Vec<String> = trace
+        .query_paths
+        .iter()
+        .map(|qp| format!("qpath {} len={}", qp.index, qp.len))
+        .collect();
+    lines.extend(trace.clusters.iter().map(|c| {
+        format!(
+            "cluster q{} retrieved={} aligned={} kept={} dropped={} bestλ={:016x}",
+            c.qpath_index,
+            c.retrieved,
+            c.aligned,
+            c.kept,
+            c.dropped,
+            c.best_lambda.to_bits(),
+        )
+    }));
+    lines.push(format!(
+        "search retrieved={} aligned={} expansions={} answers={} best={:?} \
+         truncated={} reason={:?} clusters_truncated={}",
+        trace.retrieved_paths,
+        trace.candidates_aligned,
+        trace.expansions,
+        trace.answers,
+        trace.best_score.map(f64::to_bits),
+        trace.truncated,
+        trace.truncation,
+        trace.clusters_truncated,
+    ));
+    lines
+}
+
+/// Round-trip the index through both on-disk formats — the legacy
+/// `SAMAIDX1` eager decode and the zero-copy `SAMAIDX2` mapping — and
+/// require bit-identical top-k answers and identical EXPLAIN phase
+/// structure. This is the v1→v2 migration safety net: re-indexing a
+/// deployment must not change a single answer bit.
+fn v1_v2_migration_identity(case: &Case) -> Result<(), String> {
+    let query = case.query_graph();
+    let mut config = base_config();
+    config.trace = TraceConfig::enabled();
+
+    let mut index = PathIndex::build(case.data_graph());
+    let v1_bytes =
+        path_index::serialize_index(&mut index).map_err(|e| format!("v1 encode failed: {e}"))?;
+    let v2_bytes = path_index::encode_v2(&index).map_err(|e| format!("v2 encode failed: {e}"))?;
+
+    let v1_index = path_index::decode(&v1_bytes).map_err(|e| format!("v1 decode failed: {e}"))?;
+    let v2_index =
+        MappedIndex::from_bytes(&v2_bytes).map_err(|e| format!("v2 open failed: {e}"))?;
+
+    let from_v1 = SamaEngine::from_index_with_config(v1_index, config).answer(&query, case.k);
+    let from_v2 = SamaEngine::from_index_with_config(v2_index, config).answer(&query, case.k);
+
+    if fingerprint(&from_v1) != fingerprint(&from_v2) {
+        return Err(diff(
+            "v1-decoded vs v2-mapped answers diverged",
+            &fingerprint(&from_v1),
+            &fingerprint(&from_v2),
+        ));
+    }
+    if trace_structure(&from_v1) != trace_structure(&from_v2) {
+        return Err(diff(
+            "v1 vs v2 EXPLAIN structure diverged",
+            &trace_structure(&from_v1),
+            &trace_structure(&from_v2),
+        ));
     }
     Ok(())
 }

@@ -83,7 +83,7 @@ fn main() {
 
     // Storage: the incremental result serializes like any other index,
     // in either format.
-    let plain = encode(engine.index());
+    let plain = encode(engine.index()).expect("index fits format");
     let compressed = encode_compressed(engine.index());
     println!(
         "\nserialized: {} plain, {} compressed ({:.1}x)",

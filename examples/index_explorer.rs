@@ -25,7 +25,7 @@ fn main() {
 
     // Build and serialize.
     let mut index = PathIndex::build(dataset.graph.clone());
-    let bytes = serialize_index(&mut index);
+    let bytes = serialize_index(&mut index).expect("index fits format");
     let stats = index.stats();
     println!("\nindex statistics (one Table 1 row):");
     println!("  paths          : {}", stats.path_count);

@@ -14,7 +14,11 @@ use sama::engine::{
     BatchConfig, ClusterConfig, EngineConfig, SamaEngine, SharedChiCache, TraceConfig,
     TruncationReason,
 };
-use sama::index::{decode_any, encode_compressed, serialize_index, ExtractionConfig, PathIndex};
+use sama::index::{
+    decode_any, encode, encode_compressed, encode_v2, serialize_index, serialize_index_v2,
+    v2::SECTION_NAMES, AlignedBytes, ExtractionConfig, IndexLike, IndexView, MappedIndex,
+    PathIndex,
+};
 use sama::model::{parse_ntriples, parse_sparql, parse_turtle, DataGraph};
 use std::io::Read;
 use std::process::ExitCode;
@@ -48,13 +52,14 @@ const USAGE: &str = "\
 sama — approximate RDF querying by path alignment (EDBT 2013)
 
 USAGE:
-  sama index <data.nt|data.ttl> -o <index.bin> [--compress]
-  sama update <index.bin> <more.nt|more.ttl> [-o <out.bin>] [--compress]
+  sama index <data.nt|data.ttl> -o <index.bin> [--v1] [--compress]
+             [--parallel N] [--stats]
+  sama update <index.bin> <more.nt|more.ttl> [-o <out.bin>] [--v1] [--compress]
   sama query <index.bin> <query.rq|-> [-k N] [--threads N] [--explain]
-             [--explain-text] [--json] [--deadline-ms N]
+             [--explain-text] [--json] [--deadline-ms N] [--mmap]
   sama batch <index.bin> <q1.rq> [q2.rq ...] [-k N] [--threads N]
              [--shared-chi] [--json] [--metrics-out <file>] [--trace-out <file>]
-             [--deadline-ms N] [--max-queue N]
+             [--deadline-ms N] [--max-queue N] [--mmap]
   sama stats <index.bin>                    indexing statistics
   sama paths <index.bin> [--limit N]        dump indexed paths
   sama metrics [<index.bin>] [--json]       dump the global metrics registry
@@ -70,7 +75,27 @@ USAGE:
                      returns its best-effort partial top-k, flagged
                      deadline_exceeded (also: SAMA_DEADLINE_MS env var)
   --max-queue N      batch admission bound: queries beyond the first N are
-                     shed with a typed error instead of queueing (0 = none)";
+                     shed with a typed error instead of queueing (0 = none)
+  --v1               write the legacy SAMAIDX1 format instead of the
+                     zero-copy SAMAIDX2 default (readers accept all formats)
+  --parallel N       build the path index with N extraction workers
+                     (0 = all hardware threads); output is byte-identical
+                     to the sequential build
+  --stats            after indexing, print per-section byte sizes,
+                     bytes-per-path, and measured open time for both formats
+  --mmap             serve queries straight from a memory-mapped SAMAIDX2
+                     file: no decode, no inverted-map rebuild (also:
+                     SAMA_MMAP=1 env var; the index must be SAMAIDX2)";
+
+/// `--mmap` / `SAMA_MMAP=1`: serve from a mapped `SAMAIDX2` file.
+fn mmap_requested(flag: bool) -> bool {
+    flag || std::env::var("SAMA_MMAP").is_ok_and(|v| v == "1")
+}
+
+fn open_mapped(path: &str) -> Result<MappedIndex, String> {
+    MappedIndex::open(std::path::Path::new(path))
+        .map_err(|e| format!("cannot map index {path:?}: {e} (is it SAMAIDX2? re-run sama index)"))
+}
 
 fn load_index(path: &str) -> Result<PathIndex, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read index {path:?}: {e}"))?;
@@ -91,6 +116,9 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
     let mut input = None;
     let mut output = None;
     let mut compress = false;
+    let mut legacy_v1 = false;
+    let mut show_stats = false;
+    let mut parallel: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -98,6 +126,16 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
                 output = Some(iter.next().ok_or("-o needs a path")?.clone());
             }
             "--compress" => compress = true,
+            "--v1" => legacy_v1 = true,
+            "--stats" => show_stats = true,
+            "--parallel" => {
+                parallel = Some(
+                    iter.next()
+                        .ok_or("--parallel needs a number")?
+                        .parse()
+                        .map_err(|_| "bad --parallel value")?,
+                );
+            }
             other if input.is_none() => input = Some(other.to_string()),
             other => return Err(format!("unexpected argument {other:?}")),
         }
@@ -113,11 +151,16 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
         data.node_count()
     );
 
-    let mut index = PathIndex::build(data);
+    let mut index = match parallel {
+        Some(threads) => PathIndex::build_parallel(data, &ExtractionConfig::default(), threads),
+        None => PathIndex::build(data),
+    };
     let bytes = if compress {
         encode_compressed(&index)
+    } else if legacy_v1 {
+        serialize_index(&mut index).map_err(|e| format!("cannot serialize index: {e}"))?
     } else {
-        serialize_index(&mut index)
+        serialize_index_v2(&mut index).map_err(|e| format!("cannot serialize index: {e}"))?
     };
     std::fs::write(&output, &bytes).map_err(|e| format!("cannot write {output:?}: {e}"))?;
     let stats = index.stats();
@@ -134,6 +177,59 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
             stats.depth_truncated, stats.dropped
         );
     }
+    if show_stats {
+        print_format_stats(&index, &output, !compress && !legacy_v1)?;
+    }
+    Ok(())
+}
+
+/// The `sama index --stats` report: per-section byte sizes of the
+/// zero-copy layout, bytes-per-path for both formats, and measured
+/// open time for both (v1 full decode vs v2 validate-only open).
+fn print_format_stats(index: &PathIndex, output: &str, output_is_v2: bool) -> Result<(), String> {
+    let v1 = encode(index).map_err(|e| format!("cannot serialize index: {e}"))?;
+    let v2 = encode_v2(index).map_err(|e| format!("cannot serialize index: {e}"))?;
+    let paths = index.path_count().max(1);
+
+    let owned = AlignedBytes::copy_from(&v2);
+    let view = IndexView::parse(owned.as_slice()).expect("just encoded");
+    println!("sections (SAMAIDX2):");
+    for (name, size) in SECTION_NAMES.iter().zip(view.section_sizes()) {
+        println!(
+            "  {name:<18} {:>12}  ({:.1} B/path)",
+            sama::index::format_bytes(size),
+            size as f64 / paths as f64
+        );
+    }
+    println!(
+        "total: v1 {} ({:.1} B/path), v2 {} ({:.1} B/path)",
+        sama::index::format_bytes(v1.len()),
+        v1.len() as f64 / paths as f64,
+        sama::index::format_bytes(v2.len()),
+        v2.len() as f64 / paths as f64
+    );
+
+    let t = std::time::Instant::now();
+    let decoded = sama::index::decode(&v1).map_err(|e| e.to_string())?;
+    let v1_open = t.elapsed();
+    drop(decoded);
+    let t = std::time::Instant::now();
+    let mapped = if output_is_v2 {
+        open_mapped(output)?
+    } else {
+        MappedIndex::from_bytes(&v2).map_err(|e| e.to_string())?
+    };
+    let v2_open = t.elapsed();
+    println!(
+        "open time: v1 decode {:.2?}, v2 {} {:.2?}",
+        v1_open,
+        if mapped.is_mapped() {
+            "mmap"
+        } else {
+            "in-memory"
+        },
+        v2_open
+    );
     Ok(())
 }
 
@@ -141,6 +237,7 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
     let mut positional = Vec::new();
     let mut output = None;
     let mut compress = false;
+    let mut legacy_v1 = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -148,6 +245,7 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
                 output = Some(iter.next().ok_or("-o needs a path")?.clone());
             }
             "--compress" => compress = true,
+            "--v1" => legacy_v1 = true,
             other => positional.push(other.to_string()),
         }
     }
@@ -174,8 +272,10 @@ fn cmd_update(args: &[String]) -> Result<(), String> {
     );
     let bytes = if compress {
         encode_compressed(&index)
+    } else if legacy_v1 {
+        serialize_index(&mut index).map_err(|e| format!("cannot serialize index: {e}"))?
     } else {
-        serialize_index(&mut index)
+        serialize_index_v2(&mut index).map_err(|e| format!("cannot serialize index: {e}"))?
     };
     std::fs::write(&output, &bytes).map_err(|e| format!("cannot write {output:?}: {e}"))?;
     eprintln!(
@@ -209,6 +309,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut explain = false;
     let mut explain_text = false;
     let mut json = false;
+    let mut mmap = false;
     let mut deadline_ms: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -238,6 +339,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             "--explain" => explain = true,
             "--explain-text" => explain_text = true,
             "--json" => json = true,
+            "--mmap" => mmap = true,
             other => positional.push(other.to_string()),
         }
     }
@@ -266,7 +368,28 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if let Some(ms) = deadline_ms {
         config.deadline = Some(std::time::Duration::from_millis(ms));
     }
+    // `--mmap` serves straight from the mapped file — same engine, same
+    // pipeline, different `IndexLike` behind it.
+    if mmap_requested(mmap) {
+        let engine = SamaEngine::from_index_with_config(open_mapped(index_path)?, config);
+        return run_query(&engine, &query, query_path, k, explain, explain_text, json);
+    }
     let engine = SamaEngine::from_index_with_config(load_index(index_path)?, config);
+    run_query(&engine, &query, query_path, k, explain, explain_text, json)
+}
+
+/// The query pipeline after engine construction, generic over the
+/// index representation (owned `PathIndex` or zero-copy `MappedIndex`).
+#[allow(clippy::too_many_arguments)]
+fn run_query<I: IndexLike + Sync>(
+    engine: &SamaEngine<I>,
+    query: &sama::model::SparqlQuery,
+    query_path: &str,
+    k: usize,
+    explain: bool,
+    explain_text: bool,
+    json: bool,
+) -> Result<(), String> {
     // `try_answer` validates the query first: a malformed query is a
     // one-line diagnostic and a nonzero exit, not a panic or an empty
     // answer set that looks like a miss.
@@ -282,12 +405,12 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             .trace
             .clone()
             .expect("trace enabled for --explain")
-            .with_label(query_path.as_str());
+            .with_label(query_path);
         println!("{}", trace.to_json_line());
     }
 
     if json {
-        print!("{}", render_json(&engine, &query, &result));
+        print!("{}", render_json(engine, query, &result));
         return Ok(());
     }
     if explain && !explain_text {
@@ -363,7 +486,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                     format!(
                         "?{}={}",
                         query.graph.vocab().lexical(v),
-                        engine.index().graph().vocab().lexical(value)
+                        engine.index().data().vocab().lexical(value)
                     )
                 })
                 .collect();
@@ -389,6 +512,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let mut trace_out: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut max_queue = 0usize;
+    let mut mmap = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -423,6 +547,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             }
             "--shared-chi" => shared_chi = true,
             "--json" => json = true,
+            "--mmap" => mmap = true,
             "--metrics-out" => {
                 metrics_out = Some(iter.next().ok_or("--metrics-out needs a path")?.clone());
             }
@@ -456,18 +581,24 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     if let Some(ms) = deadline_ms {
         config.deadline = Some(std::time::Duration::from_millis(ms));
     }
-    let mut engine = SamaEngine::from_index_with_config(load_index(index_path)?, config);
-    if shared_chi {
-        engine = engine.with_shared_chi_cache(SharedChiCache::with_defaults());
-    }
-    let outcome = engine.answer_batch(
-        &queries,
-        &BatchConfig {
-            k,
-            threads,
-            max_queue_depth: max_queue,
-        },
-    );
+    let batch_config = BatchConfig {
+        k,
+        threads,
+        max_queue_depth: max_queue,
+    };
+    let outcome = if mmap_requested(mmap) {
+        let mut engine = SamaEngine::from_index_with_config(open_mapped(index_path)?, config);
+        if shared_chi {
+            engine = engine.with_shared_chi_cache(SharedChiCache::with_defaults());
+        }
+        engine.answer_batch(&queries, &batch_config)
+    } else {
+        let mut engine = SamaEngine::from_index_with_config(load_index(index_path)?, config);
+        if shared_chi {
+            engine = engine.with_shared_chi_cache(SharedChiCache::with_defaults());
+        }
+        engine.answer_batch(&queries, &batch_config)
+    };
     let stats = &outcome.stats;
 
     // Per-query EXPLAIN traces, one JSONL line each, labeled by file.
@@ -627,8 +758,8 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn render_json(
-    engine: &SamaEngine,
+fn render_json<I: IndexLike + Sync>(
+    engine: &SamaEngine<I>,
     query: &sama::model::SparqlQuery,
     result: &sama::engine::QueryResult,
 ) -> String {
@@ -665,7 +796,7 @@ fn render_json(
                 out,
                 "\"{}\":\"{}\"",
                 json_escape(query.graph.vocab().lexical(*var)),
-                json_escape(engine.index().graph().vocab().lexical(*value))
+                json_escape(engine.index().data().vocab().lexical(*value))
             );
         }
         out.push_str("}}");
@@ -693,6 +824,23 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         println!("space          : {}", sama::index::format_bytes(bytes));
     }
     println!("truncated      : {}", s.is_truncated());
+    // A SAMAIDX2 file additionally carries its section table in place.
+    let raw = std::fs::read(index_path).map_err(|e| format!("cannot read {index_path:?}: {e}"))?;
+    if raw.starts_with(sama::index::MAGIC2) {
+        let t = std::time::Instant::now();
+        let mapped = open_mapped(index_path)?;
+        println!("open time      : {:.2?} (zero-copy)", t.elapsed());
+        let view = mapped.view();
+        let paths = view.path_count().max(1);
+        println!("sections:");
+        for (name, size) in SECTION_NAMES.iter().zip(view.section_sizes()) {
+            println!(
+                "  {name:<18} {:>12}  ({:.1} B/path)",
+                sama::index::format_bytes(size),
+                size as f64 / paths as f64
+            );
+        }
+    }
     Ok(())
 }
 

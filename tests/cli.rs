@@ -585,3 +585,160 @@ fn helpful_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
 }
+
+#[test]
+fn index_stats_flag_reports_sections_and_open_time() {
+    let nt = temp_path("data_v2stats.nt");
+    let idx = temp_path("index_v2stats.bin");
+    let _cleanup = Cleanup(vec![nt.clone(), idx.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+
+    let out = sama()
+        .args([
+            "index",
+            nt.to_str().unwrap(),
+            "-o",
+            idx.to_str().unwrap(),
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Per-section byte sizes, bytes-per-path, and both open times.
+    assert!(text.contains("sections (SAMAIDX2):"), "{text}");
+    assert!(text.contains("path-node-pool"), "{text}");
+    assert!(text.contains("B/path"), "{text}");
+    assert!(text.contains("open time: v1 decode"), "{text}");
+    assert!(text.contains("v2 mmap"), "{text}");
+
+    // The default output is the zero-copy format.
+    let bytes = std::fs::read(&idx).unwrap();
+    assert!(bytes.starts_with(b"SAMAIDX2"));
+
+    // `sama stats` on a v2 file shows the stored section table too.
+    let out = sama()
+        .args(["stats", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("zero-copy"), "{text}");
+    assert!(text.contains("sink-table"), "{text}");
+}
+
+#[test]
+fn query_mmap_flag_and_env_agree_with_decoded_path() {
+    let nt = temp_path("data_mmap.nt");
+    let rq = temp_path("query_mmap.rq");
+    let idx = temp_path("index_mmap.bin");
+    let _cleanup = Cleanup(vec![nt.clone(), rq.clone(), idx.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    std::fs::write(&rq, DEMO_RQ).unwrap();
+
+    let out = sama()
+        .args(["index", nt.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let run = |configure: &dyn Fn(&mut std::process::Command)| {
+        let mut cmd = sama();
+        cmd.args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--json",
+        ]);
+        configure(&mut cmd);
+        let out = cmd.output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    let decoded = run(&|_| {});
+    let mapped = run(&|c| {
+        c.arg("--mmap");
+    });
+    let mapped_env = run(&|c| {
+        c.env("SAMA_MMAP", "1");
+    });
+    // Bit-identical answers regardless of how the index is served.
+    assert_eq!(decoded, mapped);
+    assert_eq!(decoded, mapped_env);
+    assert!(decoded.contains("\"answers\""));
+}
+
+#[test]
+fn legacy_v1_flag_and_parallel_build_still_decode() {
+    let nt = temp_path("data_v1flag.nt");
+    let rq = temp_path("query_v1flag.rq");
+    let v1 = temp_path("index_v1flag.bin");
+    let v2 = temp_path("index_v2par.bin");
+    let _cleanup = Cleanup(vec![nt.clone(), rq.clone(), v1.clone(), v2.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    std::fs::write(&rq, DEMO_RQ).unwrap();
+
+    let out = sama()
+        .args([
+            "index",
+            nt.to_str().unwrap(),
+            "-o",
+            v1.to_str().unwrap(),
+            "--v1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(std::fs::read(&v1).unwrap().starts_with(b"SAMAIDX1"));
+
+    let out = sama()
+        .args([
+            "index",
+            nt.to_str().unwrap(),
+            "-o",
+            v2.to_str().unwrap(),
+            "--parallel",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Both formats answer identically (legacy decode vs v2).
+    let answers = |idx: &std::path::Path| {
+        let out = sama()
+            .args([
+                "query",
+                idx.to_str().unwrap(),
+                rq.to_str().unwrap(),
+                "--json",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(answers(&v1), answers(&v2));
+
+    // --mmap on a v1 file is a clear error, not a panic.
+    let out = sama()
+        .args([
+            "query",
+            v1.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--mmap",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot map index"));
+}

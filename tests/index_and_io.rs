@@ -51,7 +51,7 @@ fn serialized_engine_gives_identical_answers() {
     let warm_result = warm.answer(&query.graph, 10);
 
     let mut index = PathIndex::build(data);
-    let bytes = serialize_index(&mut index);
+    let bytes = serialize_index(&mut index).expect("index fits format");
     let cold = SamaEngine::from_index(decode(&bytes).expect("decodes"));
     let cold_result = cold.answer(&query.graph, 10);
 
@@ -68,7 +68,7 @@ fn serialized_engine_gives_identical_answers() {
 #[test]
 fn index_file_roundtrip_via_disk() {
     let mut index = PathIndex::build(load());
-    let bytes = serialize_index(&mut index);
+    let bytes = serialize_index(&mut index).expect("index fits format");
     let path = std::env::temp_dir().join("sama_integration_index.bin");
     std::fs::write(&path, &bytes).expect("write");
     let loaded = decode(&std::fs::read(&path).expect("read")).expect("decode");

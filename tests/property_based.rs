@@ -69,8 +69,8 @@ fn check_alignment_bounds(data: &DataGraph, var_mask: u8) -> bool {
     for qp in &qpaths {
         for dp in extraction.paths.iter().take(10) {
             let labels = dp.labels(g);
-            let greedy = align(qp, &labels, &params, AlignmentMode::Greedy);
-            let optimal = align(qp, &labels, &params, AlignmentMode::Optimal);
+            let greedy = align(qp, labels.view(), &params, AlignmentMode::Greedy);
+            let optimal = align(qp, labels.view(), &params, AlignmentMode::Optimal);
             assert!(greedy.lambda >= -1e-12);
             assert!(optimal.lambda >= -1e-12);
             assert!(
@@ -197,7 +197,7 @@ proptest! {
     #[test]
     fn storage_roundtrip(data in arb_data_graph()) {
         let index = PathIndex::build(data);
-        let bytes = sama::index::encode(&index);
+        let bytes = sama::index::encode(&index).expect("index fits format");
         let loaded = sama::index::decode(&bytes).expect("decodes");
         prop_assert_eq!(loaded.path_count(), index.path_count());
         prop_assert_eq!(

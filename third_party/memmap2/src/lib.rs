@@ -1,0 +1,228 @@
+//! Vendored minimal subset of the `memmap2` crate.
+//!
+//! Provides exactly what the `path-index` zero-copy loader needs: a
+//! read-only, `Send + Sync` memory mapping of an entire file that
+//! derefs to `&[u8]` and unmaps on drop.
+//!
+//! Deliberate differences from upstream:
+//!
+//! * only whole-file read-only maps ([`Mmap::map`]); no options
+//!   builder, no mutable or anonymous maps;
+//! * on unix the mapping is a real `mmap(2)` call (declared directly
+//!   against the C ABI — the workspace builds with no external crates);
+//! * on non-unix targets [`Mmap::map`] *reads the file into memory*
+//!   instead — same API, same lifetime semantics, no zero-copy. The
+//!   buffer is 8-byte aligned either way (pages are, and the fallback
+//!   allocates with `u64` alignment), which callers rely on.
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// A read-only memory map of an entire file.
+pub struct Mmap {
+    inner: Inner,
+}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    ///
+    /// # Safety
+    ///
+    /// As in upstream `memmap2`: the caller must ensure the underlying
+    /// file is not truncated or mutated while the map is alive —
+    /// modification through another handle is undefined behaviour on
+    /// unix. Treat mapped index files as immutable artifacts.
+    ///
+    /// # Errors
+    /// Propagates metadata/`mmap` failures from the OS.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        Inner::map(file).map(|inner| Mmap { inner })
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(unix)]
+use unix::Inner;
+
+#[cfg(unix)]
+mod unix {
+    use std::fs::File;
+    use std::io;
+    use std::os::fd::AsRawFd;
+
+    // Declared directly: the workspace builds offline without the
+    // `libc` crate, and std already links the platform C library.
+    // `off_t` is 64-bit on every unix target this workspace supports
+    // (LP64; macOS defines it as 64-bit unconditionally).
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: core::ffi::c_int,
+            flags: core::ffi::c_int,
+            fd: core::ffi::c_int,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> core::ffi::c_int;
+    }
+
+    const PROT_READ: core::ffi::c_int = 1;
+    const MAP_PRIVATE: core::ffi::c_int = 2;
+
+    pub(crate) struct Inner {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // The mapping is read-only and the pointer is never handed out
+    // mutably; sharing across threads is exactly the upstream contract.
+    unsafe impl Send for Inner {}
+    unsafe impl Sync for Inner {}
+
+    impl Inner {
+        pub(crate) unsafe fn map(file: &File) -> io::Result<Inner> {
+            let len = file.metadata()?.len();
+            let len = usize::try_from(len)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+            if len == 0 {
+                // mmap(2) rejects zero-length maps; an empty file maps
+                // to the canonical empty slice.
+                return Ok(Inner {
+                    ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                    len: 0,
+                });
+            }
+            let ptr = mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            );
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Inner {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+
+        #[inline]
+        pub(crate) fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr` is either a live PROT_READ mapping of
+            // exactly `len` bytes or a dangling pointer with `len == 0`.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Inner {
+        fn drop(&mut self) {
+            if self.len > 0 {
+                // SAFETY: matches the successful mmap call above.
+                unsafe {
+                    munmap(self.ptr as *mut core::ffi::c_void, self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+use fallback::Inner;
+
+#[cfg(not(unix))]
+mod fallback {
+    use std::fs::File;
+    use std::io::{self, Read};
+
+    /// Buffered stand-in: reads the file into an 8-byte-aligned heap
+    /// buffer. Same API surface, no zero-copy.
+    pub(crate) struct Inner {
+        buf: Vec<u64>,
+        len: usize,
+    }
+
+    impl Inner {
+        pub(crate) unsafe fn map(file: &File) -> io::Result<Inner> {
+            let mut bytes = Vec::new();
+            let mut f = file.try_clone()?;
+            f.read_to_end(&mut bytes)?;
+            let len = bytes.len();
+            let mut buf = vec![0u64; len.div_ceil(8)];
+            // SAFETY: u64 -> u8 reinterpretation of an initialized buffer.
+            let dst = unsafe {
+                std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), buf.len() * 8)
+            };
+            dst[..len].copy_from_slice(&bytes);
+            Ok(Inner { buf, len })
+        }
+
+        #[inline]
+        pub(crate) fn as_slice(&self) -> &[u8] {
+            // SAFETY: u64 -> u8 reinterpretation; `len <= buf.len() * 8`.
+            unsafe { std::slice::from_raw_parts(self.buf.as_ptr().cast::<u8>(), self.len) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("memmap2-shim-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_file("basic", b"hello mapping");
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert_eq!(&map[..], b"hello mapping");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_file("empty", b"");
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert!(map.is_empty());
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapping_is_8_byte_aligned() {
+        let path = temp_file("align", &[0u8; 64]);
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert_eq!(map.as_ptr() as usize % 8, 0);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
