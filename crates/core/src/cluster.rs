@@ -12,9 +12,9 @@
 use crate::align::{align, Alignment, AlignmentMode};
 use crate::deadline::QueryBudget;
 use crate::params::ScoreParams;
-use crate::qpath::QueryPath;
+use crate::qpath::{QueryLabel, QueryPath};
 use crate::score::deletion_lambda;
-use path_index::{IndexLike, PathId, SynonymProvider};
+use path_index::{IndexLike, LshCandidate, PathId, SynonymProvider};
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::{Mutex, OnceLock};
@@ -55,6 +55,60 @@ pub enum AnchorSelection {
     MostSelective,
 }
 
+/// Default banding shape of [`Retrieval::Lsh`]: bands. Matches
+/// `path_index::LshParams::default()` — band-collision counts are the
+/// ranking signal, and 32 of them give enough resolution to order
+/// same-sink candidates that 8 could not separate.
+pub const LSH_DEFAULT_BANDS: u32 = 32;
+/// Default banding shape of [`Retrieval::Lsh`]: rows per band.
+pub const LSH_DEFAULT_ROWS: u32 = 2;
+/// Default candidate cap of [`Retrieval::Lsh`].
+pub const LSH_DEFAULT_TOP_M: usize = 128;
+/// Below this many viable LSH candidates (bucket collisions that the
+/// exact anchor scan would also admit) the cluster falls back to the
+/// exact scan: a near-empty bucket union means the signature carried
+/// too little information for the pruning to be trustworthy.
+pub const LSH_MIN_CANDIDATES: usize = 8;
+
+/// How the clustering step turns the anchor scan into the candidate
+/// list that is actually aligned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Retrieval {
+    /// Align every path the anchor scan retrieves — the paper's
+    /// behavior, and the `I` of its `O(h·I²)` complexity.
+    #[default]
+    Exact,
+    /// MinHash/LSH candidate tier (see `path_index::lsh`): keep only
+    /// the `top_m` anchor-scan candidates with the highest estimated
+    /// Jaccard similarity to the query path's label n-grams, ranked by
+    /// matching signature rows. A strict filter over the exact scan —
+    /// never admits a path the exact scan would not — so answers are a
+    /// subset-or-equal of the exact answers, and bit-identical once
+    /// `top_m` covers the whole scan. Falls back to the exact scan per
+    /// cluster when the index has no LSH tier, the query path hashes
+    /// to nothing, or fewer than [`LSH_MIN_CANDIDATES`] viable
+    /// candidates collide.
+    Lsh {
+        /// Bands the stored signatures are grouped into (index-build
+        /// shape; query-time probes always use the shape stored in the
+        /// sidecar).
+        bands: u32,
+        /// Signature rows per band.
+        rows: u32,
+        /// Keep at most this many candidates per cluster.
+        top_m: usize,
+    },
+}
+
+impl Retrieval {
+    /// The default LSH tier: 8 bands × 2 rows, `top_m` = 128.
+    pub const DEFAULT_LSH: Retrieval = Retrieval::Lsh {
+        bands: LSH_DEFAULT_BANDS,
+        rows: LSH_DEFAULT_ROWS,
+        top_m: LSH_DEFAULT_TOP_M,
+    };
+}
+
 /// Limits for cluster construction.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterConfig {
@@ -71,6 +125,10 @@ pub struct ClusterConfig {
     pub allow_full_scan: bool,
     /// Anchor-selection strategy.
     pub anchor: AnchorSelection,
+    /// Candidate-retrieval tier: exact anchor scan, or LSH-pruned
+    /// top-m (ignored when [`ClusterConfig::exhaustive`] is set — an
+    /// exhaustive run is explicitly asking for every path).
+    pub retrieval: Retrieval,
     /// Skip anchor-based retrieval entirely and align every indexed
     /// path against every query path. Exhaustive and expensive —
     /// intended for small graphs and for verifying properties (e.g.
@@ -98,6 +156,7 @@ impl Default for ClusterConfig {
             max_candidates: 1 << 17,
             allow_full_scan: true,
             anchor: AnchorSelection::SinkFirst,
+            retrieval: Retrieval::Exact,
             exhaustive: false,
             parallel_alignment: parallel_default(),
             // Under SAMA_PARALLEL the threshold drops to 1 so even tiny
@@ -139,6 +198,9 @@ pub struct Cluster {
     /// Candidates the index retrieved before any cap — the cluster's
     /// contribution to the paper's `I` (Figure 7a's x-axis).
     pub candidates_retrieved: usize,
+    /// Candidates the [`Retrieval::Lsh`] tier pruned before alignment
+    /// (0 under [`Retrieval::Exact`] or when the tier fell back).
+    pub lsh_pruned: usize,
 }
 
 impl Cluster {
@@ -206,6 +268,7 @@ pub fn build_clusters_budgeted<I: IndexLike + Sync>(
                     deletion_lambda: deletion_lambda(q.len(), params),
                     candidates_dropped: 0,
                     candidates_retrieved: 0,
+                    lsh_pruned: 0,
                 };
             }
             build_cluster(q, index, synonyms, params, mode, config, budget)
@@ -286,9 +349,11 @@ fn build_cluster<I: IndexLike + Sync>(
 ) -> Cluster {
     sama_obs::fault::point("cluster.align");
     let retrieve_span = sama_obs::span!("cluster.retrieve_ns");
-    let candidates = retrieve_candidates(q, index, synonyms, config);
+    let exact = retrieve_candidates(q, index, synonyms, config);
+    let retrieved = exact.len();
+    let (candidates, lsh_pruned) = lsh_filter(q, index, exact, config);
     drop(retrieve_span);
-    let retrieved = candidates.len();
+    sama_obs::observe("cluster.candidates_retrieved", retrieved as u64);
     let mut dropped = 0usize;
     let considered: &[PathId] = if candidates.len() > config.max_candidates {
         dropped = candidates.len() - config.max_candidates;
@@ -324,7 +389,99 @@ fn build_cluster<I: IndexLike + Sync>(
         deletion_lambda: deletion_lambda(q.len(), params),
         candidates_dropped: dropped,
         candidates_retrieved: retrieved,
+        lsh_pruned,
     }
+}
+
+/// The [`Retrieval::Lsh`] tier: prune the exact anchor scan down to
+/// the `top_m` candidates with the most matching signature rows.
+///
+/// Only paths the exact scan retrieved survive (bucket collisions are
+/// intersected with `exact`), so downstream answers are always a
+/// subset-or-equal of the exact run's — and when the scan already fits
+/// in `top_m` it is returned untouched, making the two retrieval modes
+/// bit-identical there. Returns the (still ascending-sorted) candidate
+/// list plus the number of paths pruned.
+fn lsh_filter<I: IndexLike + ?Sized>(
+    q: &QueryPath,
+    index: &I,
+    exact: Vec<PathId>,
+    config: &ClusterConfig,
+) -> (Vec<PathId>, usize) {
+    let Retrieval::Lsh { top_m, .. } = config.retrieval else {
+        return (exact, 0);
+    };
+    if config.exhaustive || exact.len() <= top_m {
+        return (exact, 0);
+    }
+    let Some(params) = index.lsh_params() else {
+        sama_obs::counter_add("cluster.lsh_fallback_total", 1);
+        return (exact, 0);
+    };
+    let shingles = query_shingles(q);
+    if shingles.is_empty() {
+        // A pure-variable path hashes to nothing; its signature would
+        // collide with the empty-path bucket only.
+        sama_obs::counter_add("cluster.lsh_fallback_total", 1);
+        return (exact, 0);
+    }
+    let signature = path_index::lsh::signature_of_shingles(&shingles, params);
+    let probe_span = sama_obs::span!("cluster.lsh_probe_ns");
+    let collisions = index.lsh_probe(&signature);
+    drop(probe_span);
+    // Retrieval results are sorted ascending (postings order), so the
+    // intersection is a binary search per collision.
+    debug_assert!(exact.windows(2).all(|w| w[0] < w[1]));
+    let mut viable: Vec<LshCandidate> = collisions
+        .into_iter()
+        .filter(|c| exact.binary_search(&c.path).is_ok())
+        .collect();
+    sama_obs::observe("cluster.lsh_candidates", viable.len() as u64);
+    if viable.len() < LSH_MIN_CANDIDATES.min(top_m) {
+        sama_obs::counter_add("cluster.lsh_fallback_total", 1);
+        return (exact, 0);
+    }
+    viable.sort_by(|a, b| b.matches.cmp(&a.matches).then(a.path.cmp(&b.path)));
+    viable.truncate(top_m);
+    let mut kept: Vec<PathId> = viable.into_iter().map(|c| c.path).collect();
+    kept.sort_unstable();
+    let pruned = exact.len() - kept.len();
+    (kept, pruned)
+}
+
+/// MinHash shingles of a *query* path: every accepted data label of
+/// every constant contributes a unigram, and every adjacent pair of
+/// constant positions (in the node/edge interleaved order the index
+/// shingles data paths in) contributes the cross product of their
+/// accepted labels as bigrams. Variables contribute nothing — they
+/// match anything, so they carry no selectivity.
+fn query_shingles(q: &QueryPath) -> Vec<u64> {
+    use path_index::lsh::{bigram_shingle, unigram_shingle};
+    let mut seq: Vec<&QueryLabel> = Vec::with_capacity(q.nodes.len() + q.edges.len());
+    for i in 0..q.nodes.len() {
+        seq.push(&q.nodes[i]);
+        if i < q.edges.len() {
+            seq.push(&q.edges[i]);
+        }
+    }
+    let mut shingles = Vec::new();
+    for label in &seq {
+        if let QueryLabel::Const { accepted, .. } = label {
+            shingles.extend(accepted.iter().map(|&l| unigram_shingle(l)));
+        }
+    }
+    for pair in seq.windows(2) {
+        if let (QueryLabel::Const { accepted: a, .. }, QueryLabel::Const { accepted: b, .. }) =
+            (pair[0], pair[1])
+        {
+            for &x in a.iter() {
+                shingles.extend(b.iter().map(|&y| bigram_shingle(x, y)));
+            }
+        }
+    }
+    shingles.sort_unstable();
+    shingles.dedup();
+    shingles
 }
 
 /// λ first; ties broken by the path's *content* (its node/edge id
@@ -781,6 +938,173 @@ mod tests {
         // Both still retrieve the exact matches (λ = 0 entries).
         assert_eq!(paper[0].best_lambda(), 0.0);
         assert_eq!(selective[0].best_lambda(), 0.0);
+    }
+
+    /// `chains` sponsor chains sharing the `"HC"` sink, so the sink
+    /// anchor retrieves every chain, plus a query matching chain 0.
+    fn lsh_setup(chains: usize) -> (PathIndex, Vec<QueryPath>) {
+        let mut b = DataGraph::builder();
+        for i in 0..chains {
+            b.triple_str(&format!("P{i}"), "sponsor", &format!("A{i}"))
+                .unwrap();
+            b.triple_str(&format!("A{i}"), "aTo", &format!("B{i}"))
+                .unwrap();
+            b.triple_str(&format!("B{i}"), "subject", "\"HC\"").unwrap();
+        }
+        let index = PathIndex::build(b.build());
+        let mut qb = QueryGraph::builder();
+        qb.triple_str("P0", "sponsor", "?v1").unwrap();
+        qb.triple_str("?v1", "aTo", "?v2").unwrap();
+        qb.triple_str("?v2", "subject", "\"HC\"").unwrap();
+        let q = qb.build();
+        let qpaths = decompose_query(
+            &q,
+            index.graph().vocab(),
+            &NoSynonyms,
+            &ExtractionConfig::default(),
+        );
+        (index, qpaths)
+    }
+
+    fn clusters_with(
+        index: &PathIndex,
+        qpaths: &[QueryPath],
+        retrieval: Retrieval,
+    ) -> Vec<Cluster> {
+        build_clusters(
+            qpaths,
+            index,
+            &NoSynonyms,
+            &ScoreParams::paper(),
+            AlignmentMode::Greedy,
+            &ClusterConfig {
+                retrieval,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn lsh_converges_to_exact_at_large_top_m() {
+        let (mut index, qpaths) = lsh_setup(32);
+        index.build_lsh(path_index::LshParams::default()).unwrap();
+        let exact = clusters_with(&index, &qpaths, Retrieval::Exact);
+        let lsh = clusters_with(
+            &index,
+            &qpaths,
+            Retrieval::Lsh {
+                bands: 8,
+                rows: 2,
+                top_m: 1 << 20,
+            },
+        );
+        for (e, l) in exact.iter().zip(&lsh) {
+            assert_eq!(e.entries, l.entries);
+            assert_eq!(e.candidates_retrieved, l.candidates_retrieved);
+            assert_eq!(l.lsh_pruned, 0);
+        }
+    }
+
+    #[test]
+    fn lsh_prunes_but_keeps_the_best_candidate() {
+        let (mut index, qpaths) = lsh_setup(64);
+        // The default 64-row signature separates the one true match
+        // from 63 same-sink chains with deterministic margin.
+        index
+            .build_lsh(path_index::LshParams { bands: 32, rows: 2 })
+            .unwrap();
+        let exact = clusters_with(&index, &qpaths, Retrieval::Exact);
+        let lsh = clusters_with(
+            &index,
+            &qpaths,
+            Retrieval::Lsh {
+                bands: 32,
+                rows: 2,
+                top_m: 8,
+            },
+        );
+        let (e, l) = (&exact[0], &lsh[0]);
+        assert_eq!(e.candidates_retrieved, 64);
+        assert_eq!(l.candidates_retrieved, 64, "retrieved counts the scan");
+        assert!(l.lsh_pruned > 0);
+        assert!(l.entries.len() <= 8);
+        // Every LSH entry also exists, same score, in the exact run.
+        for entry in &l.entries {
+            assert!(e.entries.contains(entry));
+        }
+        // The λ=0 chain (shares every constant with the query) must
+        // out-collide the rest and survive the pruning.
+        assert_eq!(l.best_lambda(), 0.0);
+        assert_eq!(l.entries[0], e.entries[0]);
+    }
+
+    #[test]
+    fn lsh_without_sidecar_falls_back_to_exact() {
+        let (index, qpaths) = lsh_setup(64);
+        let exact = clusters_with(&index, &qpaths, Retrieval::Exact);
+        let lsh = clusters_with(&index, &qpaths, Retrieval::DEFAULT_LSH);
+        for (e, l) in exact.iter().zip(&lsh) {
+            assert_eq!(e.entries, l.entries);
+            assert_eq!(l.lsh_pruned, 0);
+        }
+    }
+
+    #[test]
+    fn lsh_parallel_matches_sequential() {
+        let (mut index, qpaths) = lsh_setup(64);
+        index.build_lsh(path_index::LshParams::default()).unwrap();
+        let retrieval = Retrieval::Lsh {
+            bands: 8,
+            rows: 2,
+            top_m: 8,
+        };
+        let sequential = clusters_with(&index, &qpaths, retrieval);
+        let parallel = build_clusters_parallel(
+            &qpaths,
+            &index,
+            &NoSynonyms,
+            &ScoreParams::paper(),
+            AlignmentMode::Greedy,
+            &ClusterConfig {
+                retrieval,
+                parallel_alignment: true,
+                parallel_threshold: 1,
+                ..Default::default()
+            },
+        );
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.entries, p.entries);
+            assert_eq!(s.lsh_pruned, p.lsh_pruned);
+        }
+    }
+
+    #[test]
+    fn pure_variable_query_falls_back_under_lsh() {
+        let (mut index, _) = lsh_setup(64);
+        index.build_lsh(path_index::LshParams::default()).unwrap();
+        let mut b = QueryGraph::builder();
+        b.triple_str("?a", "?p", "?b").unwrap();
+        let q = b.build();
+        let qpaths = decompose_query(
+            &q,
+            index.graph().vocab(),
+            &NoSynonyms,
+            &ExtractionConfig::default(),
+        );
+        let exact = clusters_with(&index, &qpaths, Retrieval::Exact);
+        let lsh = clusters_with(
+            &index,
+            &qpaths,
+            Retrieval::Lsh {
+                bands: 8,
+                rows: 2,
+                top_m: 8,
+            },
+        );
+        // No constants → no shingles → the tier must fall back, not
+        // return an empty cluster.
+        assert_eq!(exact[0].entries, lsh[0].entries);
+        assert_eq!(lsh[0].lsh_pruned, 0);
     }
 
     #[test]

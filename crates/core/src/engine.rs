@@ -234,9 +234,16 @@ impl SamaEngine<PathIndex> {
         Self::with_config(data, EngineConfig::default())
     }
 
-    /// Index `data` with explicit configuration.
+    /// Index `data` with explicit configuration. A
+    /// [`crate::Retrieval::Lsh`] cluster config also builds the LSH
+    /// signature tier here; if that fails (it cannot for a freshly
+    /// built index) the engine serves exact retrieval per the tier's
+    /// fallback semantics.
     pub fn with_config(data: DataGraph, config: EngineConfig) -> Self {
-        let index = PathIndex::build_with_config(data, &config.extraction);
+        let mut index = PathIndex::build_with_config(data, &config.extraction);
+        if let crate::Retrieval::Lsh { bands, rows, .. } = config.cluster.retrieval {
+            let _ = index.build_lsh(path_index::LshParams { bands, rows });
+        }
         Self::from_index_with_config(index, config)
     }
 }

@@ -70,7 +70,8 @@ pub use batch::{BatchConfig, BatchOutcome, BatchStats, PhaseLatency};
 pub use chi_cache::{ChiCache, ChiCacheStats, SharedChiCache, SharedChiStats};
 pub use cluster::{
     build_clusters, build_clusters_budgeted, build_clusters_parallel, AnchorSelection, Cluster,
-    ClusterConfig, ClusterEntry,
+    ClusterConfig, ClusterEntry, Retrieval, LSH_DEFAULT_BANDS, LSH_DEFAULT_ROWS, LSH_DEFAULT_TOP_M,
+    LSH_MIN_CANDIDATES,
 };
 pub use deadline::{CancelToken, QueryBudget};
 pub use engine::{EngineConfig, QueryResult, QueryTimings, SamaEngine};

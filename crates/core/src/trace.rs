@@ -88,7 +88,7 @@ pub struct TraceCluster {
     /// Candidates the index retrieved (before any cap).
     pub retrieved: usize,
     /// Candidates actually aligned (`retrieved` minus the
-    /// `max_candidates` cap).
+    /// `max_candidates` cap and any LSH pruning).
     pub aligned: usize,
     /// Entries kept after the `max_cluster_size` truncation.
     pub kept: usize,
@@ -184,7 +184,7 @@ impl ExplainTrace {
             .map(|c| TraceCluster {
                 qpath_index: c.qpath_index,
                 retrieved: c.candidates_retrieved,
-                aligned: c.candidates_retrieved - c.candidates_dropped,
+                aligned: c.candidates_retrieved - c.candidates_dropped - c.lsh_pruned,
                 kept: c.entries.len(),
                 dropped: c.candidates_dropped,
                 best_lambda: c.best_lambda(),

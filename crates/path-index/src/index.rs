@@ -13,6 +13,7 @@ use crate::extract::{extract_paths, ExtractionConfig};
 use crate::hypergraph::HyperGraphView;
 use crate::path::{Path, PathId, PathLabels};
 use crate::stats::IndexStats;
+use crate::storage::StorageError;
 use crate::synonyms::SynonymProvider;
 use rdf_model::{DataGraph, FxHashMap, LabelId, NodeId};
 use std::time::Instant;
@@ -62,6 +63,12 @@ pub struct PathIndex {
     /// sink label → paths ending in it, ascending.
     by_sink: FxHashMap<LabelId, Vec<PathId>>,
     stats: IndexStats,
+    /// Optional MinHash/LSH candidate tier (see [`crate::lsh`]).
+    /// Shared (`Arc`) so cloning the index does not re-sign every
+    /// path; invalidated by any rebuild through `from_parts` — an
+    /// incremental update renumbers paths, so stale signatures would
+    /// be wrong, not just incomplete.
+    lsh: Option<std::sync::Arc<crate::lsh::LshSidecar>>,
 }
 
 impl PathIndex {
@@ -125,6 +132,7 @@ impl PathIndex {
             by_label,
             by_sink,
             stats,
+            lsh: None,
         }
     }
 
@@ -256,7 +264,45 @@ impl PathIndex {
             by_label,
             by_sink,
             stats,
+            lsh: None,
         }
+    }
+
+    /// Build and attach the MinHash/LSH candidate tier (see
+    /// [`crate::lsh`]) so cluster filling can retrieve approximate
+    /// candidates instead of aligning every exact-scan hit.
+    ///
+    /// # Errors
+    /// Propagates [`crate::lsh::build_lsh_bytes`] failures (the index
+    /// is left without an LSH tier).
+    pub fn build_lsh(&mut self, params: crate::lsh::LshParams) -> Result<(), StorageError> {
+        let bytes = crate::lsh::build_lsh_bytes(self, params)?;
+        self.lsh = Some(std::sync::Arc::new(crate::lsh::LshSidecar::from_bytes(
+            &bytes,
+        )?));
+        Ok(())
+    }
+
+    /// Attach a pre-built (e.g. mapped-from-disk) LSH sidecar.
+    ///
+    /// # Errors
+    /// [`StorageError::Corrupt`] when the sidecar covers a different
+    /// number of paths than this index.
+    pub fn attach_lsh(
+        &mut self,
+        sidecar: std::sync::Arc<crate::lsh::LshSidecar>,
+    ) -> Result<(), StorageError> {
+        if sidecar.path_count() != self.path_count() {
+            return Err(StorageError::Corrupt("LSH sidecar path count mismatch"));
+        }
+        self.lsh = Some(sidecar);
+        Ok(())
+    }
+
+    /// The attached LSH tier, if any.
+    #[inline]
+    pub fn lsh(&self) -> Option<&crate::lsh::LshSidecar> {
+        self.lsh.as_deref()
     }
 
     /// The indexed data graph.

@@ -39,6 +39,7 @@ pub mod compress;
 pub mod extract;
 pub mod hypergraph;
 pub mod index;
+pub mod lsh;
 pub mod path;
 pub mod shard;
 pub mod stats;
@@ -51,6 +52,7 @@ pub use compress::{decode_any, decode_compressed, encode_compressed};
 pub use extract::{extract_paths, Extraction, ExtractionConfig};
 pub use hypergraph::{HyperEdge, HyperEdgeKind, HyperGraphView};
 pub use index::{IndexedPath, PathIndex};
+pub use lsh::{build_lsh_bytes, sidecar_path, LshCandidate, LshParams, LshSidecar, LSH_MAGIC};
 pub use path::{display_parts, LabelsRef, Path, PathDisplay, PathId, PathLabels};
 pub use shard::{IndexLike, ShardedIndex};
 pub use stats::{format_bytes, IndexStats};

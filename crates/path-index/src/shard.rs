@@ -63,6 +63,21 @@ pub trait IndexLike {
 
     /// Every path id (the clustering full-scan fallback).
     fn all_path_ids(&self) -> Vec<PathId>;
+
+    /// Banding shape of the attached MinHash/LSH candidate tier (see
+    /// [`crate::lsh`]), or `None` when the index has no LSH structure
+    /// — callers then fall back to the exact scan.
+    fn lsh_params(&self) -> Option<crate::lsh::LshParams> {
+        None
+    }
+
+    /// Bucket-collision candidates for a query signature, each scored
+    /// by matching signature rows (the Jaccard-estimate numerator).
+    /// Unsorted; empty when no LSH tier is attached.
+    fn lsh_probe(&self, signature: &[u32]) -> Vec<crate::lsh::LshCandidate> {
+        let _ = signature;
+        Vec::new()
+    }
 }
 
 impl IndexLike for PathIndex {
@@ -100,6 +115,16 @@ impl IndexLike for PathIndex {
 
     fn all_path_ids(&self) -> Vec<PathId> {
         self.paths().map(|(id, _)| id).collect()
+    }
+
+    fn lsh_params(&self) -> Option<crate::lsh::LshParams> {
+        self.lsh().map(|sidecar| sidecar.params())
+    }
+
+    fn lsh_probe(&self, signature: &[u32]) -> Vec<crate::lsh::LshCandidate> {
+        self.lsh()
+            .map(|sidecar| sidecar.probe(signature))
+            .unwrap_or_default()
     }
 }
 
@@ -306,6 +331,34 @@ impl<I: IndexLike> IndexLike for ShardedIndex<I> {
 
     fn all_path_ids(&self) -> Vec<PathId> {
         (0..self.total_paths() as u32).map(PathId).collect()
+    }
+
+    fn lsh_params(&self) -> Option<crate::lsh::LshParams> {
+        // Probes only work when every shard carries an LSH tier built
+        // with the same banding shape — signatures must live in one
+        // hash space for match counts to be comparable across shards.
+        let mut params = None;
+        for shard in &self.shards {
+            match (params, shard.lsh_params()) {
+                (_, None) => return None,
+                (None, found) => params = found,
+                (Some(p), Some(q)) if p != q => return None,
+                _ => {}
+            }
+        }
+        params
+    }
+
+    fn lsh_probe(&self, signature: &[u32]) -> Vec<crate::lsh::LshCandidate> {
+        let mut out = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let offset = self.offsets[i];
+            out.extend(shard.lsh_probe(signature).into_iter().map(|mut c| {
+                c.path = PathId(c.path.0 + offset);
+                c
+            }));
+        }
+        out
     }
 }
 

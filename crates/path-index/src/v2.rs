@@ -972,6 +972,9 @@ pub struct MappedIndex {
     layout: Layout,
     stats: IndexStats,
     data: OnceLock<DataGraph>,
+    /// Optional MinHash/LSH candidate tier, loaded from a `SAMALSH1`
+    /// sidecar file next to the index (see [`crate::lsh`]).
+    lsh: Option<crate::lsh::LshSidecar>,
 }
 
 impl MappedIndex {
@@ -1019,7 +1022,28 @@ impl MappedIndex {
             layout,
             stats,
             data: OnceLock::new(),
+            lsh: None,
         })
+    }
+
+    /// Attach an LSH sidecar to serve as the approximate candidate
+    /// tier for this index.
+    ///
+    /// # Errors
+    /// [`StorageError::Corrupt`] when the sidecar's path count does not
+    /// match this index (it was built for a different snapshot).
+    pub fn attach_lsh(&mut self, sidecar: crate::lsh::LshSidecar) -> Result<(), StorageError> {
+        if sidecar.path_count() != self.layout.path_count {
+            return Err(StorageError::Corrupt("LSH sidecar path count mismatch"));
+        }
+        self.lsh = Some(sidecar);
+        Ok(())
+    }
+
+    /// The attached LSH sidecar, if any.
+    #[inline]
+    pub fn lsh(&self) -> Option<&crate::lsh::LshSidecar> {
+        self.lsh.as_ref()
     }
 
     /// The borrowed zero-copy view (no re-validation).
@@ -1126,6 +1150,17 @@ impl crate::shard::IndexLike for MappedIndex {
 
     fn all_path_ids(&self) -> Vec<PathId> {
         (0..self.layout.path_count as u32).map(PathId).collect()
+    }
+
+    fn lsh_params(&self) -> Option<crate::lsh::LshParams> {
+        self.lsh.as_ref().map(|sidecar| sidecar.params())
+    }
+
+    fn lsh_probe(&self, signature: &[u32]) -> Vec<crate::lsh::LshCandidate> {
+        self.lsh
+            .as_ref()
+            .map(|sidecar| sidecar.probe(signature))
+            .unwrap_or_default()
     }
 }
 

@@ -1,7 +1,7 @@
 //! Replayable test cases: a seeded graph/query pair plus the invariant
 //! it exercises, serializable to a standalone JSON file.
 //!
-//! A failing invariant shrinks its case (see [`crate::shrink`]) and
+//! A failing invariant shrinks its case (see [`mod@crate::shrink`]) and
 //! writes it to disk; `testkit replay <case.json>` re-runs exactly that
 //! case. Terms are encoded with a one-letter kind prefix (`i:` IRI,
 //! `l:` literal, `b:` blank, `v:` variable) so unicode labels, spaces,

@@ -35,8 +35,8 @@ use graph_match::{Matcher, Vf2Matcher};
 use path_index::{MappedIndex, PathIndex};
 use rdf_model::{DataGraph, Graph, Term, Triple};
 use sama_core::{
-    AlignmentMode, BatchConfig, ClusterConfig, EngineConfig, QueryBudget, QueryResult, SamaEngine,
-    SearchConfig, SharedChiCache, TraceConfig,
+    AlignmentMode, BatchConfig, ClusterConfig, EngineConfig, QueryBudget, QueryResult, Retrieval,
+    SamaEngine, SearchConfig, SharedChiCache, TraceConfig,
 };
 use std::time::Duration;
 
@@ -142,6 +142,13 @@ pub const CATALOG: &[Invariant] = &[
         summary: "a v1-decoded and a v2-mapped index answer bit-identically, \
                   with the same EXPLAIN phase structure",
         check: v1_v2_migration_identity,
+    },
+    Invariant {
+        name: "lsh_converges_to_exact",
+        kind: Kind::Differential,
+        summary: "LSH retrieval is bit-identical to the exact scan at large top_m, \
+                  and a subset with monotonically non-decreasing scores at small top_m",
+        check: lsh_converges_to_exact,
     },
 ];
 
@@ -501,6 +508,101 @@ fn v1_v2_migration_identity(case: &Case) -> Result<(), String> {
             &trace_structure(&from_v1),
             &trace_structure(&from_v2),
         ));
+    }
+    Ok(())
+}
+
+/// The LSH candidate tier's contract (see `sama_core::Retrieval::Lsh`):
+/// it is a *filter over the exact anchor scan*, so at a `top_m` that
+/// covers every retrieved candidate the answers and EXPLAIN cluster
+/// shapes are bit-identical to exact retrieval, and at a small `top_m`
+/// every answer is one exact retrieval could produce, with per-rank
+/// scores that never improve on the exact run's.
+fn lsh_converges_to_exact(case: &Case) -> Result<(), String> {
+    let query = case.query_graph();
+    // Anchored (non-exhaustive) retrieval — the exhaustive reference
+    // config deliberately bypasses the tier.
+    let configure = |retrieval| {
+        let mut config = base_config();
+        config.cluster.exhaustive = false;
+        config.cluster.retrieval = retrieval;
+        config.trace = TraceConfig::enabled();
+        config
+    };
+
+    let exact = engine(case, configure(Retrieval::Exact)).answer(&query, case.k);
+    let covering = engine(
+        case,
+        configure(Retrieval::Lsh {
+            bands: 8,
+            rows: 2,
+            top_m: 1 << 20,
+        }),
+    )
+    .answer(&query, case.k);
+    if fingerprint(&exact) != fingerprint(&covering) {
+        return Err(diff(
+            "LSH at covering top_m diverged from the exact scan",
+            &fingerprint(&exact),
+            &fingerprint(&covering),
+        ));
+    }
+    if trace_structure(&exact) != trace_structure(&covering) {
+        return Err(diff(
+            "LSH at covering top_m changed the EXPLAIN structure",
+            &trace_structure(&exact),
+            &trace_structure(&covering),
+        ));
+    }
+
+    let pruned = engine(
+        case,
+        configure(Retrieval::Lsh {
+            bands: 8,
+            rows: 2,
+            top_m: 4,
+        }),
+    )
+    .answer(&query, case.k);
+    // Pruned clusters hold a subset of the exact entries, so the search
+    // explores a subset of the combinations: it cannot find more
+    // answers, and its rank-i answer cannot beat the exact rank-i.
+    if pruned.answers.len() > exact.answers.len() {
+        return Err(format!(
+            "LSH at top_m=4 found MORE answers than the exact scan: {} > {}",
+            pruned.answers.len(),
+            exact.answers.len()
+        ));
+    }
+    for (rank, (p, e)) in pruned.answers.iter().zip(&exact.answers).enumerate() {
+        if p.score() + 1e-9 < e.score() {
+            return Err(format!(
+                "LSH at top_m=4 IMPROVED the rank-{rank} score: exact {} vs lsh {} \
+                 (pruning cannot create better combinations)",
+                e.score(),
+                p.score()
+            ));
+        }
+    }
+    // Every pruned answer must be one the exact configuration can
+    // produce: identical score bits and chosen data paths somewhere in
+    // the exact run's (larger-k, untruncated) answer list.
+    let exact_all = engine(case, configure(Retrieval::Exact)).answer(&query, 1 << 10);
+    if !exact_all.truncated {
+        let exact_lines: std::collections::BTreeSet<String> =
+            fingerprint(&exact_all).into_iter().collect();
+        for (rank, line) in fingerprint(&pruned)
+            .iter()
+            .take(pruned.answers.len())
+            .enumerate()
+        {
+            if !exact_lines.contains(line) {
+                return Err(format!(
+                    "LSH at top_m=4 produced answer #{rank} that exact retrieval \
+                     cannot: {line}"
+                ));
+            }
+        }
     }
     Ok(())
 }

@@ -14,7 +14,7 @@
 //!   bit-identity, VF2/GED oracle agreement) and metamorphic checks
 //!   (permutation/renaming invariance, Theorem-1 monotonicity, top-k
 //!   prefix stability, deadline identity).
-//! * [`shrink`] — ddmin-style minimization of failing cases.
+//! * [`mod@shrink`] — ddmin-style minimization of failing cases.
 //! * [`case`] + [`runner`] — replayable JSON case files, the sweep
 //!   driver, and `testkit replay`.
 //! * [`golden`] — shape pinning for EXPLAIN JSONL and the Prometheus

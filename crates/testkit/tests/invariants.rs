@@ -42,6 +42,11 @@ fn ged_oracle_agreement() {
     assert_invariant("ged_oracle_agreement");
 }
 
+#[test]
+fn lsh_converges_to_exact() {
+    assert_invariant("lsh_converges_to_exact");
+}
+
 // --- Metamorphic: transformed inputs relate predictably ---
 
 #[test]

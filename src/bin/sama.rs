@@ -11,13 +11,14 @@
 //! ```
 
 use sama::engine::{
-    BatchConfig, ClusterConfig, EngineConfig, SamaEngine, SharedChiCache, TraceConfig,
-    TruncationReason,
+    AnchorSelection, BatchConfig, ClusterConfig, EngineConfig, Retrieval, SamaEngine,
+    SharedChiCache, TraceConfig, TruncationReason, LSH_DEFAULT_BANDS, LSH_DEFAULT_ROWS,
+    LSH_DEFAULT_TOP_M,
 };
 use sama::index::{
-    decode_any, encode, encode_compressed, encode_v2, serialize_index, serialize_index_v2,
-    v2::SECTION_NAMES, AlignedBytes, ExtractionConfig, IndexLike, IndexView, MappedIndex,
-    PathIndex,
+    build_lsh_bytes, decode_any, encode, encode_compressed, encode_v2, serialize_index,
+    serialize_index_v2, sidecar_path, v2::SECTION_NAMES, AlignedBytes, ExtractionConfig, IndexLike,
+    IndexView, LshParams, LshSidecar, MappedIndex, PathIndex,
 };
 use sama::model::{parse_ntriples, parse_sparql, parse_turtle, DataGraph};
 use std::io::Read;
@@ -53,13 +54,15 @@ sama — approximate RDF querying by path alignment (EDBT 2013)
 
 USAGE:
   sama index <data.nt|data.ttl> -o <index.bin> [--v1] [--compress]
-             [--parallel N] [--stats]
+             [--parallel N] [--stats] [--lsh]
   sama update <index.bin> <more.nt|more.ttl> [-o <out.bin>] [--v1] [--compress]
   sama query <index.bin> <query.rq|-> [-k N] [--threads N] [--explain]
              [--explain-text] [--json] [--deadline-ms N] [--mmap]
+             [--lsh] [--lsh-top-m N] [--anchor sink|selective]
   sama batch <index.bin> <q1.rq> [q2.rq ...] [-k N] [--threads N]
              [--shared-chi] [--json] [--metrics-out <file>] [--trace-out <file>]
              [--deadline-ms N] [--max-queue N] [--mmap]
+             [--lsh] [--lsh-top-m N] [--anchor sink|selective]
   sama stats <index.bin>                    indexing statistics
   sama paths <index.bin> [--limit N]        dump indexed paths
   sama metrics [<index.bin>] [--json]       dump the global metrics registry
@@ -85,11 +88,64 @@ USAGE:
                      bytes-per-path, and measured open time for both formats
   --mmap             serve queries straight from a memory-mapped SAMAIDX2
                      file: no decode, no inverted-map rebuild (also:
-                     SAMA_MMAP=1 env var; the index must be SAMAIDX2)";
+                     SAMA_MMAP=1 env var; the index must be SAMAIDX2)
+  --lsh              on index: also write <index.bin>.lsh, a MinHash/LSH
+                     signature sidecar. On query/batch: prune each cluster's
+                     candidates to the top-m most similar by estimated
+                     Jaccard before alignment (also: SAMA_LSH=1 env var);
+                     falls back to the exact scan per cluster when too few
+                     candidates collide. Answers are always a subset of the
+                     exact scan's, identical when top-m covers it
+  --lsh-top-m N      candidates kept per cluster under --lsh (default 128)
+  --anchor MODE      candidate-retrieval anchor: \"sink\" (the paper's rule,
+                     default) or \"selective\" (probe every constant, keep
+                     the smallest candidate pool)";
 
 /// `--mmap` / `SAMA_MMAP=1`: serve from a mapped `SAMAIDX2` file.
 fn mmap_requested(flag: bool) -> bool {
     flag || std::env::var("SAMA_MMAP").is_ok_and(|v| v == "1")
+}
+
+/// `--lsh` / `SAMA_LSH=1`: prune candidates through the LSH tier.
+fn lsh_requested(flag: bool) -> bool {
+    flag || std::env::var("SAMA_LSH").is_ok_and(|v| v == "1")
+}
+
+/// `--anchor sink|selective`.
+fn parse_anchor(value: &str) -> Result<AnchorSelection, String> {
+    match value {
+        "sink" => Ok(AnchorSelection::SinkFirst),
+        "selective" => Ok(AnchorSelection::MostSelective),
+        other => Err(format!(
+            "bad --anchor value {other:?} (expected \"sink\" or \"selective\")"
+        )),
+    }
+}
+
+/// The LSH sidecar for `index_path`: prefer the `.lsh` file written by
+/// `sama index --lsh`; when it is missing, corrupt, or built for a
+/// different snapshot, rebuild the signatures in memory (a warning, not
+/// an error — the sidecar is a cache of derived data).
+fn load_lsh_sidecar<I: IndexLike + ?Sized>(
+    index_path: &str,
+    index: &I,
+) -> Result<LshSidecar, String> {
+    let side = sidecar_path(std::path::Path::new(index_path));
+    match LshSidecar::open(&side) {
+        Ok(sidecar) if sidecar.path_count() == index.total_paths() => return Ok(sidecar),
+        Ok(_) => eprintln!(
+            "warning: {} was built for a different index snapshot; \
+             rebuilding LSH signatures in memory",
+            side.display()
+        ),
+        Err(e) => eprintln!(
+            "note: no usable LSH sidecar at {} ({e}); building signatures in memory",
+            side.display()
+        ),
+    }
+    let bytes = build_lsh_bytes(index, LshParams::default())
+        .map_err(|e| format!("cannot build LSH signatures: {e}"))?;
+    LshSidecar::from_bytes(&bytes).map_err(|e| format!("cannot build LSH signatures: {e}"))
 }
 
 fn open_mapped(path: &str) -> Result<MappedIndex, String> {
@@ -118,6 +174,7 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
     let mut compress = false;
     let mut legacy_v1 = false;
     let mut show_stats = false;
+    let mut lsh = false;
     let mut parallel: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -128,6 +185,7 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
             "--compress" => compress = true,
             "--v1" => legacy_v1 = true,
             "--stats" => show_stats = true,
+            "--lsh" => lsh = true,
             "--parallel" => {
                 parallel = Some(
                     iter.next()
@@ -175,6 +233,18 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
             "warning: extraction limits truncated the path set \
              ({} depth cuts, {} dropped)",
             stats.depth_truncated, stats.dropped
+        );
+    }
+    if lsh_requested(lsh) {
+        let side = sidecar_path(std::path::Path::new(&output));
+        let lsh_bytes = build_lsh_bytes(&index, LshParams::default())
+            .map_err(|e| format!("cannot build LSH signatures: {e}"))?;
+        std::fs::write(&side, &lsh_bytes)
+            .map_err(|e| format!("cannot write {:?}: {e}", side.display()))?;
+        eprintln!(
+            "wrote LSH sidecar ({}) to {}",
+            sama::index::format_bytes(lsh_bytes.len()),
+            side.display()
         );
     }
     if show_stats {
@@ -310,6 +380,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut explain_text = false;
     let mut json = false;
     let mut mmap = false;
+    let mut lsh = false;
+    let mut lsh_top_m = LSH_DEFAULT_TOP_M;
+    let mut anchor = AnchorSelection::SinkFirst;
     let mut deadline_ms: Option<u64> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -336,10 +409,21 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                         .map_err(|_| "bad --deadline-ms value")?,
                 );
             }
+            "--lsh-top-m" => {
+                lsh_top_m = iter
+                    .next()
+                    .ok_or("--lsh-top-m needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --lsh-top-m value")?;
+            }
+            "--anchor" => {
+                anchor = parse_anchor(iter.next().ok_or("--anchor needs a value")?)?;
+            }
             "--explain" => explain = true,
             "--explain-text" => explain_text = true,
             "--json" => json = true,
             "--mmap" => mmap = true,
+            "--lsh" => lsh = true,
             other => positional.push(other.to_string()),
         }
     }
@@ -362,6 +446,15 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let query = parse_sparql(&query_text).map_err(|e| e.to_string())?;
 
     let mut config = engine_config_for_threads(threads);
+    config.cluster.anchor = anchor;
+    let use_lsh = lsh_requested(lsh);
+    if use_lsh {
+        config.cluster.retrieval = Retrieval::Lsh {
+            bands: LSH_DEFAULT_BANDS,
+            rows: LSH_DEFAULT_ROWS,
+            top_m: lsh_top_m,
+        };
+    }
     if explain {
         config.trace = TraceConfig::enabled();
     }
@@ -371,10 +464,24 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     // `--mmap` serves straight from the mapped file — same engine, same
     // pipeline, different `IndexLike` behind it.
     if mmap_requested(mmap) {
-        let engine = SamaEngine::from_index_with_config(open_mapped(index_path)?, config);
+        let mut mapped = open_mapped(index_path)?;
+        if use_lsh {
+            let sidecar = load_lsh_sidecar(index_path, &mapped)?;
+            mapped
+                .attach_lsh(sidecar)
+                .map_err(|e| format!("cannot attach LSH sidecar: {e}"))?;
+        }
+        let engine = SamaEngine::from_index_with_config(mapped, config);
         return run_query(&engine, &query, query_path, k, explain, explain_text, json);
     }
-    let engine = SamaEngine::from_index_with_config(load_index(index_path)?, config);
+    let mut index = load_index(index_path)?;
+    if use_lsh {
+        let sidecar = load_lsh_sidecar(index_path, &index)?;
+        index
+            .attach_lsh(std::sync::Arc::new(sidecar))
+            .map_err(|e| format!("cannot attach LSH sidecar: {e}"))?;
+    }
+    let engine = SamaEngine::from_index_with_config(index, config);
     run_query(&engine, &query, query_path, k, explain, explain_text, json)
 }
 
@@ -513,6 +620,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let mut deadline_ms: Option<u64> = None;
     let mut max_queue = 0usize;
     let mut mmap = false;
+    let mut lsh = false;
+    let mut lsh_top_m = LSH_DEFAULT_TOP_M;
+    let mut anchor = AnchorSelection::SinkFirst;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -522,6 +632,16 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                     .ok_or("-k needs a number")?
                     .parse()
                     .map_err(|_| "bad -k value")?;
+            }
+            "--lsh-top-m" => {
+                lsh_top_m = iter
+                    .next()
+                    .ok_or("--lsh-top-m needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --lsh-top-m value")?;
+            }
+            "--anchor" => {
+                anchor = parse_anchor(iter.next().ok_or("--anchor needs a value")?)?;
             }
             "--threads" => {
                 threads = iter
@@ -548,6 +668,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             "--shared-chi" => shared_chi = true,
             "--json" => json = true,
             "--mmap" => mmap = true,
+            "--lsh" => lsh = true,
             "--metrics-out" => {
                 metrics_out = Some(iter.next().ok_or("--metrics-out needs a path")?.clone());
             }
@@ -575,6 +696,15 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     }
 
     let mut config = engine_config_for_threads(threads);
+    config.cluster.anchor = anchor;
+    let use_lsh = lsh_requested(lsh);
+    if use_lsh {
+        config.cluster.retrieval = Retrieval::Lsh {
+            bands: LSH_DEFAULT_BANDS,
+            rows: LSH_DEFAULT_ROWS,
+            top_m: lsh_top_m,
+        };
+    }
     if trace_out.is_some() {
         config.trace = TraceConfig::enabled();
     }
@@ -587,13 +717,27 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         max_queue_depth: max_queue,
     };
     let outcome = if mmap_requested(mmap) {
-        let mut engine = SamaEngine::from_index_with_config(open_mapped(index_path)?, config);
+        let mut mapped = open_mapped(index_path)?;
+        if use_lsh {
+            let sidecar = load_lsh_sidecar(index_path, &mapped)?;
+            mapped
+                .attach_lsh(sidecar)
+                .map_err(|e| format!("cannot attach LSH sidecar: {e}"))?;
+        }
+        let mut engine = SamaEngine::from_index_with_config(mapped, config);
         if shared_chi {
             engine = engine.with_shared_chi_cache(SharedChiCache::with_defaults());
         }
         engine.answer_batch(&queries, &batch_config)
     } else {
-        let mut engine = SamaEngine::from_index_with_config(load_index(index_path)?, config);
+        let mut index = load_index(index_path)?;
+        if use_lsh {
+            let sidecar = load_lsh_sidecar(index_path, &index)?;
+            index
+                .attach_lsh(std::sync::Arc::new(sidecar))
+                .map_err(|e| format!("cannot attach LSH sidecar: {e}"))?;
+        }
+        let mut engine = SamaEngine::from_index_with_config(index, config);
         if shared_chi {
             engine = engine.with_shared_chi_cache(SharedChiCache::with_defaults());
         }

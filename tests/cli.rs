@@ -742,3 +742,166 @@ fn legacy_v1_flag_and_parallel_build_still_decode() {
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot map index"));
 }
+
+#[test]
+fn anchor_flag_selects_strategy_and_rejects_bad_values() {
+    let nt = temp_path("data_anchor.nt");
+    let rq = temp_path("query_anchor.rq");
+    let idx = temp_path("index_anchor.bin");
+    let _cleanup = Cleanup(vec![nt.clone(), rq.clone(), idx.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    std::fs::write(&rq, DEMO_RQ).unwrap();
+
+    let out = sama()
+        .args(["index", nt.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Both anchor strategies find the exact best answer; the selective
+    // anchor retrieves a smaller pool, so lower-ranked approximate
+    // answers may legitimately differ.
+    let answers = |anchor: &str| {
+        let out = sama()
+            .args([
+                "query",
+                idx.to_str().unwrap(),
+                rq.to_str().unwrap(),
+                "--json",
+                "--anchor",
+                anchor,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--anchor {anchor}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    for anchor in ["sink", "selective"] {
+        let json = answers(anchor);
+        assert!(
+            json.contains("\"rank\":0,\"score\":0") && json.contains("\"exact\":true"),
+            "--anchor {anchor}: {json}"
+        );
+    }
+
+    // batch accepts the flag too.
+    let out = sama()
+        .args([
+            "batch",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--anchor",
+            "selective",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A bad value is a one-line diagnostic and exit 1, not a panic.
+    let out = sama()
+        .args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--anchor",
+            "bogus",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad --anchor value"), "{stderr}");
+
+    // A missing value too.
+    let out = sama()
+        .args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--anchor",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--anchor needs a value"));
+}
+
+#[test]
+fn lsh_sidecar_roundtrip_and_env_flag() {
+    let nt = temp_path("data_lsh.nt");
+    let rq = temp_path("query_lsh.rq");
+    let idx = temp_path("index_lsh.bin");
+    let lsh = temp_path("index_lsh.bin.lsh");
+    let _cleanup = Cleanup(vec![nt.clone(), rq.clone(), idx.clone(), lsh.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    std::fs::write(&rq, DEMO_RQ).unwrap();
+
+    // `index --lsh` writes the SAMALSH1 sidecar next to the index.
+    let out = sama()
+        .args([
+            "index",
+            nt.to_str().unwrap(),
+            "-o",
+            idx.to_str().unwrap(),
+            "--lsh",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(std::fs::read(&lsh).unwrap().starts_with(b"SAMALSH1"));
+
+    let run = |configure: &dyn Fn(&mut std::process::Command)| {
+        let mut cmd = sama();
+        cmd.args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--json",
+        ]);
+        configure(&mut cmd);
+        let out = cmd.output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    // The demo query's candidates fit in top_m, so LSH answers are
+    // bit-identical to the exact scan — flag, env, and mmap alike.
+    let exact = run(&|_| {});
+    let flagged = run(&|c| {
+        c.arg("--lsh");
+    });
+    let via_env = run(&|c| {
+        c.env("SAMA_LSH", "1");
+    });
+    let mapped = run(&|c| {
+        c.args(["--lsh", "--mmap"]);
+    });
+    assert_eq!(exact, flagged);
+    assert_eq!(exact, via_env);
+    assert_eq!(exact, mapped);
+    assert!(exact.contains("\"answers\""));
+
+    // Without the sidecar the tier rebuilds signatures in memory
+    // (a stderr note, same answers).
+    std::fs::remove_file(&lsh).unwrap();
+    let rebuilt = run(&|c| {
+        c.args(["--lsh", "--lsh-top-m", "4"]);
+    });
+    assert_eq!(exact, rebuilt);
+}
