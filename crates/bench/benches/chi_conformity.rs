@@ -209,9 +209,11 @@ fn emit_baseline() {
     }
 
     let json = format!(
-        "{{\n  \"fixture_triples\": 3000,\n  \"pair_pool\": {},\n  \"pair_lookups\": {lookups},\n  \
+        "{{\n  \"fixture_triples\": 3000,\n  \"hardware_threads\": {},\n  \
+         \"pair_pool\": {},\n  \"pair_lookups\": {lookups},\n  \
          \"chi_ns_per_lookup\": {{\n    \"hash_set\": {:.1},\n    \"sorted_merge\": {:.1},\n    \
          \"cached_warm\": {:.1}\n  }},\n  \"search_top10\": {{\n{search_rows}\n  }}\n}}\n",
+        sama_obs::hardware_threads(),
         ids.len(),
         hash_ns as f64 / lookups as f64,
         sorted_ns as f64 / lookups as f64,

@@ -220,12 +220,14 @@ fn main() {
 
     let json = format!(
         "{{\n  \"fixture\": {{\"max_candidates\": {max_chains}, \"recall_k\": {RECALL_K}, \
-         \"lsh\": {{\"bands\": {}, \"rows\": {}}}}},\n  \"sweep\": [\n{}\n  ],\n  \
+         \"lsh\": {{\"bands\": {}, \"rows\": {}}}}},\n  \
+         \"hardware_threads\": {},\n  \"sweep\": [\n{}\n  ],\n  \
          \"default_top_m\": {LSH_DEFAULT_TOP_M},\n  \
          \"speedup_at_default_x\": {last_default_speedup:.1},\n  \
          \"recall_at_default\": {last_default_recall:.4}\n}}\n",
         LshParams::default().bands,
         LshParams::default().rows,
+        sama_obs::hardware_threads(),
         rows.join(",\n"),
     );
     let out = std::env::var("BENCH_CLUSTER_OUT").unwrap_or_else(|_| {

@@ -163,6 +163,7 @@ fn emit_baseline() {
     let json = format!(
         "{{\n  \"fixture_triples\": 3000,\n  \"workload_queries\": {},\n  \
          \"batch_size\": {},\n  \"runs\": {RUNS},\n  \
+         \"hardware_threads\": {},\n  \
          \"unlimited_ns\": {unlimited_ns},\n  \"roomy_deadline_ns\": {roomy_ns},\n  \
          \"batch_isolated_ns\": {isolated_ns},\n  \
          \"deadline_overhead_pct\": {roomy_pct:.2},\n  \
@@ -172,6 +173,7 @@ fn emit_baseline() {
          \"within_budget\": {}\n}}\n",
         fx.workload.len(),
         queries.len(),
+        sama_obs::hardware_threads(),
         roomy_pct < 1.0,
     );
 

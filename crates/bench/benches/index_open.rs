@@ -249,6 +249,7 @@ fn main() {
     let json = format!(
         "{{\n  \"fixture\": {{\"triples\": {triples}, \"paths\": {paths}, \
          \"chains\": {chains}}},\n  \
+         \"hardware_threads\": {},\n  \
          \"file_bytes\": {{\"v1\": {}, \"v2\": {}}},\n  \
          \"open\": {{\n    \
          \"v1_decode\": {{\"ns\": {v1_ns}, \"bytes_allocated\": {v1_alloc}}},\n    \
@@ -256,6 +257,7 @@ fn main() {
          \"v2_fallback\": {{\"ns\": {fb_ns}, \"bytes_allocated\": {fb_alloc}}}\n  }},\n  \
          \"speedup_x\": {speedup:.1},\n  \"alloc_ratio_x\": {alloc_ratio:.1},\n  \
          \"identity_verified\": true\n}}\n",
+        sama_obs::hardware_threads(),
         v1_bytes.len(),
         v2_bytes.len(),
     );

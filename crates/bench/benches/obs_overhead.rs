@@ -118,6 +118,7 @@ fn emit_baseline() {
     let json = format!(
         "{{\n  \"fixture_triples\": 3000,\n  \"workload_queries\": {},\n  \
          \"batch_size\": {},\n  \"runs\": {RUNS},\n  \
+         \"hardware_threads\": {},\n  \
          \"disabled_ns\": {disabled_ns},\n  \"enabled_ns\": {enabled_ns},\n  \
          \"enabled_with_trace_ns\": {traced_ns},\n  \
          \"metrics_overhead_pct\": {metrics_pct:.2},\n  \
@@ -126,6 +127,7 @@ fn emit_baseline() {
          \"within_budget\": {}\n}}\n",
         fx.workload.len(),
         queries.len(),
+        sama_obs::hardware_threads(),
         metrics_pct < 2.0,
     );
 

@@ -20,8 +20,40 @@ use path_index::{
 };
 use rdf_model::{DataGraph, QueryGraph};
 use sama_obs as obs;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// Monotonically increasing per-process query id, stamped into every
+/// [`QueryResult`], EXPLAIN trace, and slow-query record so one query's
+/// artefacts correlate across all three sinks.
+fn next_query_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+/// Saturating nanosecond conversion (durations beyond ~584 years clamp).
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The latency objective from `SAMA_SLO_MS` (default 500ms): queries
+/// slower than this count into `query.slo_violations_total` — the
+/// burn-rate numerator alerting divides by `query.queries_total`. Read
+/// once per process, like the other `SAMA_*` flags.
+pub(crate) fn slo_default() -> Duration {
+    static SLO: OnceLock<Duration> = OnceLock::new();
+    *SLO.get_or_init(|| match std::env::var("SAMA_SLO_MS") {
+        Ok(value) => match value.trim().parse::<u64>() {
+            Ok(ms) => Duration::from_millis(ms),
+            Err(_) => {
+                eprintln!("warning: ignoring SAMA_SLO_MS={value:?}: not a millisecond count");
+                Duration::from_millis(500)
+            }
+        },
+        Err(_) => Duration::from_millis(500),
+    })
+}
 
 /// The deadline from `SAMA_DEADLINE_MS` (unset = no deadline; `0` = an
 /// already-expired budget, useful for smoke-testing the degraded
@@ -113,6 +145,9 @@ impl QueryTimings {
 /// intermediate structures (useful for explanation and experiments).
 #[derive(Debug, Clone)]
 pub struct QueryResult {
+    /// This query's process-unique id — the correlation key shared with
+    /// its EXPLAIN trace and any slow-query record.
+    pub query_id: u64,
     /// Up to `k` answers in non-decreasing score order.
     pub answers: Vec<Answer>,
     /// The decomposed query paths (`PQ`).
@@ -447,11 +482,12 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
         budget: &QueryBudget,
     ) -> QueryResult {
         obs::fault::point("engine.answer");
+        let query_id = next_query_id();
         // An already-expired budget (deadline 0, pre-cancelled token)
         // returns immediately: a valid, empty, flagged result.
         if !budget.is_unlimited() {
             if let Some(reason) = budget.exceeded() {
-                return self.expired_result(query, reason);
+                return self.expired_result(query_id, query, reason);
             }
         }
         let preprocess_span = obs::span!("query.preprocess_ns");
@@ -512,8 +548,15 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             chi: outcome.chi_stats.chi_time,
         };
         self.flush_query_metrics(&outcome, &timings, retrieved_paths);
-        let trace = self.config.trace.enabled.then(|| {
+        // The slow-query log needs the EXPLAIN trace even when tracing
+        // is otherwise off: build it on demand for captured queries,
+        // but attach it to the result only when tracing is configured.
+        let slow_threshold = obs::slowlog::global()
+            .threshold()
+            .filter(|&t| timings.total() >= t);
+        let trace = (self.config.trace.enabled || slow_threshold.is_some()).then(|| {
             ExplainTrace::build(
+                query_id,
                 &self.config.trace,
                 query,
                 &query_paths,
@@ -522,7 +565,19 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
                 &timings,
             )
         });
+        if let (Some(threshold), Some(trace)) = (slow_threshold, trace.as_ref()) {
+            obs::slowlog::capture(obs::SlowQueryRecord {
+                query_id,
+                label: None,
+                total_ns: duration_ns(timings.total()),
+                threshold_ns: duration_ns(threshold),
+                truncation: outcome.truncation.map(|t| t.as_str().to_string()),
+                trace_json: Some(trace.to_json_line()),
+            });
+        }
+        let trace = trace.filter(|_| self.config.trace.enabled);
         QueryResult {
+            query_id,
             answers: outcome.answers,
             query_paths,
             intersection_graph,
@@ -573,6 +628,13 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
         obs::counter_add("chi.misses_total", chi.misses);
         obs::observe_duration("chi.compute_ns", chi.chi_time);
         obs::observe_duration("query.total_ns", timings.total());
+        obs::rolling_observe_duration("query.total_ns", timings.total());
+        // Registered with 0 so the series exists from the first query,
+        // before (and whether or not) any violation happens.
+        obs::counter_add(
+            "query.slo_violations_total",
+            u64::from(timings.total() > slo_default()),
+        );
         if let Some(shared) = &self.shared_chi {
             shared.publish_metrics();
         }
@@ -581,32 +643,55 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
     /// The degraded result of a budget that was already expired when
     /// the query arrived: empty but valid, flagged with `reason`, and
     /// counted like any other deadline expiry.
-    fn expired_result(&self, query: &QueryGraph, reason: TruncationReason) -> QueryResult {
+    fn expired_result(
+        &self,
+        query_id: u64,
+        query: &QueryGraph,
+        reason: TruncationReason,
+    ) -> QueryResult {
         if obs::enabled() {
             obs::counter_add("query.queries_total", 1);
             match reason {
                 TruncationReason::Cancelled => obs::counter_add("query.cancelled_total", 1),
                 _ => obs::counter_add("query.deadline_exceeded_total", 1),
             }
+            obs::rolling_observe("query.total_ns", 0);
         }
         let timings = QueryTimings::default();
-        let trace = self.config.trace.enabled.then(|| {
+        let outcome = crate::SearchOutcome {
+            answers: Vec::new(),
+            expansions: 0,
+            truncated: true,
+            truncation: Some(reason),
+            chi_stats: ChiCacheStats::default(),
+        };
+        let slow_threshold = obs::slowlog::global()
+            .threshold()
+            .filter(|&t| timings.total() >= t);
+        let trace = (self.config.trace.enabled || slow_threshold.is_some()).then(|| {
             ExplainTrace::build(
+                query_id,
                 &self.config.trace,
                 query,
                 &[],
                 &[],
-                &crate::SearchOutcome {
-                    answers: Vec::new(),
-                    expansions: 0,
-                    truncated: true,
-                    truncation: Some(reason),
-                    chi_stats: ChiCacheStats::default(),
-                },
+                &outcome,
                 &timings,
             )
         });
+        if let (Some(threshold), Some(trace)) = (slow_threshold, trace.as_ref()) {
+            obs::slowlog::capture(obs::SlowQueryRecord {
+                query_id,
+                label: None,
+                total_ns: duration_ns(timings.total()),
+                threshold_ns: duration_ns(threshold),
+                truncation: Some(reason.as_str().to_string()),
+                trace_json: Some(trace.to_json_line()),
+            });
+        }
+        let trace = trace.filter(|_| self.config.trace.enabled);
         QueryResult {
+            query_id,
             answers: Vec::new(),
             query_paths: Vec::new(),
             intersection_graph: IntersectionGraph::build(&[]),
@@ -820,6 +905,68 @@ mod tests {
         let scores = |r: &QueryResult| r.answers.iter().map(Answer::score).collect::<Vec<_>>();
         assert_eq!(scores(&a), scores(&b));
         assert_eq!(a.retrieved_paths, b.retrieved_paths);
+    }
+
+    #[test]
+    fn query_ids_are_unique_and_nonzero() {
+        let engine = SamaEngine::new(figure1_data());
+        let a = engine.answer(&q1(), 1);
+        let b = engine.answer(&q1(), 1);
+        assert!(a.query_id > 0);
+        assert!(b.query_id > a.query_id);
+    }
+
+    #[test]
+    fn slow_queries_are_captured_with_truncation_and_trace() {
+        let engine = SamaEngine::new(figure1_data());
+        let log = obs::slowlog::global();
+        // Threshold 0 captures every query; other tests run concurrently
+        // against the same global log, so assertions filter by query_id.
+        log.set_threshold(Some(Duration::ZERO));
+        let normal = engine.answer(&q1(), 1);
+        let expired = engine.answer_with_budget(&q1(), 1, &QueryBudget::deadline(Duration::ZERO));
+        log.set_threshold(None);
+
+        let records = log.records();
+        let normal_rec = records
+            .iter()
+            .find(|r| r.query_id == normal.query_id)
+            .expect("fast query captured at threshold 0");
+        assert_eq!(normal_rec.truncation, None);
+        let trace = normal_rec
+            .trace_json
+            .as_deref()
+            .expect("trace built on demand");
+        assert!(trace.contains(&format!("\"query_id\":{}", normal.query_id)));
+        assert!(trace.contains("\"phases\":{"));
+        assert!(
+            normal.trace.is_none(),
+            "on-demand slowlog trace must not turn tracing on for the result"
+        );
+
+        let expired_rec = records
+            .iter()
+            .find(|r| r.query_id == expired.query_id)
+            .expect("deadline-exceeded query captured");
+        assert_eq!(expired_rec.truncation.as_deref(), Some("deadline_exceeded"));
+        assert!(expired_rec
+            .trace_json
+            .as_deref()
+            .expect("degraded queries keep their EXPLAIN trace")
+            .contains("\"truncation\":\"deadline_exceeded\""));
+    }
+
+    #[test]
+    fn slo_violations_and_rolling_window_are_recorded() {
+        let engine = SamaEngine::new(figure1_data());
+        let before = obs::global().counter("query.queries_total").get();
+        let _ = engine.answer(&q1(), 1);
+        let snap = obs::global().snapshot();
+        // The SLO series exists from the first query even without a
+        // violation, and the rolling window saw this query.
+        assert!(snap.counters.contains_key("query.slo_violations_total"));
+        assert!(snap.counters["query.queries_total"] > before);
+        assert!(snap.windows["query.total_ns"].windows[2].1.count() > 0);
     }
 
     #[test]

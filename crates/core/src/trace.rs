@@ -135,6 +135,9 @@ pub struct TracePhases {
 /// fields directly.
 #[derive(Debug, Clone)]
 pub struct ExplainTrace {
+    /// The engine's process-unique id of the traced query — shared with
+    /// [`crate::QueryResult::query_id`] and any slow-query record.
+    pub query_id: u64,
     /// Caller-supplied correlation label (e.g. the query file name);
     /// `None` unless set via [`ExplainTrace::with_label`].
     pub label: Option<String>,
@@ -171,6 +174,7 @@ fn ns(d: std::time::Duration) -> u64 {
 impl ExplainTrace {
     /// Assemble a trace from the pipeline artefacts of one query run.
     pub(crate) fn build(
+        query_id: u64,
         config: &TraceConfig,
         query: &QueryGraph,
         query_paths: &[QueryPath],
@@ -192,6 +196,7 @@ impl ExplainTrace {
             .collect();
         let clusters_truncated = clusters.iter().any(|c| c.candidates_dropped > 0);
         ExplainTrace {
+            query_id,
             label: None,
             query_paths: query_paths
                 .iter()
@@ -243,7 +248,7 @@ impl ExplainTrace {
     pub fn to_json_line(&self) -> String {
         let esc = sama_obs::export::escape;
         let mut out = String::with_capacity(512);
-        out.push('{');
+        let _ = write!(out, "{{\"query_id\":{},", self.query_id);
         if let Some(label) = &self.label {
             let _ = write!(out, "\"label\":\"{}\",", esc(label));
         }
@@ -379,7 +384,8 @@ mod tests {
             .with_label("unit-test")
             .to_json_line();
         assert!(!line.contains('\n'));
-        assert!(line.starts_with("{\"label\":\"unit-test\""));
+        assert!(line.starts_with("{\"query_id\":"));
+        assert!(line.contains(",\"label\":\"unit-test\""));
         assert!(line.ends_with("}}"));
         // Balanced braces and brackets (the renderer is hand-rolled).
         let balance = |open: char, close: char| {

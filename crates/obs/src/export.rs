@@ -68,6 +68,37 @@ impl Snapshot {
         for (name, hist) in &self.histograms {
             write_histogram(&mut out, name, hist);
         }
+        for (name, windowed) in &self.windows {
+            let pname = prometheus_name(name);
+            for (quantile, label) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                let _ = writeln!(out, "# TYPE {pname}_{label} gauge");
+                for (window, h) in windowed.iter() {
+                    let _ = writeln!(
+                        out,
+                        "{pname}_{label}{{window=\"{window}\"}} {}",
+                        h.quantile(quantile)
+                    );
+                }
+            }
+            let _ = writeln!(out, "# TYPE {pname}_window_count gauge");
+            for (window, h) in windowed.iter() {
+                let _ = writeln!(
+                    out,
+                    "{pname}_window_count{{window=\"{window}\"}} {}",
+                    h.count()
+                );
+            }
+        }
+        if !self.build_info.is_empty() {
+            let _ = writeln!(out, "# TYPE sama_build_info gauge");
+            let labels = self
+                .build_info
+                .iter()
+                .map(|(k, v)| format!("{}=\"{}\"", prometheus_label(k), escape(v)))
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(out, "sama_build_info{{{labels}}} 1");
+        }
         out
     }
 
@@ -121,9 +152,53 @@ impl Snapshot {
             }
             out.push_str("]}");
         }
+        out.push_str("},\"windows\":{");
+        for (i, (name, windowed)) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{{", escape(name));
+            for (j, (window, h)) in windowed.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\"{window}\":{{\"count\":{},\"sum\":{},\
+                     \"p50\":{},\"p95\":{},\"p99\":{}}}",
+                    h.count(),
+                    h.sum,
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                );
+            }
+            out.push('}');
+        }
+        out.push_str("},\"build_info\":{");
+        for (i, (key, value)) in self.build_info.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape(key), escape(value));
+        }
         out.push_str("}}");
         out
     }
+}
+
+/// Map an arbitrary string onto a valid Prometheus *label* name (no
+/// namespace prefix; leading digits get an underscore).
+fn prometheus_label(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphabetic() || c == '_' || (c.is_ascii_digit() && i > 0) {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 /// Escape a string for embedding in a JSON document.
@@ -188,6 +263,45 @@ mod tests {
         assert!(json.contains("\"h_ns\":{\"count\":1"));
         assert!(json.contains("\"buckets\":[[7,1]]"));
         assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn windows_and_build_info_exposition() {
+        let r = Registry::new();
+        r.rolling("query.total_ns").record(1_000);
+        r.set_build_info("version", "1.2.3");
+        r.set_build_info("index.format", "SAMAIDX2");
+        let snap = r.snapshot();
+
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE sama_query_total_ns_p95 gauge"));
+        for window in ["10s", "1m", "5m"] {
+            assert!(text.contains(&format!("sama_query_total_ns_p50{{window=\"{window}\"}}")));
+            assert!(text.contains(&format!(
+                "sama_query_total_ns_window_count{{window=\"{window}\"}} 1"
+            )));
+        }
+        assert!(text.contains("# TYPE sama_build_info gauge"));
+        assert!(text.contains("sama_build_info{index_format=\"SAMAIDX2\",version=\"1.2.3\"} 1"));
+
+        let json = snap.to_json();
+        assert!(json.contains("\"windows\":{\"query.total_ns\":{\"10s\":{\"count\":1"));
+        assert!(
+            json.contains("\"build_info\":{\"index.format\":\"SAMAIDX2\",\"version\":\"1.2.3\"}")
+        );
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn empty_snapshot_still_renders_valid_json() {
+        let json = Registry::new().snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{},\
+             \"windows\":{},\"build_info\":{}}"
+        );
+        let text = Registry::new().snapshot().to_prometheus();
+        assert!(text.is_empty(), "nothing registered, nothing exposed");
     }
 
     #[test]

@@ -37,16 +37,22 @@
 pub mod export;
 pub mod fault;
 pub mod metrics;
+pub mod profile;
 pub mod registry;
+pub mod slowlog;
 pub mod span;
+pub mod window;
 
 pub use export::prometheus_name;
 pub use fault::{FaultAction, FaultPlan};
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKET_COUNT,
 };
+pub use profile::PathStat;
 pub use registry::{Registry, Snapshot};
+pub use slowlog::{SlowLog, SlowQueryRecord};
 pub use span::Span;
+pub use window::{RollingHistogram, WindowedSnapshot, WINDOWS};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -63,8 +69,29 @@ pub fn global() -> &'static Registry {
         if std::env::var_os("SAMA_METRICS").is_some_and(|v| v == "0") {
             set_enabled(false);
         }
-        Registry::new()
+        profile::init_from_env();
+        let registry = Registry::new();
+        // Identify the process to scrapes and bench baselines up front:
+        // detected parallelism and the crate version. Index-specific
+        // build info (the on-disk format) is stamped by whoever opens
+        // an index.
+        registry.gauge("runtime.hardware_threads").set(
+            std::thread::available_parallelism()
+                .map(|n| n.get() as i64)
+                .unwrap_or(1),
+        );
+        registry.set_build_info("version", env!("CARGO_PKG_VERSION"));
+        registry
     })
+}
+
+/// The parallelism the runtime detected (also exported as the
+/// `runtime.hardware_threads` gauge) — bench writers stamp this into
+/// their baselines so results from different machines stay comparable.
+pub fn hardware_threads() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
 }
 
 /// `true` while instrumentation is on (the default). Checked by the
@@ -113,5 +140,24 @@ pub fn observe_duration(name: &str, d: Duration) {
 pub fn observe(name: &str, value: u64) {
     if enabled() {
         global().histogram(name).record(value);
+    }
+}
+
+/// Record a raw sample into the global *rolling* histogram `name` —
+/// the sliding 10s/1m/5m windows — in addition to whatever lifetime
+/// histogram the caller also feeds (no-op while disabled).
+#[inline]
+pub fn rolling_observe(name: &str, value: u64) {
+    if enabled() {
+        global().rolling(name).record(value);
+    }
+}
+
+/// Record a duration into the global rolling histogram `name` as
+/// nanoseconds (no-op while disabled).
+#[inline]
+pub fn rolling_observe_duration(name: &str, d: Duration) {
+    if enabled() {
+        global().rolling(name).record_duration(d);
     }
 }

@@ -7,6 +7,7 @@
 //! per-expansion hot loops should aggregate locally and flush once.
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::window::{RollingHistogram, WindowedSnapshot};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -20,6 +21,8 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    rollings: Mutex<BTreeMap<String, Arc<RollingHistogram>>>,
+    build_info: Mutex<BTreeMap<String, String>>,
 }
 
 impl Registry {
@@ -71,6 +74,32 @@ impl Registry {
         }
     }
 
+    /// The rolling (time-windowed) histogram named `name`, registering
+    /// it on first use. Rolling histograms live in their own namespace:
+    /// a plain histogram of the same name (the lifetime distribution)
+    /// can coexist, and typically does.
+    pub fn rolling(&self, name: &str) -> Arc<RollingHistogram> {
+        let mut map = self.rollings.lock().expect("rolling registry poisoned");
+        match map.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(RollingHistogram::new());
+                map.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// Record or overwrite one `key="value"` label of the
+    /// `sama_build_info` pseudo-gauge (version, index format, …) that
+    /// identifies the running binary to scrapes.
+    pub fn set_build_info(&self, key: &str, value: &str) {
+        self.build_info
+            .lock()
+            .expect("build info poisoned")
+            .insert(key.to_string(), value.to_string());
+    }
+
     /// A point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -95,6 +124,14 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
+            windows: self
+                .rollings
+                .lock()
+                .expect("rolling registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.windowed()))
+                .collect(),
+            build_info: self.build_info.lock().expect("build info poisoned").clone(),
         }
     }
 }
@@ -110,6 +147,10 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, i64>,
     /// Histogram distributions by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Rolling-window distributions by name (10s/1m/5m trailing).
+    pub windows: BTreeMap<String, WindowedSnapshot>,
+    /// `sama_build_info` labels (version, index format, …).
+    pub build_info: BTreeMap<String, String>,
 }
 
 impl Snapshot {
@@ -126,6 +167,15 @@ impl Snapshot {
         }
         for (name, hist) in &other.histograms {
             self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+        for (name, windowed) in &other.windows {
+            self.windows
+                .entry(name.clone())
+                .or_default()
+                .merge(windowed);
+        }
+        for (key, value) in &other.build_info {
+            self.build_info.insert(key.clone(), value.clone());
         }
     }
 }

@@ -2,6 +2,7 @@
 //! histogram when the guard drops (or explicitly via [`Span::finish`]).
 
 use crate::metrics::Histogram;
+use crate::profile::{self, FrameToken};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -9,9 +10,16 @@ use std::time::{Duration, Instant};
 /// [`crate::span!`] macro), records its elapsed time into the backing
 /// histogram exactly once — on drop, or earlier via [`Span::finish`]
 /// when the caller also wants the duration.
+///
+/// When the [phase-stack profiler](crate::profile) is armed, a span
+/// entered through [`Span::enter_named`] (which the macro uses) also
+/// forms one frame of its thread's phase stack; the *same* elapsed
+/// measurement then feeds both the histogram and the profile table, so
+/// the two views agree exactly.
 #[derive(Debug)]
 pub struct Span {
     hist: Option<Arc<Histogram>>,
+    frame: Option<FrameToken>,
     start: Instant,
 }
 
@@ -20,6 +28,17 @@ impl Span {
     pub fn enter(hist: Arc<Histogram>) -> Self {
         Span {
             hist: Some(hist),
+            frame: None,
+            start: Instant::now(),
+        }
+    }
+
+    /// Start timing into `hist` *and* push `name` as a frame of the
+    /// thread's phase stack (a no-op while profiling is disarmed).
+    pub fn enter_named(name: &str, hist: Arc<Histogram>) -> Self {
+        Span {
+            hist: Some(hist),
+            frame: profile::push(name),
             start: Instant::now(),
         }
     }
@@ -29,26 +48,32 @@ impl Span {
     pub fn noop() -> Self {
         Span {
             hist: None,
+            frame: None,
             start: Instant::now(),
         }
+    }
+
+    fn record(&mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if let Some(hist) = self.hist.take() {
+            hist.record_duration(elapsed);
+        }
+        if let Some(token) = self.frame.take() {
+            profile::pop(token, u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        }
+        elapsed
     }
 
     /// Stop the span now, record it, and return the elapsed time (the
     /// elapsed time is returned even for a no-op span).
     pub fn finish(mut self) -> Duration {
-        let elapsed = self.start.elapsed();
-        if let Some(hist) = self.hist.take() {
-            hist.record_duration(elapsed);
-        }
-        elapsed
+        self.record()
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some(hist) = self.hist.take() {
-            hist.record_duration(self.start.elapsed());
-        }
+        self.record();
     }
 }
 
@@ -68,7 +93,7 @@ impl Drop for Span {
 macro_rules! span {
     ($name:expr) => {
         if $crate::enabled() {
-            $crate::Span::enter($crate::global().histogram($name))
+            $crate::Span::enter_named($name, $crate::global().histogram($name))
         } else {
             $crate::Span::noop()
         }
@@ -98,5 +123,28 @@ mod tests {
         let noop = Span::noop();
         let _ = noop.finish();
         assert_eq!(hist.snapshot().count(), 1, "noop span records nothing");
+    }
+
+    #[test]
+    fn named_span_feeds_histogram_and_profile_identically() {
+        let _guard = profile::test_lock();
+        let hist = Arc::new(Histogram::new());
+        profile::set_profiling(true);
+        profile::reset();
+        {
+            let _outer = Span::enter_named("span_test.outer_ns", Arc::clone(&hist));
+            let _inner = Span::enter_named("span_test.inner_ns", Arc::clone(&hist));
+        }
+        profile::set_profiling(false);
+        assert_eq!(hist.snapshot().count(), 2);
+        let stats = profile::stats();
+        let outer = stats["span_test.outer_ns"];
+        let inner = stats["span_test.outer_ns;span_test.inner_ns"];
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // The same elapsed measurement feeds both sinks, so the profile
+        // totals and the histogram sum agree exactly.
+        assert_eq!(hist.snapshot().sum, outer.total_ns + inner.total_ns);
+        assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns);
     }
 }

@@ -1,0 +1,302 @@
+//! Rolling time-windowed histograms: *current* latency, not lifetime
+//! averages.
+//!
+//! The plain [`crate::Histogram`] accumulates forever — after an hour
+//! of traffic its p95 barely moves when the last minute degrades. A
+//! [`RollingHistogram`] keeps the same log2 buckets in a ring of
+//! one-second **slices** and answers quantile queries over the sliding
+//! trailing windows operators actually watch: **10s / 1m / 5m**.
+//!
+//! ## Mechanics
+//!
+//! The ring holds [`SLICES`] slices (enough to cover the longest
+//! window with slack). Each slice carries the absolute second it
+//! currently represents; a recorder landing on a slice stamped with a
+//! *stale* second zeroes it first, so expiry needs no sweeper thread.
+//! A snapshot merges every slice whose stamp falls inside the
+//! requested window into one [`HistogramSnapshot`], from which
+//! p50/p95/p99 resolve exactly like the lifetime histograms.
+//!
+//! Recording is the same two relaxed `fetch_add`s as a plain
+//! histogram plus one stamp check; the structure is written once per
+//! *query*, never inside hot loops. Readers and writers never block
+//! each other — a scrape racing a slice reset can observe a partially
+//! zeroed slice, which for second-granularity operational quantiles is
+//! an accepted (and documented) imprecision.
+//!
+//! Time is measured as whole seconds since process start (a monotonic
+//! [`Instant`]), so the structure never consults the wall clock and is
+//! immune to clock steps.
+
+use crate::metrics::{bucket_index, HistogramSnapshot, BUCKET_COUNT};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The trailing windows every [`RollingHistogram`] answers for, in
+/// seconds, paired with the label the exporters use.
+pub const WINDOWS: [(&str, u64); 3] = [("10s", 10), ("1m", 60), ("5m", 300)];
+
+/// Ring length: 6 minutes of one-second slices — the longest window
+/// (5m) plus a minute of slack so a reader never races the slice about
+/// to be recycled for the *current* second.
+pub const SLICES: usize = 360;
+
+struct Slice {
+    /// `second + 1` of the data this slice holds; `0` = never written.
+    stamp: AtomicU64,
+    buckets: [AtomicU64; BUCKET_COUNT],
+    sum: AtomicU64,
+}
+
+impl Slice {
+    fn empty() -> Self {
+        Slice {
+            stamp: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn reset_for(&self, second: u64) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.stamp.store(second + 1, Ordering::Release);
+    }
+}
+
+/// Seconds elapsed since the process-wide monotonic epoch.
+pub(crate) fn now_secs() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs()
+}
+
+/// A log2-bucketed histogram over a ring of one-second slices,
+/// queryable for the sliding trailing windows in [`WINDOWS`].
+pub struct RollingHistogram {
+    slices: Vec<Slice>,
+}
+
+impl Default for RollingHistogram {
+    fn default() -> Self {
+        RollingHistogram {
+            slices: (0..SLICES).map(|_| Slice::empty()).collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for RollingHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RollingHistogram")
+            .field("slices", &self.slices.len())
+            .finish()
+    }
+}
+
+impl RollingHistogram {
+    /// An empty rolling histogram.
+    pub fn new() -> Self {
+        RollingHistogram::default()
+    }
+
+    /// Record one sample at the current second.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_at(value, now_secs());
+    }
+
+    /// Record a duration (as saturating nanoseconds) at the current
+    /// second.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// [`RollingHistogram::record`] with an explicit clock, for tests
+    /// and deterministic replays. `second` must be monotonically
+    /// non-decreasing across calls for windows to mean anything.
+    pub fn record_at(&self, value: u64, second: u64) {
+        let slice = &self.slices[(second as usize) % SLICES];
+        if slice.stamp.load(Ordering::Acquire) != second + 1 {
+            // First writer of this second recycles the slice. A racing
+            // writer may re-zero a freshly recorded sample from the
+            // same second — a bounded, diagnostics-grade imprecision.
+            slice.reset_for(second);
+        }
+        slice.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        slice.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// The merged distribution of the trailing `window_secs` seconds
+    /// (inclusive of the in-progress current second).
+    pub fn window(&self, window_secs: u64) -> HistogramSnapshot {
+        self.window_at(window_secs, now_secs())
+    }
+
+    /// [`RollingHistogram::window`] with an explicit clock.
+    pub fn window_at(&self, window_secs: u64, now: u64) -> HistogramSnapshot {
+        let oldest = now.saturating_sub(window_secs.saturating_sub(1));
+        let mut merged = HistogramSnapshot::default();
+        for slice in &self.slices {
+            let stamp = slice.stamp.load(Ordering::Acquire);
+            if stamp == 0 {
+                continue;
+            }
+            let second = stamp - 1;
+            if second < oldest || second > now {
+                continue;
+            }
+            for (mine, theirs) in merged.buckets.iter_mut().zip(&slice.buckets) {
+                *mine += theirs.load(Ordering::Relaxed);
+            }
+            merged.sum = merged.sum.saturating_add(slice.sum.load(Ordering::Relaxed));
+        }
+        merged
+    }
+
+    /// All three standard windows at once.
+    pub fn windowed(&self) -> WindowedSnapshot {
+        self.windowed_at(now_secs())
+    }
+
+    /// [`RollingHistogram::windowed`] with an explicit clock.
+    pub fn windowed_at(&self, now: u64) -> WindowedSnapshot {
+        WindowedSnapshot {
+            windows: WINDOWS.map(|(label, secs)| (label, self.window_at(secs, now))),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`RollingHistogram`]'s three standard
+/// trailing windows, labeled per [`WINDOWS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowedSnapshot {
+    /// `(label, distribution)` per window, in [`WINDOWS`] order.
+    pub windows: [(&'static str, HistogramSnapshot); 3],
+}
+
+impl Default for WindowedSnapshot {
+    fn default() -> Self {
+        WindowedSnapshot {
+            windows: WINDOWS.map(|(label, _)| (label, HistogramSnapshot::default())),
+        }
+    }
+}
+
+impl WindowedSnapshot {
+    /// Iterate `(label, distribution)` pairs, shortest window first.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &HistogramSnapshot)> {
+        self.windows.iter().map(|(label, h)| (*label, h))
+    }
+
+    /// Bucket-wise accumulate `other` (window by window). Merging makes
+    /// per-worker snapshots combinable exactly like plain histograms.
+    pub fn merge(&mut self, other: &WindowedSnapshot) {
+        for (mine, theirs) in self.windows.iter_mut().zip(&other.windows) {
+            mine.1.merge(&theirs.1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_expire_out_of_short_windows_first() {
+        let h = RollingHistogram::new();
+        h.record_at(1_000, 0);
+        h.record_at(2_000, 5);
+        h.record_at(4_000, 100);
+
+        // At second 100: 10s window sees only the latest sample, the
+        // 1m window the latest, the 5m window everything.
+        assert_eq!(h.window_at(10, 100).count(), 1);
+        assert_eq!(h.window_at(60, 100).count(), 1);
+        assert_eq!(h.window_at(300, 100).count(), 3);
+        assert_eq!(h.window_at(300, 100).sum, 7_000);
+
+        // At second 399 the first two samples have left even the 5m
+        // window (oldest covered second = 399 - 299 = 100).
+        assert_eq!(h.window_at(300, 399).count(), 1);
+
+        // Far in the future everything has expired.
+        assert_eq!(h.window_at(300, 10_000).count(), 0);
+    }
+
+    #[test]
+    fn window_includes_the_current_second() {
+        let h = RollingHistogram::new();
+        h.record_at(7, 42);
+        let w = h.window_at(10, 42);
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.sum, 7);
+        // A 1-second window is exactly the current second.
+        assert_eq!(h.window_at(1, 42).count(), 1);
+        assert_eq!(h.window_at(1, 43).count(), 0);
+    }
+
+    #[test]
+    fn ring_recycling_drops_only_stale_slices() {
+        let h = RollingHistogram::new();
+        h.record_at(1, 3);
+        // A full ring later the same slot is recycled for the new
+        // second; the stale sample must not resurface.
+        h.record_at(9, 3 + SLICES as u64);
+        let w = h.window_at(300, 3 + SLICES as u64);
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.sum, 9);
+    }
+
+    #[test]
+    fn quantiles_resolve_like_plain_histograms() {
+        let h = RollingHistogram::new();
+        for v in [100u64, 200, 400, 800, 100_000] {
+            h.record_at(v, 50);
+        }
+        let w = h.window_at(60, 50);
+        assert_eq!(w.count(), 5);
+        assert!(w.quantile(0.50) >= 200);
+        assert!(w.quantile(0.99) >= 100_000);
+        assert!(w.mean() > 0.0);
+    }
+
+    #[test]
+    fn windowed_snapshot_merges_bucketwise() {
+        let a = RollingHistogram::new();
+        let b = RollingHistogram::new();
+        a.record_at(10, 1);
+        b.record_at(20, 1);
+        let mut merged = a.windowed_at(1);
+        merged.merge(&b.windowed_at(1));
+        for (label, w) in merged.iter() {
+            assert_eq!(w.count(), 2, "window {label}");
+            assert_eq!(w.sum, 30, "window {label}");
+        }
+    }
+
+    #[test]
+    fn real_clock_record_is_visible_immediately() {
+        let h = RollingHistogram::new();
+        h.record(5);
+        assert_eq!(h.window(10).count(), 1);
+        assert_eq!(h.windowed().windows[0].1.count(), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_within_one_second_is_lossless() {
+        let h = RollingHistogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..1_000u64 {
+                        h.record_at(i, 9);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.window_at(10, 9).count(), 4_000);
+    }
+}

@@ -116,6 +116,146 @@ fn concurrent_span_recording_is_lossless() {
     );
 }
 
+/// Exporter edge case: hostile metric names (spaces, punctuation,
+/// unicode, leading digits in label keys) must come out as valid
+/// Prometheus identifiers in the exposition — every non-comment line
+/// starts with `[a-zA-Z_][a-zA-Z0-9_]*` optionally followed by
+/// `{...}`, then a value.
+#[test]
+fn exposition_sanitizes_hostile_metric_names() {
+    let r = Registry::new();
+    r.counter("weird name!{total}").inc();
+    r.gauge("über.gauge").set(7);
+    r.histogram("spaced out.ns").record(10);
+    r.rolling("rolling/metric.ns").record(10);
+    r.set_build_info("9starts.with-digit", "va\"lue\nnewline");
+
+    let text = r.snapshot().to_prometheus();
+    assert!(text.contains("sama_weird_name__total_ 1"));
+    assert!(text.contains("sama__ber_gauge 7"));
+    assert!(text.contains("sama_spaced_out_ns_count 1"));
+    assert!(text.contains("sama_rolling_metric_ns_p50{window=\"10s\"}"));
+    // Build-info label keys get the same treatment plus a leading-digit
+    // guard; values are escaped, not mangled.
+    assert!(text.contains("_starts_with_digit=\"va\\\"lue\\nnewline\""));
+
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let name: String = line
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        assert!(!name.is_empty(), "unparseable exposition line: {line}");
+        assert!(
+            !name.chars().next().unwrap().is_ascii_digit(),
+            "metric name starts with a digit: {line}"
+        );
+        let rest = &line[name.len()..];
+        assert!(
+            rest.starts_with(' ') || rest.starts_with('{'),
+            "garbage after metric name: {line}"
+        );
+    }
+}
+
+/// Exporter edge case: registered-but-never-recorded histograms (plain
+/// and rolling) must render as complete, zero-valued series rather
+/// than being skipped or emitting NaN quantiles.
+#[test]
+fn empty_histograms_render_complete_series() {
+    let r = Registry::new();
+    let _ = r.histogram("never.recorded_ns");
+    let _ = r.rolling("never.rolled_ns");
+
+    let text = r.snapshot().to_prometheus();
+    assert!(text.contains("sama_never_recorded_ns_count 0"));
+    assert!(text.contains("sama_never_recorded_ns_sum 0"));
+    assert!(text.contains("sama_never_recorded_ns_bucket{le=\"+Inf\"} 0"));
+    for label in ["p50", "p95", "p99"] {
+        for (window, _) in sama_obs::WINDOWS {
+            assert!(
+                text.contains(&format!(
+                    "sama_never_rolled_ns_{label}{{window=\"{window}\"}} 0"
+                )),
+                "missing zero {label} for window {window}:\n{text}"
+            );
+        }
+    }
+    assert!(!text.contains("NaN"), "NaN leaked into exposition:\n{text}");
+
+    let json = r.snapshot().to_json();
+    assert!(json.contains("\"never.recorded_ns\":{\"count\":0"));
+    assert!(json.contains("\"never.rolled_ns\""));
+}
+
+/// Exporter edge case: exporting while writers are mutating the same
+/// registry must never panic, render malformed text, or observe a
+/// count that exceeds what was actually recorded. Exercises the
+/// counter/histogram/rolling/build-info paths concurrently with
+/// repeated `snapshot()` + both renderers.
+#[test]
+fn concurrent_export_during_update_is_safe() {
+    let registry = Arc::new(Registry::new());
+    let writers = 4usize;
+    let per_thread = 2_000u64;
+    let total = writers as u64 * per_thread;
+
+    std::thread::scope(|scope| {
+        for t in 0..writers {
+            let registry = Arc::clone(&registry);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    registry.counter("live.events_total").inc();
+                    registry.histogram("live.latency_ns").record(i << (t % 8));
+                    registry.rolling("live.rolling_ns").record(i);
+                    if i % 512 == 0 {
+                        registry.set_build_info("writer", &format!("t{t}"));
+                    }
+                }
+            });
+        }
+        // Exporters race the writers: every intermediate snapshot must
+        // be internally consistent and renderable.
+        for _ in 0..2 {
+            let registry = Arc::clone(&registry);
+            scope.spawn(move || loop {
+                let snap = registry.snapshot();
+                let seen = snap.counters.get("live.events_total").copied().unwrap_or(0);
+                assert!(seen <= total, "counter overshot: {seen} > {total}");
+                if let Some(h) = snap.histograms.get("live.latency_ns") {
+                    assert!(h.count() <= total);
+                    assert_eq!(
+                        h.count(),
+                        h.buckets.iter().sum::<u64>(),
+                        "bucket sum disagrees with count"
+                    );
+                }
+                let text = snap.to_prometheus();
+                assert!(!text.contains("NaN"));
+                let json = snap.to_json();
+                assert!(json.starts_with('{') && json.ends_with('}'));
+                if seen == total {
+                    break;
+                }
+                std::thread::yield_now();
+            });
+        }
+    });
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters["live.events_total"], total);
+    assert_eq!(snap.histograms["live.latency_ns"].count(), total);
+    let windowed = &snap.windows["live.rolling_ns"];
+    assert_eq!(
+        windowed.windows[2].1.count(),
+        total,
+        "5m window must hold every sample recorded within the last second"
+    );
+    assert!(snap.build_info["writer"].starts_with('t'));
+}
+
 #[test]
 fn global_registry_round_trip() {
     sama_obs::counter_add("test.global_total", 2);

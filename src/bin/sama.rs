@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("paths") => cmd_paths(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -59,13 +60,20 @@ USAGE:
   sama query <index.bin> <query.rq|-> [-k N] [--threads N] [--explain]
              [--explain-text] [--json] [--deadline-ms N] [--mmap]
              [--lsh] [--lsh-top-m N] [--anchor sink|selective]
+             [--profile-out <file>] [--slowlog MS] [--slowlog-out <file>]
   sama batch <index.bin> <q1.rq> [q2.rq ...] [-k N] [--threads N]
              [--shared-chi] [--json] [--metrics-out <file>] [--trace-out <file>]
              [--deadline-ms N] [--max-queue N] [--mmap]
              [--lsh] [--lsh-top-m N] [--anchor sink|selective]
+             [--profile-out <file>] [--slowlog MS] [--slowlog-out <file>]
+  sama profile <index.bin> <query.rq|-> [-k N] [--threads N] [--out <file>]
+             run one query with the phase-stack profiler armed and emit
+             the folded flamegraph lines (stdout, or --out <file>)
   sama stats <index.bin>                    indexing statistics
   sama paths <index.bin> [--limit N]        dump indexed paths
-  sama metrics [<index.bin>] [--json]       dump the global metrics registry
+  sama metrics [<index.bin>] [--json] [--slowlog]
+             dump the global metrics registry (--slowlog: the captured
+             slow-query records as JSONL instead)
 
   --threads N        worker threads (0 = all hardware threads); N != 1 also
                      turns on parallel clustering and in-cluster alignment
@@ -99,7 +107,16 @@ USAGE:
   --lsh-top-m N      candidates kept per cluster under --lsh (default 128)
   --anchor MODE      candidate-retrieval anchor: \"sink\" (the paper's rule,
                      default) or \"selective\" (probe every constant, keep
-                     the smallest candidate pool)";
+                     the smallest candidate pool)
+  --profile-out F    arm the phase-stack profiler and write the folded
+                     flamegraph lines to F after the run (also:
+                     SAMA_PROFILE=1 env var + sama profile)
+  --slowlog MS       capture queries slower than MS milliseconds into the
+                     slow-query log (0 = every query; also:
+                     SAMA_SLOWLOG_MS env var)
+  --slowlog-out F    write the captured slow-query records to F as JSONL
+                     after the run (implies --slowlog 0 unless --slowlog
+                     or SAMA_SLOWLOG_MS set a threshold)";
 
 /// `--mmap` / `SAMA_MMAP=1`: serve from a mapped `SAMAIDX2` file.
 fn mmap_requested(flag: bool) -> bool {
@@ -109,6 +126,65 @@ fn mmap_requested(flag: bool) -> bool {
 /// `--lsh` / `SAMA_LSH=1`: prune candidates through the LSH tier.
 fn lsh_requested(flag: bool) -> bool {
     flag || std::env::var("SAMA_LSH").is_ok_and(|v| v == "1")
+}
+
+/// Arm the diagnostics sinks `query`/`batch` share before the run:
+/// `--profile-out` turns the phase-stack profiler on, `--slowlog MS`
+/// sets the capture threshold, and `--slowlog-out` alone implies
+/// capture-everything (threshold 0) so the file is never silently
+/// empty.
+fn arm_diagnostics(
+    profile_out: &Option<String>,
+    slowlog_ms: Option<u64>,
+    slowlog_out: &Option<String>,
+) {
+    if profile_out.is_some() {
+        sama::obs::profile::set_profiling(true);
+    }
+    let log = sama::obs::slowlog::global();
+    if let Some(ms) = slowlog_ms {
+        log.set_threshold(Some(std::time::Duration::from_millis(ms)));
+    } else if slowlog_out.is_some() && log.threshold().is_none() {
+        log.set_threshold(Some(std::time::Duration::ZERO));
+    }
+}
+
+/// Flush the diagnostics sinks after the run: folded flamegraph lines
+/// to `--profile-out`, slow-query JSONL to `--slowlog-out`.
+fn flush_diagnostics(
+    profile_out: &Option<String>,
+    slowlog_out: &Option<String>,
+) -> Result<(), String> {
+    if let Some(path) = profile_out {
+        let folded = sama::obs::profile::folded();
+        std::fs::write(path, &folded).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        eprintln!("wrote {} profile stacks to {path}", folded.lines().count());
+    }
+    if let Some(path) = slowlog_out {
+        let log = sama::obs::slowlog::global();
+        std::fs::write(path, log.to_jsonl()).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        eprintln!(
+            "wrote {} slow-query records to {path} ({} evicted)",
+            log.len(),
+            log.evicted()
+        );
+    }
+    Ok(())
+}
+
+/// Read a query from a file or stdin (`-`) and parse it.
+fn read_query(query_path: &str) -> Result<sama::model::SparqlQuery, String> {
+    let text = if query_path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        text
+    } else {
+        std::fs::read_to_string(query_path)
+            .map_err(|e| format!("cannot read {query_path:?}: {e}"))?
+    };
+    parse_sparql(&text).map_err(|e| e.to_string())
 }
 
 /// `--anchor sink|selective`.
@@ -149,12 +225,21 @@ fn load_lsh_sidecar<I: IndexLike + ?Sized>(
 }
 
 fn open_mapped(path: &str) -> Result<MappedIndex, String> {
+    sama::obs::global().set_build_info("index.format", "SAMAIDX2");
     MappedIndex::open(std::path::Path::new(path))
         .map_err(|e| format!("cannot map index {path:?}: {e} (is it SAMAIDX2? re-run sama index)"))
 }
 
 fn load_index(path: &str) -> Result<PathIndex, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read index {path:?}: {e}"))?;
+    sama::obs::global().set_build_info(
+        "index.format",
+        if bytes.starts_with(sama::index::MAGIC2) {
+            "SAMAIDX2"
+        } else {
+            "SAMAIDX1"
+        },
+    );
     // Accepts both the plain and the compressed format, by magic.
     decode_any(&bytes).map_err(|e| format!("cannot decode index {path:?}: {e}"))
 }
@@ -384,6 +469,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut lsh_top_m = LSH_DEFAULT_TOP_M;
     let mut anchor = AnchorSelection::SinkFirst;
     let mut deadline_ms: Option<u64> = None;
+    let mut profile_out: Option<String> = None;
+    let mut slowlog_ms: Option<u64> = None;
+    let mut slowlog_out: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -419,6 +507,20 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             "--anchor" => {
                 anchor = parse_anchor(iter.next().ok_or("--anchor needs a value")?)?;
             }
+            "--profile-out" => {
+                profile_out = Some(iter.next().ok_or("--profile-out needs a path")?.clone());
+            }
+            "--slowlog" => {
+                slowlog_ms = Some(
+                    iter.next()
+                        .ok_or("--slowlog needs a millisecond count")?
+                        .parse()
+                        .map_err(|_| "bad --slowlog value")?,
+                );
+            }
+            "--slowlog-out" => {
+                slowlog_out = Some(iter.next().ok_or("--slowlog-out needs a path")?.clone());
+            }
             "--explain" => explain = true,
             "--explain-text" => explain_text = true,
             "--json" => json = true,
@@ -433,17 +535,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         );
     };
 
-    let query_text = if query_path == "-" {
-        let mut text = String::new();
-        std::io::stdin()
-            .read_to_string(&mut text)
-            .map_err(|e| format!("cannot read stdin: {e}"))?;
-        text
-    } else {
-        std::fs::read_to_string(query_path)
-            .map_err(|e| format!("cannot read {query_path:?}: {e}"))?
-    };
-    let query = parse_sparql(&query_text).map_err(|e| e.to_string())?;
+    let query = read_query(query_path)?;
+    arm_diagnostics(&profile_out, slowlog_ms, &slowlog_out);
 
     let mut config = engine_config_for_threads(threads);
     config.cluster.anchor = anchor;
@@ -472,7 +565,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("cannot attach LSH sidecar: {e}"))?;
         }
         let engine = SamaEngine::from_index_with_config(mapped, config);
-        return run_query(&engine, &query, query_path, k, explain, explain_text, json);
+        run_query(&engine, &query, query_path, k, explain, explain_text, json)?;
+        return flush_diagnostics(&profile_out, &slowlog_out);
     }
     let mut index = load_index(index_path)?;
     if use_lsh {
@@ -482,7 +576,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot attach LSH sidecar: {e}"))?;
     }
     let engine = SamaEngine::from_index_with_config(index, config);
-    run_query(&engine, &query, query_path, k, explain, explain_text, json)
+    run_query(&engine, &query, query_path, k, explain, explain_text, json)?;
+    flush_diagnostics(&profile_out, &slowlog_out)
 }
 
 /// The query pipeline after engine construction, generic over the
@@ -623,6 +718,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let mut lsh = false;
     let mut lsh_top_m = LSH_DEFAULT_TOP_M;
     let mut anchor = AnchorSelection::SinkFirst;
+    let mut profile_out: Option<String> = None;
+    let mut slowlog_ms: Option<u64> = None;
+    let mut slowlog_out: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -632,6 +730,20 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                     .ok_or("-k needs a number")?
                     .parse()
                     .map_err(|_| "bad -k value")?;
+            }
+            "--profile-out" => {
+                profile_out = Some(iter.next().ok_or("--profile-out needs a path")?.clone());
+            }
+            "--slowlog" => {
+                slowlog_ms = Some(
+                    iter.next()
+                        .ok_or("--slowlog needs a millisecond count")?
+                        .parse()
+                        .map_err(|_| "bad --slowlog value")?,
+                );
+            }
+            "--slowlog-out" => {
+                slowlog_out = Some(iter.next().ok_or("--slowlog-out needs a path")?.clone());
             }
             "--lsh-top-m" => {
                 lsh_top_m = iter
@@ -716,6 +828,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         threads,
         max_queue_depth: max_queue,
     };
+    arm_diagnostics(&profile_out, slowlog_ms, &slowlog_out);
     let outcome = if mmap_requested(mmap) {
         let mut mapped = open_mapped(index_path)?;
         if use_lsh {
@@ -744,6 +857,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         engine.answer_batch(&queries, &batch_config)
     };
     let stats = &outcome.stats;
+    flush_diagnostics(&profile_out, &slowlog_out)?;
 
     // Per-query EXPLAIN traces, one JSONL line each, labeled by file.
     // Failed/shed slots carry no trace; they are skipped.
@@ -1018,17 +1132,81 @@ fn cmd_paths(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `sama profile`: answer one query with the phase-stack profiler
+/// armed, then emit the accumulated folded flamegraph lines
+/// (`parent;child self_ns`) — `flamegraph.pl` / `inferno` / speedscope
+/// input — to stdout or `--out <file>`.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut k = 10usize;
+    let mut threads = 1usize;
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-k" => {
+                k = iter
+                    .next()
+                    .ok_or("-k needs a number")?
+                    .parse()
+                    .map_err(|_| "bad -k value")?;
+            }
+            "--threads" => {
+                threads = iter
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --threads value")?;
+            }
+            "-o" | "--out" => {
+                out = Some(iter.next().ok_or("--out needs a path")?.clone());
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [index_path, query_path] = positional.as_slice() else {
+        return Err("usage: sama profile <index.bin> <query.rq|-> [-k N] [--out <file>]".into());
+    };
+    let query = read_query(query_path)?;
+    // Arm before loading so index-open spans profile too.
+    sama::obs::profile::set_profiling(true);
+    let index = load_index(index_path)?;
+    let engine = SamaEngine::from_index_with_config(index, engine_config_for_threads(threads));
+    let result = engine
+        .try_answer(&query.graph, k)
+        .map_err(|e| format!("query failed: {e}"))?;
+    sama::obs::profile::set_profiling(false);
+    let folded = sama::obs::profile::folded();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &folded).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            eprintln!("wrote {} profile stacks to {path}", folded.lines().count());
+        }
+        None => print!("{folded}"),
+    }
+    eprintln!(
+        "{} answers in {:.2?} (query id {})",
+        result.answers.len(),
+        result.timings.total(),
+        result.query_id
+    );
+    Ok(())
+}
+
 /// Dump the process-global metrics registry — Prometheus text by
-/// default, the JSON snapshot with `--json`. An optional index path is
-/// loaded first so one-shot invocations have something to report
-/// (index gauges and build spans); long-lived embedders call
+/// default, the JSON snapshot with `--json`, the slow-query log as
+/// JSONL with `--slowlog`. An optional index path is loaded first so
+/// one-shot invocations have something to report (index gauges and
+/// build spans); long-lived embedders call
 /// `sama::obs::global().snapshot()` directly instead.
 fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let mut positional = Vec::new();
     let mut json = false;
+    let mut slowlog = false;
     for arg in args {
         match arg.as_str() {
             "--json" => json = true,
+            "--slowlog" => slowlog = true,
             other => positional.push(other.to_string()),
         }
     }
@@ -1041,7 +1219,17 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
             sama::obs::gauge_set("index.paths", index.path_count() as i64);
             sama::obs::gauge_set("index.triples", index.graph().edge_count() as i64);
         }
-        _ => return Err("usage: sama metrics [<index.bin>] [--json]".into()),
+        _ => return Err("usage: sama metrics [<index.bin>] [--json] [--slowlog]".into()),
+    }
+    if slowlog {
+        let log = sama::obs::slowlog::global();
+        print!("{}", log.to_jsonl());
+        eprintln!(
+            "{} slow-query records retained, {} evicted",
+            log.len(),
+            log.evicted()
+        );
+        return Ok(());
     }
     let snapshot = sama::obs::global().snapshot();
     if json {

@@ -226,7 +226,8 @@ fn query_explain_emits_jsonl_trace() {
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines.len(), 1, "expected one JSONL line, got: {text}");
     let line = lines[0];
-    assert!(line.starts_with("{\"label\":"), "{line}");
+    assert!(line.starts_with("{\"query_id\":"), "{line}");
+    assert!(line.contains(",\"label\":"), "{line}");
     assert!(line.ends_with('}'), "{line}");
     assert_eq!(
         line.matches('{').count(),
@@ -346,7 +347,8 @@ fn batch_metrics_out_and_trace_out() {
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines.len(), 2, "{text}");
     for line in lines {
-        assert!(line.starts_with("{\"label\":"), "{line}");
+        assert!(line.starts_with("{\"query_id\":"), "{line}");
+        assert!(line.contains(",\"label\":"), "{line}");
         assert!(line.contains("\"phases\":{"), "{line}");
         assert!(line.ends_with('}'), "{line}");
     }
