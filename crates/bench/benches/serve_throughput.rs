@@ -1,0 +1,209 @@
+//! HTTP serving throughput: a loopback load driver against a live
+//! `sama-serve` [`Server`] — keep-alive connections, one client thread
+//! per connection, each replaying `POST /query` as fast as the server
+//! answers.
+//!
+//! Besides the criterion round-trip timing, a machine-readable
+//! baseline is written to `results/BENCH_serve.json` (override with
+//! `BENCH_SERVE_OUT`). Concurrency scaling is bounded by the hardware
+//! the bench runs on, so the baseline records `hardware_threads` next
+//! to the numbers. Knobs:
+//!
+//! * `SAMA_BENCH_SERVE_CONNS` — comma-separated connection sweep
+//!   (default `1,2,4`).
+//! * `SAMA_BENCH_SERVE_SECS` — seconds per sweep point (default `2`).
+
+use bench::fixture;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sama_serve::{ServeConfig, Server};
+use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// The Q1-shaped workload query, rendered as SPARQL against the
+/// fixture's first department (always present at any fixture size).
+fn workload_sparql(dept: &str) -> String {
+    format!(
+        "SELECT ?s WHERE {{\n  ?s <memberOf> <{dept}> .\n  <{dept}> <type> <Department> .\n}}\n"
+    )
+}
+
+/// Start a server over the standard fixture; returns the bound
+/// address, a shutdown handle, the server thread, and the query body.
+fn start_server() -> (
+    SocketAddr,
+    sama_serve::ShutdownHandle,
+    std::thread::JoinHandle<sama_serve::DrainReport>,
+    String,
+) {
+    let fx = fixture(2_000);
+    let body = workload_sparql(fx.dataset.departments[0].as_str());
+    let engine = sama_core::SamaEngine::new(fx.dataset.graph.clone());
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_connections: 64,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(engine, config).expect("bind loopback server");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join, body)
+}
+
+/// One keep-alive round trip: write the POST, read head + body.
+/// Returns the HTTP status.
+fn round_trip(stream: &mut TcpStream, request: &[u8], scratch: &mut Vec<u8>) -> u16 {
+    stream.write_all(request).expect("write request");
+    scratch.clear();
+    let mut chunk = [0u8; 8192];
+    let head_len = loop {
+        if let Some(pos) = scratch.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "server closed the keep-alive connection");
+        scratch.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&scratch[..head_len]).expect("UTF-8 head");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("content-length");
+    let mut have = scratch.len() - head_len - 4;
+    while have < content_length {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "server closed mid-body");
+        have += n;
+    }
+    status
+}
+
+fn query_request(addr: SocketAddr, body: &str) -> Vec<u8> {
+    format!(
+        "POST /query HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn bench_serve_roundtrip(c: &mut Criterion) {
+    let (addr, handle, join, body) = start_server();
+    let request = query_request(addr, &body);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let mut scratch = Vec::new();
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(20);
+    group.bench_function("query_roundtrip", |b| {
+        b.iter(|| black_box(round_trip(&mut stream, &request, &mut scratch)))
+    });
+    group.finish();
+
+    drop(stream);
+    handle.shutdown();
+    join.join().expect("server thread");
+}
+
+/// Drive `conns` keep-alive connections for `duration`; returns
+/// `(total_requests, sorted per-request latencies)`.
+fn drive(addr: SocketAddr, body: &str, conns: usize, duration: Duration) -> (u64, Vec<u64>) {
+    let workers: Vec<_> = (0..conns)
+        .map(|_| {
+            let request = query_request(addr, body);
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                let mut scratch = Vec::new();
+                let mut latencies_us = Vec::new();
+                let deadline = Instant::now() + duration;
+                while Instant::now() < deadline {
+                    let t = Instant::now();
+                    let status = round_trip(&mut stream, &request, &mut scratch);
+                    assert_eq!(status, 200, "load driver expects clean answers");
+                    latencies_us.push(t.elapsed().as_micros() as u64);
+                }
+                latencies_us
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for w in workers {
+        all.extend(w.join().expect("client thread"));
+    }
+    all.sort_unstable();
+    (all.len() as u64, all)
+}
+
+/// Write the machine-readable baseline (`results/BENCH_serve.json`).
+fn emit_baseline() {
+    let sweep: Vec<usize> = std::env::var("SAMA_BENCH_SERVE_CONNS")
+        .unwrap_or_else(|_| "1,2,4".to_string())
+        .split(',')
+        .map(|s| s.trim().parse().expect("SAMA_BENCH_SERVE_CONNS"))
+        .collect();
+    let secs: u64 = std::env::var("SAMA_BENCH_SERVE_SECS")
+        .map(|s| s.parse().expect("SAMA_BENCH_SERVE_SECS"))
+        .unwrap_or(2);
+    let duration = Duration::from_secs(secs);
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+
+    let (addr, handle, join, body) = start_server();
+    let mut rows = String::new();
+    for &conns in &sweep {
+        let (requests, latencies) = drive(addr, &body, conns, duration);
+        let p = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    \"{conns}\": {{\"requests\": {requests}, \"requests_per_sec\": {:.1}, \
+             \"p50_us\": {}, \"p95_us\": {}}}",
+            requests as f64 / duration.as_secs_f64(),
+            p(0.50),
+            p(0.95),
+        ));
+    }
+    handle.shutdown();
+    let report = join.join().expect("server thread");
+
+    let json = format!(
+        "{{\n  \"fixture_triples\": 2000,\n  \"duration_secs\": {secs},\n  \
+         \"hardware_threads\": {hardware_threads},\n  \"keep_alive\": true,\n  \
+         \"clean_drain\": {},\n  \"connections\": {{\n{rows}\n  }}\n}}\n",
+        report.is_clean(),
+    );
+
+    let out = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../results/BENCH_serve.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(err) => eprintln!("could not write {out}: {err}"),
+    }
+    print!("{json}");
+}
+
+fn bench_emit_baseline(_c: &mut Criterion) {
+    // Skip the slow load sweep when cargo runs benches in test mode.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    emit_baseline();
+}
+
+criterion_group!(benches, bench_serve_roundtrip, bench_emit_baseline);
+criterion_main!(benches);

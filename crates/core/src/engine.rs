@@ -26,8 +26,10 @@ use std::time::Duration;
 
 /// Monotonically increasing per-process query id, stamped into every
 /// [`QueryResult`], EXPLAIN trace, and slow-query record so one query's
-/// artefacts correlate across all three sinks.
-fn next_query_id() -> u64 {
+/// artefacts correlate across all three sinks. The serving layer also
+/// stamps fresh ids into error responses, keeping failures correlatable
+/// from the client side.
+pub fn next_query_id() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(0);
     NEXT.fetch_add(1, Ordering::Relaxed) + 1
 }

@@ -57,6 +57,7 @@ pub mod engine;
 pub mod error;
 pub mod forest;
 pub mod igraph;
+pub mod jsonout;
 pub mod params;
 pub mod qpath;
 pub mod relevance;
@@ -74,10 +75,11 @@ pub use cluster::{
     LSH_MIN_CANDIDATES,
 };
 pub use deadline::{CancelToken, QueryBudget};
-pub use engine::{EngineConfig, QueryResult, QueryTimings, SamaEngine};
+pub use engine::{next_query_id, EngineConfig, QueryResult, QueryTimings, SamaEngine};
 pub use error::{QueryError, SamaError};
 pub use forest::{ForestEdge, ForestNode, PathForest};
 pub use igraph::{IgEdge, IntersectionGraph};
+pub use jsonout::{json_escape, render_result_json};
 pub use params::ScoreParams;
 pub use qpath::{decompose_query, decompose_query_checked, QueryLabel, QueryPath};
 pub use relevance::{more_relevant, ops_of_counts, transformation_cost, EditOp};

@@ -26,6 +26,20 @@
 //! `every=N` fires the action on every N-th hit of the site (default
 //! every hit). Example: `SAMA_FAULTS=search.expand:panic:every=7`.
 //!
+//! Armed sites, by layer:
+//!
+//! | site | hit on |
+//! |------|--------|
+//! | `index.load` | index deserialization / mmap open |
+//! | `engine.answer` | top of a single query evaluation |
+//! | `search.expand` | candidate expansion in the top-k search |
+//! | `cluster.align` | per-cluster alignment |
+//! | `batch.worker` | per-query slot inside the batch worker pool |
+//! | `serve.accept` | HTTP connection accept/dispatch |
+//! | `serve.read` | HTTP request read, once per request |
+//! | `serve.write` | HTTP response write, once per response |
+//! | `serve.handler` | query handler, inside the per-request `catch_unwind` |
+//!
 //! Because the plan is process-global, tests that install plans must
 //! serialize themselves (e.g. behind a shared mutex) and should call
 //! [`install`] with an explicit plan — including [`FaultPlan::none`]

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 
-/// Ring capacity of the [global](global) slow-query log.
+/// Ring capacity of the [global] slow-query log.
 pub const DEFAULT_CAPACITY: usize = 128;
 
 /// Sentinel for "no threshold set": the log is disabled.
@@ -199,7 +199,7 @@ pub fn global() -> &'static SlowLog {
     })
 }
 
-/// Record into the [global](global) log and count the capture in the
+/// Record into the [global] log and count the capture in the
 /// global `query.slow_total` metric — what the engine calls.
 pub fn capture(record: SlowQueryRecord) {
     crate::counter_add("query.slow_total", 1);

@@ -1,0 +1,363 @@
+//! Minimal HTTP/1.1 wire handling over `std::net` — request parsing
+//! with hard caps on every dimension an untrusted peer controls, and
+//! response assembly with explicit framing (`Content-Length` always,
+//! no chunked encoding in either direction).
+//!
+//! The parser is deliberately small: one request at a time, no
+//! pipelining (bytes past the declared body are discarded), no
+//! `Transfer-Encoding` (typed `400`). Everything hostile maps to a
+//! typed [`ParseError`] the connection loop turns into a status code.
+
+use std::io::Read;
+use std::io::Write as IoWrite;
+use std::net::TcpStream;
+
+/// Hard cap on the request line + headers. Anything larger is either
+/// hostile or lost; `431` and close.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method token as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as received: path plus optional `?query`.
+    pub target: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client wants the connection kept open afterwards.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header named `name` (give it lowercased), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target with any `?query` stripped.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The raw value of `?key=value` in the target, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        let (_, qs) = self.target.split_once('?')?;
+        qs.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Why a request could not be read off the socket.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Clean EOF before the first byte — a keep-alive peer left.
+    Closed,
+    /// A socket read or write timed out (slow-loris cut).
+    TimedOut,
+    /// Any other socket error; the connection is unusable.
+    Io(std::io::Error),
+    /// Malformed request line, header, or framing → `400`.
+    BadRequest(String),
+    /// Request line + headers exceeded [`MAX_HEAD_BYTES`] → `431`.
+    HeadersTooLarge,
+    /// Declared `Content-Length` exceeded the body cap → `413`.
+    BodyTooLarge,
+}
+
+/// Fold socket errors into the timeout/other split the caller cares
+/// about. Read timeouts surface as `WouldBlock` on Unix and `TimedOut`
+/// on Windows.
+fn map_io(e: std::io::Error) -> ParseError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ParseError::TimedOut,
+        _ => ParseError::Io(e),
+    }
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Read and parse one request from `stream`, enforcing
+/// [`MAX_HEAD_BYTES`] on the head and `max_body` on the declared body
+/// length — an oversized `Content-Length` is rejected *before* any
+/// body byte is buffered.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ParseError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_len = loop {
+        if let Some(pos) = head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::HeadersTooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(map_io)?;
+        if n == 0 {
+            return Err(if buf.is_empty() {
+                ParseError::Closed
+            } else {
+                ParseError::BadRequest("connection closed mid-request".into())
+            });
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| ParseError::BadRequest("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(ParseError::BadRequest(format!(
+            "malformed request line {request_line:?}"
+        )));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::BadRequest(format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if find("transfer-encoding").is_some() {
+        return Err(ParseError::BadRequest(
+            "transfer-encoding is not supported; send a content-length".into(),
+        ));
+    }
+    let keep_alive = match find("connection") {
+        Some(v) if v.eq_ignore_ascii_case("close") => false,
+        Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+        _ => version == "HTTP/1.1",
+    };
+    let content_length = match find("content-length") {
+        None => 0,
+        Some(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| ParseError::BadRequest(format!("bad content-length {raw:?}")))?,
+    };
+    if content_length > max_body {
+        return Err(ParseError::BodyTooLarge);
+    }
+
+    let mut body = buf[head_len + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(map_io)?;
+        if n == 0 {
+            return Err(ParseError::BadRequest("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length); // no pipelining: drop trailing bytes
+
+    Ok(Request {
+        method,
+        target,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// An HTTP response under assembly.
+#[derive(Debug, Clone)]
+pub struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+    extra: Vec<(String, String)>,
+    close: bool,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: &str) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.as_bytes().to_vec(),
+            extra: Vec::new(),
+            close: false,
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            extra: Vec::new(),
+            close: false,
+        }
+    }
+
+    /// A Prometheus text-exposition response.
+    pub fn prometheus(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: body.into_bytes(),
+            extra: Vec::new(),
+            close: false,
+        }
+    }
+
+    /// Append an extra header line.
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.extra.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Force `Connection: close` regardless of what the client asked.
+    pub fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+
+    /// Whether this response insists on closing the connection.
+    pub fn wants_close(&self) -> bool {
+        self.close
+    }
+
+    /// The status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Serialize onto `stream`. `keep_alive` is what the connection
+    /// loop decided (client wish ∧ not [`Response::wants_close`] ∧ not
+    /// draining) and is advertised back in the `Connection` header.
+    pub fn write_to(&self, stream: &mut TcpStream, keep_alive: bool) -> std::io::Result<()> {
+        use std::fmt::Write;
+        let mut head = String::with_capacity(128);
+        let _ = write!(
+            head,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra {
+            let _ = write!(head, "{name}: {value}\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    /// Run the parser against raw bytes written from a peer thread.
+    fn parse(raw: &'static [u8], max_body: usize) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(raw).expect("write");
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let parsed = read_request(&mut stream, max_body);
+        writer.join().expect("writer");
+        parsed
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_params() {
+        let req = parse(
+            b"POST /query?k=3 HTTP/1.1\r\nHost: x\r\nX-Sama-Deadline-Ms: 250\r\nContent-Length: 5\r\n\r\nhello",
+            64,
+        )
+        .expect("parse");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/query");
+        assert_eq!(req.query_param("k"), Some("3"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.header("x-sama-deadline-ms"), Some("250"));
+        assert_eq!(req.body, b"hello");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", 0).expect("parse");
+        assert!(!req.keep_alive);
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n", 0).expect("parse");
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_before_buffering() {
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n", 16).unwrap_err();
+        assert!(matches!(err, ParseError::BodyTooLarge));
+    }
+
+    #[test]
+    fn hostile_framing_is_typed() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 16).unwrap_err(),
+            ParseError::BadRequest(_)
+        ));
+        assert!(matches!(
+            parse(b"nonsense\r\n\r\n", 16).unwrap_err(),
+            ParseError::BadRequest(_)
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 16).unwrap_err(),
+            ParseError::BadRequest(_)
+        ));
+        assert!(matches!(parse(b"", 16).unwrap_err(), ParseError::Closed));
+        assert!(matches!(
+            parse(b"GET / HT", 16).unwrap_err(),
+            ParseError::BadRequest(_)
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! SIGINT/SIGTERM → drain flag, with no libc dependency: a raw
+//! `signal(2)` binding installs a handler that flips one process-global
+//! atomic, which the accept loop polls between accepts. The handler
+//! body is async-signal-safe (a single atomic store). Non-Unix builds
+//! compile the flag without the handler and drain via
+//! [`crate::ShutdownHandle`] or [`request`] instead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// `true` once SIGINT or SIGTERM arrived (or [`request`] was called).
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Flip the drain flag by hand — for tests and embedders that shut
+/// down without delivering a signal.
+pub fn request() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Install the SIGINT/SIGTERM handlers. Idempotent; call once before
+/// [`crate::Server::run`].
+#[cfg(unix)]
+pub fn install() {
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+/// No signal plumbing off Unix: drain via [`crate::ShutdownHandle`].
+#[cfg(not(unix))]
+pub fn install() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn request_flips_the_flag() {
+        // `requested()` is process-global, so this test is the only one
+        // in the crate's unit suite allowed to set it.
+        assert!(!super::requested());
+        super::install();
+        super::request();
+        assert!(super::requested());
+    }
+}

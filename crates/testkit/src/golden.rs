@@ -80,6 +80,9 @@ pub fn prometheus_names() -> Vec<String> {
     let (data, query) = fixture();
     let engine = SamaEngine::new(data);
     let _ = engine.answer(&query, 3);
+    // The serving layer registers its metrics up front (no server
+    // needed), so the golden set pins the full `serve.*` surface too.
+    sama_serve::register_metrics();
     let text = sama_obs::global().snapshot().to_prometheus();
     let mut names: Vec<String> = text
         .lines()

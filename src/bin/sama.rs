@@ -11,9 +11,9 @@
 //! ```
 
 use sama::engine::{
-    AnchorSelection, BatchConfig, ClusterConfig, EngineConfig, Retrieval, SamaEngine,
-    SharedChiCache, TraceConfig, TruncationReason, LSH_DEFAULT_BANDS, LSH_DEFAULT_ROWS,
-    LSH_DEFAULT_TOP_M,
+    json_escape, render_result_json, AnchorSelection, BatchConfig, ClusterConfig, EngineConfig,
+    Retrieval, SamaEngine, SharedChiCache, TraceConfig, TruncationReason, LSH_DEFAULT_BANDS,
+    LSH_DEFAULT_ROWS, LSH_DEFAULT_TOP_M,
 };
 use sama::index::{
     build_lsh_bytes, decode_any, encode, encode_compressed, encode_v2, serialize_index,
@@ -35,6 +35,7 @@ fn main() -> ExitCode {
         Some("paths") => cmd_paths(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -69,6 +70,14 @@ USAGE:
   sama profile <index.bin> <query.rq|-> [-k N] [--threads N] [--out <file>]
              run one query with the phase-stack profiler armed and emit
              the folded flamegraph lines (stdout, or --out <file>)
+  sama serve <index.bin> [--addr HOST:PORT] [-k N] [--threads N] [--mmap]
+             [--lsh] [--lsh-top-m N] [--anchor sink|selective]
+             [--deadline-ms N] [--max-connections N] [--max-body-kb N]
+             [--read-timeout-ms N] [--write-timeout-ms N] [--drain-ms N]
+             [--max-queue N] [--metrics-out <file>] [--slowlog MS]
+             [--slowlog-out <file>]
+             HTTP front door: POST /query + /batch, GET /metrics,
+             /healthz, /readyz; SIGTERM/ctrl-c drains gracefully
   sama stats <index.bin>                    indexing statistics
   sama paths <index.bin> [--limit N]        dump indexed paths
   sama metrics [<index.bin>] [--json] [--slowlog]
@@ -116,7 +125,18 @@ USAGE:
                      SAMA_SLOWLOG_MS env var)
   --slowlog-out F    write the captured slow-query records to F as JSONL
                      after the run (implies --slowlog 0 unless --slowlog
-                     or SAMA_SLOWLOG_MS set a threshold)";
+                     or SAMA_SLOWLOG_MS set a threshold)
+  --addr H:P         serve: listen address (default 127.0.0.1:7878; port 0
+                     picks a free port, printed on the startup line)
+  --max-connections N  serve: admission cap; accepts beyond it are shed
+                     with 503 + Retry-After (default 64)
+  --max-body-kb N    serve: request-body cap in KiB; larger bodies get a
+                     typed 413 (default 1024)
+  --read-timeout-ms N  serve: socket read timeout cutting slow-loris
+                     clients (default 5000)
+  --write-timeout-ms N serve: socket write timeout (default 5000)
+  --drain-ms N       serve: how long SIGTERM waits for in-flight
+                     connections before exiting anyway (default 5000)";
 
 /// `--mmap` / `SAMA_MMAP=1`: serve from a mapped `SAMAIDX2` file.
 fn mmap_requested(flag: bool) -> bool {
@@ -612,7 +632,10 @@ fn run_query<I: IndexLike + Sync>(
     }
 
     if json {
-        print!("{}", render_json(engine, query, &result));
+        print!(
+            "{}",
+            render_result_json(engine.index(), &query.graph, &result)
+        );
         return Ok(());
     }
     if explain && !explain_text {
@@ -997,76 +1020,6 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Minimal JSON writer for machine-readable query output (the allowed
-/// dependency set has no serde_json; answers are flat enough to render
-/// by hand).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn render_json<I: IndexLike + Sync>(
-    engine: &SamaEngine<I>,
-    query: &sama::model::SparqlQuery,
-    result: &sama::engine::QueryResult,
-) -> String {
-    use std::fmt::Write;
-    let mut out = String::new();
-    out.push_str("{\"answers\":[");
-    for (i, answer) in result.answers.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "{{\"rank\":{},\"score\":{},\"lambda\":{},\"psi\":{},\"exact\":{},",
-            i,
-            answer.score(),
-            answer.lambda(),
-            answer.psi(),
-            answer.is_exact()
-        );
-        out.push_str("\"triples\":[");
-        let lines = answer.subgraph(engine.index()).to_sorted_lines();
-        for (j, line) in lines.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "\"{}\"", json_escape(line));
-        }
-        out.push_str("],\"bindings\":{");
-        for (j, (var, value)) in answer.bindings().iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            let _ = write!(
-                out,
-                "\"{}\":\"{}\"",
-                json_escape(query.graph.vocab().lexical(*var)),
-                json_escape(engine.index().data().vocab().lexical(*value))
-            );
-        }
-        out.push_str("}}");
-    }
-    let _ = writeln!(
-        out,
-        "],\"truncated\":{},\"retrieved_paths\":{}}}",
-        result.truncated, result.retrieved_paths
-    );
-    out
-}
-
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let [index_path] = args else {
         return Err("usage: sama stats <index.bin>".into());
@@ -1237,5 +1190,201 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     } else {
         print!("{}", snapshot.to_prometheus());
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut positional = Vec::new();
+    let mut serve_config = sama::serve::ServeConfig::default();
+    let mut threads = 1usize;
+    let mut mmap = false;
+    let mut lsh = false;
+    let mut lsh_top_m = LSH_DEFAULT_TOP_M;
+    let mut anchor = AnchorSelection::SinkFirst;
+    let mut deadline_ms: Option<u64> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut slowlog_ms: Option<u64> = None;
+    let mut slowlog_out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                serve_config.addr = iter.next().ok_or("--addr needs HOST:PORT")?.clone();
+            }
+            "-k" => {
+                serve_config.k = iter
+                    .next()
+                    .ok_or("-k needs a number")?
+                    .parse()
+                    .map_err(|_| "bad -k value")?;
+            }
+            "--threads" => {
+                threads = iter
+                    .next()
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --threads value")?;
+            }
+            "--max-connections" => {
+                serve_config.max_connections = iter
+                    .next()
+                    .ok_or("--max-connections needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --max-connections value")?;
+            }
+            "--max-body-kb" => {
+                let kb: usize = iter
+                    .next()
+                    .ok_or("--max-body-kb needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --max-body-kb value")?;
+                serve_config.max_body_bytes = kb * 1024;
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = iter
+                    .next()
+                    .ok_or("--read-timeout-ms needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --read-timeout-ms value")?;
+                serve_config.read_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--write-timeout-ms" => {
+                let ms: u64 = iter
+                    .next()
+                    .ok_or("--write-timeout-ms needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --write-timeout-ms value")?;
+                serve_config.write_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--drain-ms" => {
+                let ms: u64 = iter
+                    .next()
+                    .ok_or("--drain-ms needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --drain-ms value")?;
+                serve_config.drain_grace = std::time::Duration::from_millis(ms);
+            }
+            "--max-queue" => {
+                serve_config.max_queue_depth = iter
+                    .next()
+                    .ok_or("--max-queue needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --max-queue value")?;
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    iter.next()
+                        .ok_or("--deadline-ms needs a number")?
+                        .parse()
+                        .map_err(|_| "bad --deadline-ms value")?,
+                );
+            }
+            "--lsh-top-m" => {
+                lsh_top_m = iter
+                    .next()
+                    .ok_or("--lsh-top-m needs a number")?
+                    .parse()
+                    .map_err(|_| "bad --lsh-top-m value")?;
+            }
+            "--anchor" => {
+                anchor = parse_anchor(iter.next().ok_or("--anchor needs a value")?)?;
+            }
+            "--metrics-out" => {
+                metrics_out = Some(iter.next().ok_or("--metrics-out needs a path")?.clone());
+            }
+            "--slowlog" => {
+                slowlog_ms = Some(
+                    iter.next()
+                        .ok_or("--slowlog needs a millisecond count")?
+                        .parse()
+                        .map_err(|_| "bad --slowlog value")?,
+                );
+            }
+            "--slowlog-out" => {
+                slowlog_out = Some(iter.next().ok_or("--slowlog-out needs a path")?.clone());
+            }
+            "--mmap" => mmap = true,
+            "--lsh" => lsh = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [index_path] = positional.as_slice() else {
+        return Err("usage: sama serve <index.bin> [--addr HOST:PORT] [-k N] ...".into());
+    };
+
+    arm_diagnostics(&None, slowlog_ms, &slowlog_out);
+    serve_config.batch_threads = threads;
+
+    let mut config = engine_config_for_threads(threads);
+    config.cluster.anchor = anchor;
+    let use_lsh = lsh_requested(lsh);
+    if use_lsh {
+        config.cluster.retrieval = Retrieval::Lsh {
+            bands: LSH_DEFAULT_BANDS,
+            rows: LSH_DEFAULT_ROWS,
+            top_m: lsh_top_m,
+        };
+    }
+    if let Some(ms) = deadline_ms {
+        config.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+
+    // Arm the drain flag before the listener exists so a signal racing
+    // startup still wins.
+    sama::serve::signal::install();
+
+    if mmap_requested(mmap) {
+        let mut mapped = open_mapped(index_path)?;
+        if use_lsh {
+            let sidecar = load_lsh_sidecar(index_path, &mapped)?;
+            mapped
+                .attach_lsh(sidecar)
+                .map_err(|e| format!("cannot attach LSH sidecar: {e}"))?;
+        }
+        let engine = SamaEngine::from_index_with_config(mapped, config);
+        return serve_engine(engine, serve_config, &metrics_out, &slowlog_out);
+    }
+    let mut index = load_index(index_path)?;
+    if use_lsh {
+        let sidecar = load_lsh_sidecar(index_path, &index)?;
+        index
+            .attach_lsh(std::sync::Arc::new(sidecar))
+            .map_err(|e| format!("cannot attach LSH sidecar: {e}"))?;
+    }
+    let engine = SamaEngine::from_index_with_config(index, config);
+    serve_engine(engine, serve_config, &metrics_out, &slowlog_out)
+}
+
+/// Bind, announce, serve until drained, then flush the observability
+/// sinks — generic over the index representation like `run_query`.
+fn serve_engine<I: IndexLike + Send + Sync + 'static>(
+    engine: SamaEngine<I>,
+    config: sama::serve::ServeConfig,
+    metrics_out: &Option<String>,
+    slowlog_out: &Option<String>,
+) -> Result<(), String> {
+    use std::io::Write;
+    let server = sama::serve::Server::bind(engine, config)?;
+    // The startup line is machine-parsed (tests bind port 0 and read
+    // the actual port back), so flush it past the pipe buffer.
+    println!("sama serve: listening on http://{}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    let report = server.run();
+    if let Some(path) = metrics_out {
+        let snapshot = sama::obs::global().snapshot();
+        std::fs::write(path, snapshot.to_prometheus())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
+    flush_diagnostics(&None, slowlog_out)?;
+    println!(
+        "sama serve: drained {} in-flight connections in {:.2?}{}",
+        report.in_flight_at_shutdown,
+        report.waited,
+        if report.is_clean() {
+            String::new()
+        } else {
+            format!(" ({} aborted at the grace limit)", report.aborted)
+        }
+    );
     Ok(())
 }

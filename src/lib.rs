@@ -66,6 +66,11 @@ pub mod obs {
     pub use sama_obs::*;
 }
 
+/// Zero-dependency HTTP serving layer (`sama-serve`).
+pub mod serve {
+    pub use sama_serve::*;
+}
+
 /// Baseline matchers and exactness/relevance oracles (`graph-match`).
 pub mod baselines {
     pub use graph_match::*;

@@ -907,3 +907,218 @@ fn lsh_sidecar_roundtrip_and_env_flag() {
     });
     assert_eq!(exact, rebuilt);
 }
+
+// ---- sama serve ------------------------------------------------------
+
+/// Read one HTTP response (head + Content-Length body) off `stream`.
+fn read_http_reply(stream: &mut std::net::TcpStream) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    use std::io::Read;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_len = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "connection closed before a full response head");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8(buf[..head_len].to_vec()).expect("UTF-8 head");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let content_length: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse().expect("content-length"))
+        .unwrap_or(0);
+    let mut body = buf[head_len + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "connection closed mid-body");
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    (status, headers, body)
+}
+
+/// POST `body` to `path` on a freshly spawned `sama serve` at `port`.
+fn post_to_serve(port: u16, path: &str, body: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    use std::io::Write;
+    let mut stream = std::net::TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: sama\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write request");
+    read_http_reply(&mut stream)
+}
+
+/// Spawn `sama serve <idx> --addr 127.0.0.1:0 <extra args>` and parse
+/// the bound port from its startup line.
+fn spawn_serve(
+    idx: &std::path::Path,
+    extra: &[&str],
+    env: &[(&str, &str)],
+) -> (
+    std::process::Child,
+    std::io::BufReader<std::process::ChildStdout>,
+    u16,
+) {
+    use std::io::BufRead;
+    let mut cmd = sama();
+    cmd.args(["serve", idx.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null());
+    for (key, value) in env {
+        cmd.env(key, value);
+    }
+    let mut child = cmd.spawn().expect("spawn sama serve");
+    let mut stdout = std::io::BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("startup line");
+    let port: u16 = line
+        .trim()
+        .rsplit(':')
+        .next()
+        .and_then(|p| p.parse().ok())
+        .unwrap_or_else(|| panic!("no port in startup line {line:?}"));
+    (child, stdout, port)
+}
+
+#[cfg(unix)]
+fn sigterm(child: &std::process::Child) {
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success());
+}
+
+#[test]
+fn serve_rejects_bad_flags_and_missing_index() {
+    // No index path → usage error.
+    let out = sama().arg("serve").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: sama serve"));
+
+    // A flag that needs a number rejects junk.
+    let out = sama()
+        .args(["serve", "idx.bin", "--max-connections", "lots"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --max-connections value"));
+
+    // Bad --anchor value reuses the query-path diagnostics.
+    let out = sama()
+        .args(["serve", "idx.bin", "--anchor", "sideways"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --anchor value"));
+
+    // A nonexistent index is a one-line diagnostic, not a panic.
+    let out = sama()
+        .args(["serve", "/nonexistent/sama_index.bin"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read index"));
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_json_matches_cli_bit_for_bit_and_drains_on_sigterm() {
+    use std::io::Read;
+    let nt = temp_path("serve_data.nt");
+    let rq = temp_path("serve_query.rq");
+    let idx = temp_path("serve_index.bin");
+    let _cleanup = Cleanup(vec![nt.clone(), rq.clone(), idx.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    std::fs::write(&rq, DEMO_RQ).unwrap();
+    let out = sama()
+        .args(["index", nt.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // The reference bytes: what `sama query --json` prints.
+    let out = sama()
+        .args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "-k",
+            "3",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let expected = out.stdout;
+
+    let (mut child, mut stdout, port) = spawn_serve(&idx, &["-k", "3"], &[]);
+    let (status, headers, body) = post_to_serve(port, "/query", DEMO_RQ);
+    assert_eq!(status, 200);
+    assert!(
+        headers.iter().any(|(n, _)| n == "x-sama-query-id"),
+        "query id header present"
+    );
+    assert_eq!(
+        body, expected,
+        "HTTP body is bit-for-bit the CLI's --json output"
+    );
+
+    sigterm(&child);
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "SIGTERM exits 0 after drain");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("drain line");
+    assert!(rest.contains("drained"), "drain log line, got {rest:?}");
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_drain_returns_in_flight_results() {
+    use std::io::Read;
+    let nt = temp_path("serve_drain.nt");
+    let idx = temp_path("serve_drain.bin");
+    let _cleanup = Cleanup(vec![nt.clone(), idx.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    let out = sama()
+        .args(["index", nt.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Park every handler 400ms so the query is still in flight when
+    // SIGTERM lands.
+    let (mut child, mut stdout, port) =
+        spawn_serve(&idx, &[], &[("SAMA_FAULTS", "serve.handler:delay=400")]);
+    let client = std::thread::spawn(move || post_to_serve(port, "/query", DEMO_RQ));
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    sigterm(&child);
+
+    let (status, _, body) = client.join().expect("client thread");
+    assert_eq!(status, 200, "in-flight query completed during drain");
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("\"exact\":true"), "full result, got {text}");
+
+    let exit = child.wait().expect("wait");
+    assert!(exit.success(), "drain exits 0 under load");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).expect("drain line");
+    assert!(rest.contains("drained 1 in-flight"), "got {rest:?}");
+}
