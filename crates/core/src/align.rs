@@ -145,8 +145,24 @@ fn p_unit(p: LabelsRef<'_>, u: usize) -> (LabelId, LabelId) {
     (p.edge_labels[k - 1 - u], p.node_labels[k - 1 - u])
 }
 
+/// IC weights of query unit `u`: `(edge weight, node weight)` — the
+/// positions mirror [`q_unit`].
+#[inline]
+fn q_unit_weights(q: &QueryPath, u: usize) -> (f64, f64) {
+    let k = q.nodes.len();
+    (q.edge_weight(k - 1 - u), q.node_weight(k - 1 - u))
+}
+
 struct Tally {
     counts: AlignmentCounts,
+    /// IC-weighted mismatch mass: each node mismatch contributes its
+    /// query position's weight instead of `1`. Under uniform weights
+    /// this is exactly `f64::from(counts.nodes_mismatched)` (a sum of
+    /// ones over integers below 2^53), so the weighted λ degenerates
+    /// bit-for-bit to [`AlignmentCounts::lambda`].
+    node_mismatch_weight: f64,
+    /// As above, for edge mismatches.
+    edge_mismatch_weight: f64,
     bindings: Vec<(LabelId, LabelId)>,
 }
 
@@ -154,23 +170,31 @@ impl Tally {
     fn new() -> Self {
         Tally {
             counts: AlignmentCounts::default(),
+            node_mismatch_weight: 0.0,
+            edge_mismatch_weight: 0.0,
             bindings: Vec::new(),
         }
     }
 
-    fn match_node(&mut self, q: &QueryLabel, p: LabelId) {
+    fn match_node(&mut self, q: &QueryLabel, p: LabelId, weight: f64) {
         match q {
             QueryLabel::Var(v) => self.bindings.push((*v, p)),
             c if c.admits(p) => {}
-            _ => self.counts.nodes_mismatched += 1,
+            _ => {
+                self.counts.nodes_mismatched += 1;
+                self.node_mismatch_weight += weight;
+            }
         }
     }
 
-    fn match_edge(&mut self, q: &QueryLabel, p: LabelId) {
+    fn match_edge(&mut self, q: &QueryLabel, p: LabelId, weight: f64) {
         match q {
             QueryLabel::Var(v) => self.bindings.push((*v, p)),
             c if c.admits(p) => {}
-            _ => self.counts.edges_mismatched += 1,
+            _ => {
+                self.counts.edges_mismatched += 1;
+                self.edge_mismatch_weight += weight;
+            }
         }
     }
 
@@ -185,7 +209,16 @@ impl Tally {
     }
 
     fn finish(self, params: &ScoreParams) -> Alignment {
-        let lambda = self.counts.lambda(params);
+        // Same terms in the same order as [`AlignmentCounts::lambda`],
+        // with the mismatch counters replaced by their weighted sums —
+        // insertions and deletions stay unweighted (IC prices *label*
+        // disagreement, not structure).
+        let lambda = params.a * self.node_mismatch_weight
+            + params.b * f64::from(self.counts.nodes_inserted)
+            + params.c * self.edge_mismatch_weight
+            + params.d * f64::from(self.counts.edges_inserted)
+            + params.del_node * f64::from(self.counts.nodes_deleted)
+            + params.del_edge * f64::from(self.counts.edges_deleted);
         Alignment {
             counts: self.counts,
             lambda,
@@ -204,15 +237,16 @@ fn align_greedy(q: &QueryPath, p: LabelsRef<'_>, params: &ScoreParams) -> Alignm
     let mut tally = Tally::new();
 
     // Anchor: sink node against sink node.
-    tally.match_node(q.sink(), p.sink_label());
+    tally.match_node(q.sink(), p.sink_label(), q.node_weight(q.nodes.len() - 1));
 
     let (mut i, mut j) = (1usize, 1usize);
     while i < m && j < n {
         let pu = p_unit(p, i);
         let qu = q_unit(q, j);
+        let qw = q_unit_weights(q, j);
         if unit_compatible(qu, pu) {
-            tally.match_edge(qu.0, pu.0);
-            tally.match_node(qu.1, pu.1);
+            tally.match_edge(qu.0, pu.0, qw.0);
+            tally.match_node(qu.1, pu.1, qw.1);
             i += 1;
             j += 1;
         } else if m - i > n - j {
@@ -222,8 +256,8 @@ fn align_greedy(q: &QueryPath, p: LabelsRef<'_>, params: &ScoreParams) -> Alignm
             tally.delete_unit();
             j += 1;
         } else {
-            tally.match_edge(qu.0, pu.0);
-            tally.match_node(qu.1, pu.1);
+            tally.match_edge(qu.0, pu.0, qw.0);
+            tally.match_node(qu.1, pu.1, qw.1);
             i += 1;
             j += 1;
         }
@@ -274,15 +308,18 @@ fn align_optimal(q: &QueryPath, p: LabelsRef<'_>, params: &ScoreParams) -> Align
         let pu = p_unit(p, i);
         for j in 1..cols {
             let qu = q_unit(q, j);
+            let qw = q_unit_weights(q, j);
+            // Under uniform weights `x * 1.0 == x` bit-for-bit, so the
+            // DP takes exactly the legacy decisions.
             let edge_cost = if qu.0.is_var() || qu.0.admits(pu.0) {
                 0.0
             } else {
-                params.c
+                params.c * qw.0
             };
             let node_cost = if qu.1.is_var() || qu.1.admits(pu.1) {
                 0.0
             } else {
-                params.a
+                params.a * qw.1
             };
             let match_cost = cost[idx(i - 1, j - 1)] + edge_cost + node_cost;
             let ins = cost[idx(i - 1, j)] + insert_cost;
@@ -301,7 +338,7 @@ fn align_optimal(q: &QueryPath, p: LabelsRef<'_>, params: &ScoreParams) -> Align
 
     // Backtrace, collecting counts and bindings sink-first.
     let mut tally = Tally::new();
-    tally.match_node(q.sink(), p.sink_label());
+    tally.match_node(q.sink(), p.sink_label(), q.node_weight(q.nodes.len() - 1));
     let (mut i, mut j) = (rows - 1, cols - 1);
     let mut trace: Vec<Step> = Vec::with_capacity(rows + cols);
     while i > 0 || j > 0 {
@@ -333,8 +370,9 @@ fn align_optimal(q: &QueryPath, p: LabelsRef<'_>, params: &ScoreParams) -> Align
             Step::Match => {
                 let pu = p_unit(p, pi);
                 let qu = q_unit(q, pj);
-                tally.match_edge(qu.0, pu.0);
-                tally.match_node(qu.1, pu.1);
+                let qw = q_unit_weights(q, pj);
+                tally.match_edge(qu.0, pu.0, qw.0);
+                tally.match_node(qu.1, pu.1, qw.1);
                 pi += 1;
                 pj += 1;
             }
@@ -540,6 +578,81 @@ mod tests {
             ..Default::default()
         };
         assert!(!counts.is_exact());
+    }
+
+    #[test]
+    fn explicit_uniform_weights_are_bit_identical_to_none() {
+        // Stamping all-ones weight vectors must not perturb a single
+        // bit of λ in either mode — this is the legacy-compatibility
+        // contract the IC tier rests on.
+        let (_, qpaths, dpaths) = setup();
+        let params = ScoreParams::paper();
+        for q in &qpaths {
+            let mut weighted = q.clone();
+            weighted.node_weights = Some(vec![1.0; q.nodes.len()].into());
+            weighted.edge_weights = Some(vec![1.0; q.edges.len()].into());
+            for p in &dpaths {
+                for mode in [AlignmentMode::Greedy, AlignmentMode::Optimal] {
+                    let plain = align(q, p.view(), &params, mode);
+                    let ic = align(&weighted, p.view(), &params, mode);
+                    assert_eq!(plain.lambda.to_bits(), ic.lambda.to_bits(), "mode {mode:?}");
+                    assert_eq!(plain.counts, ic.counts);
+                    assert_eq!(plain.bindings, ic.bindings);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ic_weights_scale_mismatch_costs_only() {
+        // λ(p', q1) = a·1 unweighted (CB vs JR at the source node);
+        // tripling that position's weight triples the mismatch term but
+        // leaves insertions (q2 against p) untouched.
+        let (d, qpaths, dpaths) = setup();
+        let params = ScoreParams::paper();
+
+        let mut q1 = find_q(&qpaths, 4).clone();
+        q1.node_weights = Some(vec![3.0, 1.0, 1.0, 1.0].into());
+        q1.edge_weights = Some(vec![1.0; q1.edges.len()].into());
+        let p2 = find_p(&d, &dpaths, "JR");
+        for mode in [AlignmentMode::Greedy, AlignmentMode::Optimal] {
+            let a = align(&q1, p2.view(), &params, mode);
+            assert_eq!(a.lambda, 3.0, "mode {mode:?}");
+            assert_eq!(a.counts.nodes_mismatched, 1);
+        }
+
+        let mut q2 = find_q(&qpaths, 3).clone();
+        q2.node_weights = Some(vec![5.0; q2.nodes.len()].into());
+        q2.edge_weights = Some(vec![5.0; q2.edges.len()].into());
+        let p = find_p(&d, &dpaths, "CB");
+        for mode in [AlignmentMode::Greedy, AlignmentMode::Optimal] {
+            let a = align(&q2, p.view(), &params, mode);
+            assert_eq!(a.lambda, 1.5, "insertions stay unweighted, mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn optimal_dp_prefers_cheap_weighted_mismatch() {
+        // With a heavy constant in the query, the DP must route the
+        // alignment so the heavy position lands on an admitted label
+        // when possible — i.e. weights steer the argmin, not only the
+        // reported cost.
+        let (d, qpaths, dpaths) = setup();
+        let q1 = find_q(&qpaths, 4);
+        let p = find_p(&d, &dpaths, "CB");
+        let mut heavy = q1.clone();
+        heavy.node_weights = Some(vec![100.0; heavy.nodes.len()].into());
+        heavy.edge_weights = Some(vec![100.0; heavy.edges.len()].into());
+        // Exact image: every constant matches, so even enormous weights
+        // leave λ at zero.
+        let a = align(
+            &heavy,
+            p.view(),
+            &ScoreParams::paper(),
+            AlignmentMode::Optimal,
+        );
+        assert_eq!(a.lambda, 0.0);
+        assert!(a.counts.is_exact());
     }
 
     #[test]

@@ -166,6 +166,33 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Which retrieval tier produced a cluster's entry list — recorded in
+/// EXPLAIN traces so every answer is attributable to the tier that
+/// found it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterTier {
+    /// The exact anchor scan (the paper's behavior), including every
+    /// fallback path that ends up aligning the full scan.
+    #[default]
+    Exact,
+    /// The MinHash/LSH tier pruned the anchor scan before alignment.
+    Lsh,
+    /// The synonym relaxation tier rebuilt a thin cluster with a
+    /// thesaurus-widened query path.
+    Synonym,
+}
+
+impl ClusterTier {
+    /// Stable lowercase name, used by EXPLAIN traces and diagnostics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ClusterTier::Exact => "exact",
+            ClusterTier::Lsh => "lsh",
+            ClusterTier::Synonym => "synonym",
+        }
+    }
+}
+
 /// One scored cluster member.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterEntry {
@@ -201,6 +228,8 @@ pub struct Cluster {
     /// Candidates the [`Retrieval::Lsh`] tier pruned before alignment
     /// (0 under [`Retrieval::Exact`] or when the tier fell back).
     pub lsh_pruned: usize,
+    /// The retrieval tier that produced [`Cluster::entries`].
+    pub tier: ClusterTier,
 }
 
 impl Cluster {
@@ -269,6 +298,7 @@ pub fn build_clusters_budgeted<I: IndexLike + Sync>(
                     candidates_dropped: 0,
                     candidates_retrieved: 0,
                     lsh_pruned: 0,
+                    tier: ClusterTier::Exact,
                 };
             }
             build_cluster(q, index, synonyms, params, mode, config, budget)
@@ -390,6 +420,11 @@ fn build_cluster<I: IndexLike + Sync>(
         candidates_dropped: dropped,
         candidates_retrieved: retrieved,
         lsh_pruned,
+        tier: if lsh_pruned > 0 {
+            ClusterTier::Lsh
+        } else {
+            ClusterTier::Exact
+        },
     }
 }
 

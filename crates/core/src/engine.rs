@@ -6,17 +6,19 @@ use crate::answer::Answer;
 use crate::chi_cache::{ChiCacheStats, SharedChiCache};
 use crate::cluster::{
     build_clusters, build_clusters_budgeted, build_clusters_parallel, parallel_default, Cluster,
-    ClusterConfig,
+    ClusterConfig, ClusterTier,
 };
 use crate::deadline::QueryBudget;
 use crate::error::{QueryError, SamaError};
 use crate::igraph::IntersectionGraph;
 use crate::params::ScoreParams;
-use crate::qpath::{decompose_query, decompose_query_checked, QueryPath};
+use crate::qpath::{
+    apply_ic_weights, decompose_query, decompose_query_checked, widen_with_synonyms, QueryPath,
+};
 use crate::search::{search_top_k_budgeted, SearchConfig, SearchStream, TruncationReason};
 use crate::trace::{ExplainTrace, TraceConfig};
 use path_index::{
-    ExtractionConfig, IndexLike, NoSynonyms, PathIndex, ShardedIndex, SynonymProvider,
+    ExtractionConfig, IcTable, IndexLike, NoSynonyms, PathIndex, ShardedIndex, SynonymProvider,
 };
 use rdf_model::{DataGraph, QueryGraph};
 use sama_obs as obs;
@@ -74,6 +76,33 @@ pub(crate) fn deadline_default() -> Option<Duration> {
     })
 }
 
+/// Below this many cluster entries the synonym relaxation tier (when
+/// enabled) considers the cluster *thin* and probes the thesaurus.
+/// Mirrors [`crate::cluster::LSH_MIN_CANDIDATES`]: a near-empty result
+/// is the signal that the exact vocabulary was too narrow.
+pub const SYN_MIN_ENTRIES: usize = 8;
+
+/// Configuration of the synonym relaxation tier (see
+/// [`SamaEngine::relax_synonyms`]). Off by default; the tier also
+/// needs a provider installed on the engine — the flag alone changes
+/// nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct RelaxationConfig {
+    /// Probe the thesaurus for thin clusters.
+    pub enabled: bool,
+    /// Clusters with fewer entries than this are relaxed.
+    pub min_entries: usize,
+}
+
+impl Default for RelaxationConfig {
+    fn default() -> Self {
+        RelaxationConfig {
+            enabled: false,
+            min_entries: SYN_MIN_ENTRIES,
+        }
+    }
+}
+
 /// Engine-wide configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -101,6 +130,15 @@ pub struct EngineConfig {
     /// entirely — no clock is read and results are bit-identical to an
     /// unbudgeted build.
     pub deadline: Option<Duration>,
+    /// Weight alignment mismatch costs by corpus-derived information
+    /// content (`-log₂ Pr(label)`, see [`path_index::IcTable`]): rare
+    /// labels cost more to mismatch than generic ones. Off by default —
+    /// and when off, query paths carry no weight vectors at all, so
+    /// answers are bit-identical to the unweighted engine.
+    pub ic_weights: bool,
+    /// The synonym relaxation tier for thin clusters (see
+    /// [`SamaEngine::relax_synonyms`]).
+    pub relaxation: RelaxationConfig,
 }
 
 impl Default for EngineConfig {
@@ -116,6 +154,8 @@ impl Default for EngineConfig {
             parallel_clustering: parallel_default(),
             trace: TraceConfig::default(),
             deadline: deadline_default(),
+            ic_weights: false,
+            relaxation: RelaxationConfig::default(),
         }
     }
 }
@@ -263,6 +303,14 @@ pub struct SamaEngine<I: IndexLike = PathIndex> {
     /// batch worker) on this engine. `None` (the default) keeps the
     /// query-scoped cache of single-shot runs.
     shared_chi: Option<Arc<SharedChiCache>>,
+    /// Thesaurus consulted by the synonym relaxation tier for thin
+    /// clusters. Distinct from [`SamaEngine::with_synonyms`], which
+    /// widens *every* query up front — this one is consulted only when
+    /// the exact vocabulary came back thin.
+    relax: Option<Arc<dyn SynonymProvider>>,
+    /// Overrides the index-derived IC table when set (the testkit
+    /// forces [`IcTable::uniform`] here to prove convergence).
+    ic_override: Option<IcTable>,
 }
 
 impl SamaEngine<PathIndex> {
@@ -315,6 +363,8 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             params: ScoreParams::paper(),
             config,
             shared_chi: None,
+            relax: None,
+            ic_override: None,
         }
     }
 
@@ -328,6 +378,30 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
     /// Install a synonym provider (builder style).
     pub fn with_synonyms(mut self, synonyms: Arc<dyn SynonymProvider>) -> Self {
         self.synonyms = synonyms;
+        self
+    }
+
+    /// Install the synonym relaxation tier (builder style) and enable
+    /// it: when a cluster comes back with fewer than
+    /// [`RelaxationConfig::min_entries`] entries, its query path is
+    /// widened through `provider` and the cluster rebuilt. The rebuild
+    /// is adopted — and tagged [`ClusterTier::Synonym`] in EXPLAIN
+    /// traces — only when it actually changes the entry list; otherwise
+    /// the exact cluster stands, mirroring the LSH tier's fallback
+    /// semantics.
+    pub fn relax_synonyms(mut self, provider: Arc<dyn SynonymProvider>) -> Self {
+        self.relax = Some(provider);
+        self.config.relaxation.enabled = true;
+        self
+    }
+
+    /// Force a specific IC weight table (builder style) instead of the
+    /// index-derived one, and turn [`EngineConfig::ic_weights`] on. The
+    /// testkit passes [`IcTable::uniform`] here to prove the weighted
+    /// cost model degenerates bit-for-bit to the paper's.
+    pub fn with_ic_table(mut self, table: IcTable) -> Self {
+        self.ic_override = Some(table);
+        self.config.ic_weights = true;
         self
     }
 
@@ -379,14 +453,15 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
     /// assert_eq!(best_two.len(), 2);
     /// ```
     pub fn answer_stream(&self, query: &QueryGraph) -> SearchStream<'_, I> {
-        let query_paths = decompose_query(
+        let mut query_paths = decompose_query(
             query,
             self.index.data().vocab(),
             self.synonyms.as_ref(),
             &self.config.query_extraction,
         );
+        self.stamp_ic_weights(&mut query_paths);
         let intersection_graph = IntersectionGraph::build(&query_paths);
-        let clusters = if self.config.parallel_clustering {
+        let mut clusters = if self.config.parallel_clustering {
             build_clusters_parallel(
                 &query_paths,
                 &self.index,
@@ -405,6 +480,7 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
                 &self.config.cluster,
             )
         };
+        self.relax_thin_clusters(&mut query_paths, &mut clusters, &QueryBudget::unlimited());
         SearchStream::with_shared_chi(
             query_paths,
             intersection_graph,
@@ -493,17 +569,18 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             }
         }
         let preprocess_span = obs::span!("query.preprocess_ns");
-        let query_paths = decompose_query(
+        let mut query_paths = decompose_query(
             query,
             self.index.data().vocab(),
             self.synonyms.as_ref(),
             &self.config.query_extraction,
         );
+        self.stamp_ic_weights(&mut query_paths);
         let intersection_graph = IntersectionGraph::build(&query_paths);
         let preprocessing = preprocess_span.finish();
 
         let cluster_span = obs::span!("query.cluster_ns");
-        let clusters = if budget.is_unlimited() && self.config.parallel_clustering {
+        let mut clusters = if budget.is_unlimited() && self.config.parallel_clustering {
             build_clusters_parallel(
                 &query_paths,
                 &self.index,
@@ -525,6 +602,7 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
                 budget,
             )
         };
+        self.relax_thin_clusters(&mut query_paths, &mut clusters, budget);
         let clustering = cluster_span.finish();
 
         let search_span = obs::span!("query.search_ns");
@@ -590,6 +668,81 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             timings,
             chi_stats: outcome.chi_stats,
             trace,
+        }
+    }
+
+    /// Stamp IC weights onto the decomposed query paths when
+    /// [`EngineConfig::ic_weights`] is on. No-op otherwise: absent
+    /// weight vectors keep the alignment on the paper's unit-cost model
+    /// byte-for-byte.
+    fn stamp_ic_weights(&self, query_paths: &mut [QueryPath]) {
+        if !self.config.ic_weights {
+            return;
+        }
+        let _span = obs::span!("score.ic_ns");
+        let table = match &self.ic_override {
+            Some(table) => Some(table.clone()),
+            None => self.index.ic_table(),
+        };
+        let Some(table) = table else {
+            // An index without IC support serves unweighted costs — the
+            // same exact-fallback stance as the retrieval tiers.
+            return;
+        };
+        apply_ic_weights(query_paths, self.index.data().vocab(), &table);
+        obs::counter_add("score.ic_queries_total", 1);
+        obs::gauge_set("score.ic_labels", table.len() as i64);
+    }
+
+    /// The synonym relaxation pass: rebuild *thin* clusters (fewer than
+    /// [`RelaxationConfig::min_entries`] entries) with a
+    /// thesaurus-widened copy of their query path. A rebuild is adopted
+    /// only when it changes the entry list — it then replaces both the
+    /// cluster (tagged [`ClusterTier::Synonym`]) and the query path, so
+    /// downstream scoring sees the widened accepted sets; otherwise the
+    /// exact cluster stands and `cluster.synonym_fallback_total` counts
+    /// the no-op probe.
+    fn relax_thin_clusters(
+        &self,
+        query_paths: &mut [QueryPath],
+        clusters: &mut [Cluster],
+        budget: &QueryBudget,
+    ) {
+        if !self.config.relaxation.enabled {
+            return;
+        }
+        let Some(provider) = &self.relax else {
+            return;
+        };
+        let _span = obs::span!("cluster.synonym_ns");
+        for (i, cluster) in clusters.iter_mut().enumerate() {
+            if cluster.entries.len() >= self.config.relaxation.min_entries {
+                continue;
+            }
+            if !budget.is_unlimited() && budget.exceeded().is_some() {
+                break;
+            }
+            obs::counter_add("cluster.synonym_probes_total", 1);
+            let widened =
+                widen_with_synonyms(&query_paths[i], self.index.data().vocab(), provider.as_ref());
+            let mut rebuilt = build_clusters(
+                std::slice::from_ref(&widened),
+                &self.index,
+                provider.as_ref(),
+                &self.params,
+                self.config.alignment,
+                &self.config.cluster,
+            )
+            .pop()
+            .expect("one cluster per query path");
+            if rebuilt.entries == cluster.entries {
+                obs::counter_add("cluster.synonym_fallback_total", 1);
+                continue;
+            }
+            obs::counter_add("cluster.synonym_admitted_total", 1);
+            rebuilt.tier = ClusterTier::Synonym;
+            *cluster = rebuilt;
+            query_paths[i] = widened;
         }
     }
 
@@ -706,6 +859,19 @@ impl<I: IndexLike + Sync> SamaEngine<I> {
             trace,
         }
     }
+}
+
+/// Register the semantic tier's metrics (IC weighting + synonym
+/// relaxation) with the global registry up front, so `/metrics`
+/// scrapes and the golden Prometheus-name pinning see the series
+/// before the first probe runs.
+pub fn register_semantic_metrics() {
+    let registry = obs::global();
+    registry.counter("cluster.synonym_probes_total");
+    registry.counter("cluster.synonym_admitted_total");
+    registry.counter("cluster.synonym_fallback_total");
+    registry.counter("score.ic_queries_total");
+    registry.gauge("score.ic_labels");
 }
 
 impl<I: IndexLike> std::fmt::Debug for SamaEngine<I> {
@@ -969,6 +1135,84 @@ mod tests {
         assert!(snap.counters.contains_key("query.slo_violations_total"));
         assert!(snap.counters["query.queries_total"] > before);
         assert!(snap.windows["query.total_ns"].windows[2].1.count() > 0);
+    }
+
+    #[test]
+    fn uniform_ic_table_is_bit_identical() {
+        let plain = SamaEngine::new(figure1_data());
+        let vocab_len = plain.index().graph().vocab().len();
+        let ic =
+            SamaEngine::new(figure1_data()).with_ic_table(path_index::IcTable::uniform(vocab_len));
+        let q = q1();
+        let a = plain.answer(&q, 10);
+        let b = ic.answer(&q, 10);
+        let bits = |r: &QueryResult| {
+            r.answers
+                .iter()
+                .map(|a| (a.score().to_bits(), a.lambda().to_bits(), a.psi().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn index_derived_ic_weights_produce_finite_scores() {
+        let engine = SamaEngine::with_config(
+            figure1_data(),
+            EngineConfig {
+                ic_weights: true,
+                ..Default::default()
+            },
+        );
+        let result = engine.answer(&q1(), 10);
+        assert!(!result.answers.is_empty());
+        assert!(result.answers.iter().all(|a| a.score().is_finite()));
+        // The weighted engine still finds the exact answer at score 0.
+        assert_eq!(result.best().unwrap().score(), 0.0);
+    }
+
+    #[test]
+    fn synonym_relaxation_fills_thin_cluster_and_tags_the_tier() {
+        let config = EngineConfig {
+            cluster: crate::ClusterConfig {
+                allow_full_scan: false,
+                ..Default::default()
+            },
+            trace: TraceConfig::enabled(),
+            ..Default::default()
+        };
+        let mut t = Thesaurus::new();
+        t.group(["M", "Male"]);
+        let engine = SamaEngine::with_config(figure1_data(), config).relax_synonyms(Arc::new(t));
+        let mut b = QueryGraph::builder();
+        b.triple_str("?v3", "gender", "\"M\"").unwrap();
+        let q = b.build();
+        let result = engine.answer(&q, 1);
+        // Without relaxation the "M" cluster is empty (full scan off);
+        // the thesaurus widens it onto the four "Male" paths at λ=0.
+        assert_eq!(result.best().expect("relaxed answer").score(), 0.0);
+        assert_eq!(result.clusters[0].tier, ClusterTier::Synonym);
+        let trace = result.trace.as_ref().expect("trace enabled");
+        assert_eq!(trace.clusters[0].tier, ClusterTier::Synonym);
+        assert!(trace.to_json_line().contains("\"tier\":\"synonym\""));
+    }
+
+    #[test]
+    fn empty_thesaurus_relaxation_is_bit_identical() {
+        let plain = SamaEngine::new(figure1_data());
+        let relaxed = SamaEngine::new(figure1_data()).relax_synonyms(Arc::new(Thesaurus::new()));
+        let q = q1();
+        let a = plain.answer(&q, 10);
+        let b = relaxed.answer(&q, 10);
+        let bits = |r: &QueryResult| {
+            r.answers
+                .iter()
+                .map(|a| (a.score().to_bits(), a.lambda().to_bits(), a.psi().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&a), bits(&b));
+        // Every probe fell back: no cluster is tagged Synonym.
+        assert!(b.clusters.iter().all(|c| c.tier != ClusterTier::Synonym));
     }
 
     #[test]

@@ -71,17 +71,23 @@ pub use batch::{BatchConfig, BatchOutcome, BatchStats, PhaseLatency};
 pub use chi_cache::{ChiCache, ChiCacheStats, SharedChiCache, SharedChiStats};
 pub use cluster::{
     build_clusters, build_clusters_budgeted, build_clusters_parallel, AnchorSelection, Cluster,
-    ClusterConfig, ClusterEntry, Retrieval, LSH_DEFAULT_BANDS, LSH_DEFAULT_ROWS, LSH_DEFAULT_TOP_M,
-    LSH_MIN_CANDIDATES,
+    ClusterConfig, ClusterEntry, ClusterTier, Retrieval, LSH_DEFAULT_BANDS, LSH_DEFAULT_ROWS,
+    LSH_DEFAULT_TOP_M, LSH_MIN_CANDIDATES,
 };
 pub use deadline::{CancelToken, QueryBudget};
-pub use engine::{next_query_id, EngineConfig, QueryResult, QueryTimings, SamaEngine};
+pub use engine::{
+    next_query_id, register_semantic_metrics, EngineConfig, QueryResult, QueryTimings,
+    RelaxationConfig, SamaEngine, SYN_MIN_ENTRIES,
+};
 pub use error::{QueryError, SamaError};
 pub use forest::{ForestEdge, ForestNode, PathForest};
 pub use igraph::{IgEdge, IntersectionGraph};
 pub use jsonout::{json_escape, render_result_json};
 pub use params::ScoreParams;
-pub use qpath::{decompose_query, decompose_query_checked, QueryLabel, QueryPath};
+pub use qpath::{
+    apply_ic_weights, decompose_query, decompose_query_checked, widen_with_synonyms, QueryLabel,
+    QueryPath,
+};
 pub use relevance::{more_relevant, ops_of_counts, transformation_cost, EditOp};
 pub use score::{
     chi, chi_count, chi_count_sorted, chi_sorted, conformity_penalty, conformity_ratio,

@@ -9,7 +9,7 @@
 //! integers.
 
 use crate::error::SamaError;
-use path_index::{extract_paths, ExtractionConfig, Path, SynonymProvider};
+use path_index::{extract_paths, ExtractionConfig, IcTable, Path, SynonymProvider};
 use rdf_model::{LabelId, QueryGraph, Vocabulary};
 
 /// A query-path label as seen by alignment.
@@ -65,6 +65,14 @@ pub struct QueryPath {
     pub nodes: Box<[QueryLabel]>,
     /// Edge labels.
     pub edges: Box<[QueryLabel]>,
+    /// Optional per-node-position IC mismatch weights (parallel to
+    /// `nodes`), stamped by [`apply_ic_weights`]. `None` — the default
+    /// — means every position weighs `1.0`, which is the paper's
+    /// uniform cost model bit-for-bit.
+    pub node_weights: Option<Box<[f64]>>,
+    /// Optional per-edge-position IC mismatch weights (parallel to
+    /// `edges`).
+    pub edge_weights: Option<Box<[f64]>>,
 }
 
 impl QueryPath {
@@ -72,6 +80,19 @@ impl QueryPath {
     #[inline]
     pub fn len(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The mismatch weight of node position `i` (`1.0` unless IC
+    /// weights were stamped).
+    #[inline]
+    pub fn node_weight(&self, i: usize) -> f64 {
+        self.node_weights.as_ref().map_or(1.0, |w| w[i])
+    }
+
+    /// The mismatch weight of edge position `i`.
+    #[inline]
+    pub fn edge_weight(&self, i: usize) -> f64 {
+        self.edge_weights.as_ref().map_or(1.0, |w| w[i])
     }
 
     /// `true` if the path has no nodes (cannot occur; API completeness).
@@ -135,9 +156,71 @@ pub fn decompose_query(
                 path,
                 nodes,
                 edges,
+                node_weights: None,
+                edge_weights: None,
             }
         })
         .collect()
+}
+
+/// Stamp IC mismatch weights onto each decomposed query path: a
+/// constant label weighs its information content in the data corpus
+/// (absent constants weigh [`IcTable::absent_weight`], maximal);
+/// variables weigh `1.0` — a variable never mismatches, so the value is
+/// inert and kept neutral.
+pub fn apply_ic_weights(qpaths: &mut [QueryPath], data_vocab: &Vocabulary, table: &IcTable) {
+    let weight_of = |label: &QueryLabel| -> f64 {
+        match label.lexical() {
+            None => 1.0,
+            Some(lexical) => match data_vocab.get_constant(lexical) {
+                Some(id) => table.weight(id),
+                None => table.absent_weight(),
+            },
+        }
+    };
+    for qp in qpaths {
+        qp.node_weights = Some(qp.nodes.iter().map(weight_of).collect());
+        qp.edge_weights = Some(qp.edges.iter().map(weight_of).collect());
+    }
+}
+
+/// Clone `qp` with every constant's accepted set widened through the
+/// synonym provider (resolved in the data vocabulary) — the synonym
+/// relaxation tier's rewrite of a thin cluster's query path. Lexical
+/// forms, positions, and any stamped IC weights are preserved; only
+/// `accepted` grows.
+pub fn widen_with_synonyms(
+    qp: &QueryPath,
+    data_vocab: &Vocabulary,
+    synonyms: &dyn SynonymProvider,
+) -> QueryPath {
+    let widen = |label: &QueryLabel| -> QueryLabel {
+        match label {
+            QueryLabel::Var(v) => QueryLabel::Var(*v),
+            QueryLabel::Const { accepted, lexical } => {
+                let mut widened: Vec<LabelId> = accepted.to_vec();
+                for synonym in synonyms.synonyms(lexical) {
+                    if let Some(id) = data_vocab.get_constant(&synonym) {
+                        widened.push(id);
+                    }
+                }
+                widened.sort_unstable();
+                widened.dedup();
+                QueryLabel::Const {
+                    accepted: widened.into_boxed_slice(),
+                    lexical: lexical.clone(),
+                }
+            }
+        }
+    };
+    QueryPath {
+        index: qp.index,
+        path: qp.path.clone(),
+        nodes: qp.nodes.iter().map(widen).collect(),
+        edges: qp.edges.iter().map(widen).collect(),
+        node_weights: qp.node_weights.clone(),
+        edge_weights: qp.edge_weights.clone(),
+    }
 }
 
 /// [`decompose_query`] with validation: a query that yields no usable
@@ -300,6 +383,83 @@ mod tests {
         let paths = decompose_query(&q, &data_vocab(), &NoSynonyms, &Default::default());
         assert_eq!(paths.len(), 1);
         assert!(paths[0].first_constant_from_sink().is_none());
+    }
+
+    #[test]
+    fn ic_weights_stamp_constants_and_leave_variables_neutral() {
+        let q = q1();
+        let vocab = data_vocab();
+        let mut paths = decompose_query(&q, &vocab, &NoSynonyms, &Default::default());
+        // Non-uniform table: every label gets a distinct weight.
+        let counts: Vec<u64> = (0..vocab.len() as u64).map(|i| i + 1).collect();
+        let total = counts.iter().sum();
+        let table = path_index::IcTable::from_counts(&path_index::IcCounts { counts, total });
+        apply_ic_weights(&mut paths, &vocab, &table);
+        for p in &paths {
+            let nw = p.node_weights.as_ref().unwrap();
+            assert_eq!(nw.len(), p.nodes.len());
+            for (i, label) in p.nodes.iter().enumerate() {
+                match label.lexical() {
+                    None => assert_eq!(p.node_weight(i), 1.0, "variables stay neutral"),
+                    Some(lex) => match vocab.get_constant(lex) {
+                        Some(id) => assert_eq!(p.node_weight(i), table.weight(id)),
+                        None => assert_eq!(p.node_weight(i), table.absent_weight()),
+                    },
+                }
+            }
+        }
+        // "Male" is absent from the data vocabulary → maximal weight.
+        let male_path = paths.iter().find(|p| p.len() == 2).unwrap();
+        assert_eq!(
+            male_path.node_weight(male_path.len() - 1),
+            table.absent_weight()
+        );
+    }
+
+    #[test]
+    fn unstamped_paths_weigh_one_everywhere() {
+        let q = q1();
+        let paths = decompose_query(&q, &data_vocab(), &NoSynonyms, &Default::default());
+        for p in &paths {
+            for i in 0..p.nodes.len() {
+                assert_eq!(p.node_weight(i), 1.0);
+            }
+            for i in 0..p.edges.len() {
+                assert_eq!(p.edge_weight(i), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn widen_with_synonyms_grows_accepted_and_preserves_the_rest() {
+        let q = q1();
+        let vocab = data_vocab();
+        let paths = decompose_query(&q, &vocab, &NoSynonyms, &Default::default());
+        let male_path = paths.iter().find(|p| p.len() == 2).unwrap();
+        // "Male" is absent, but its synonym "CB" is a data constant.
+        let mut t = Thesaurus::new();
+        t.group(["Male", "CB"]);
+        let widened = widen_with_synonyms(male_path, &vocab, &t);
+        match (male_path.sink(), widened.sink()) {
+            (
+                QueryLabel::Const { accepted: a, .. },
+                QueryLabel::Const {
+                    accepted: b,
+                    lexical,
+                },
+            ) => {
+                assert!(a.is_empty());
+                assert_eq!(b.len(), 1);
+                assert_eq!(&**lexical, "Male", "lexical form preserved");
+            }
+            other => panic!("expected constants, got {other:?}"),
+        }
+        assert_eq!(widened.index, male_path.index);
+        assert_eq!(widened.path, male_path.path);
+        // An empty provider widens nothing.
+        let identity = widen_with_synonyms(male_path, &vocab, &NoSynonyms);
+        assert_eq!(identity.nodes, male_path.nodes);
+        assert_eq!(identity.edges, male_path.edges);
     }
 
     #[test]

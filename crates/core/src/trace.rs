@@ -11,7 +11,7 @@
 //! process-wide distributions.
 
 use crate::chi_cache::ChiCacheStats;
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, ClusterTier};
 use crate::engine::QueryTimings;
 use crate::qpath::QueryPath;
 use crate::search::{SearchOutcome, TruncationReason};
@@ -96,6 +96,8 @@ pub struct TraceCluster {
     pub dropped: usize,
     /// Best (lowest) λ in the cluster, or the deletion cost when empty.
     pub best_lambda: f64,
+    /// The retrieval tier that produced the cluster's entries.
+    pub tier: ClusterTier,
 }
 
 /// χ-cache behaviour of one query, as recorded in a trace.
@@ -192,6 +194,7 @@ impl ExplainTrace {
                 kept: c.entries.len(),
                 dropped: c.candidates_dropped,
                 best_lambda: c.best_lambda(),
+                tier: c.tier,
             })
             .collect();
         let clusters_truncated = clusters.iter().any(|c| c.candidates_dropped > 0);
@@ -271,8 +274,14 @@ impl ExplainTrace {
             let _ = write!(
                 out,
                 "{{\"qpath\":{},\"retrieved\":{},\"aligned\":{},\"kept\":{},\
-                 \"dropped\":{},\"best_lambda\":{}}}",
-                c.qpath_index, c.retrieved, c.aligned, c.kept, c.dropped, c.best_lambda
+                 \"dropped\":{},\"best_lambda\":{},\"tier\":\"{}\"}}",
+                c.qpath_index,
+                c.retrieved,
+                c.aligned,
+                c.kept,
+                c.dropped,
+                c.best_lambda,
+                c.tier.as_str()
             );
         }
         let _ = write!(

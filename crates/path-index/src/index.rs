@@ -11,11 +11,13 @@
 
 use crate::extract::{extract_paths, ExtractionConfig};
 use crate::hypergraph::HyperGraphView;
+use crate::ic::{IcCounts, IcTable};
 use crate::path::{Path, PathId, PathLabels};
 use crate::stats::IndexStats;
 use crate::storage::StorageError;
 use crate::synonyms::SynonymProvider;
 use rdf_model::{DataGraph, FxHashMap, LabelId, NodeId};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// A path plus its materialized label sequences and the sorted set of
@@ -69,6 +71,10 @@ pub struct PathIndex {
     /// incremental update renumbers paths, so stale signatures would
     /// be wrong, not just incomplete.
     lsh: Option<std::sync::Arc<crate::lsh::LshSidecar>>,
+    /// IC weight table, derived lazily from the path label sequences
+    /// on first use (see [`crate::ic`]). A clone restarts empty —
+    /// recomputation yields the identical table.
+    ic: OnceLock<IcTable>,
 }
 
 impl PathIndex {
@@ -133,6 +139,7 @@ impl PathIndex {
             by_sink,
             stats,
             lsh: None,
+            ic: OnceLock::new(),
         }
     }
 
@@ -265,6 +272,7 @@ impl PathIndex {
             by_sink,
             stats,
             lsh: None,
+            ic: OnceLock::new(),
         }
     }
 
@@ -388,6 +396,29 @@ impl PathIndex {
         out.sort_unstable();
         out.dedup();
         out
+    }
+
+    /// Label occurrence counts over the indexed paths — the input to
+    /// the IC-weighted cost model and the `ic-counts` section of the
+    /// v2 format (see [`crate::ic`]).
+    pub fn ic_counts(&self) -> IcCounts {
+        IcCounts::tally(
+            self.graph.vocab().len(),
+            self.paths.iter().map(|ip| {
+                ip.labels
+                    .node_labels
+                    .iter()
+                    .copied()
+                    .chain(ip.labels.edge_labels.iter().copied())
+            }),
+        )
+    }
+
+    /// The IC weight table, derived lazily from
+    /// [`PathIndex::ic_counts`] on first use.
+    pub fn ic_table(&self) -> &IcTable {
+        self.ic
+            .get_or_init(|| IcTable::from_counts(&self.ic_counts()))
     }
 
     /// Build statistics (Table 1's row for this dataset).

@@ -38,6 +38,7 @@
 pub mod compress;
 pub mod extract;
 pub mod hypergraph;
+pub mod ic;
 pub mod index;
 pub mod lsh;
 pub mod path;
@@ -51,13 +52,14 @@ pub mod v2;
 pub use compress::{decode_any, decode_compressed, encode_compressed};
 pub use extract::{extract_paths, Extraction, ExtractionConfig};
 pub use hypergraph::{HyperEdge, HyperEdgeKind, HyperGraphView};
+pub use ic::{IcCounts, IcTable};
 pub use index::{IndexedPath, PathIndex};
 pub use lsh::{build_lsh_bytes, sidecar_path, LshCandidate, LshParams, LshSidecar, LSH_MAGIC};
 pub use path::{display_parts, LabelsRef, Path, PathDisplay, PathId, PathLabels};
 pub use shard::{IndexLike, ShardedIndex};
 pub use stats::{format_bytes, IndexStats};
 pub use storage::{decode, encode, serialize_index, StorageError};
-pub use synonyms::{NoSynonyms, SynonymProvider, Thesaurus};
+pub use synonyms::{NoSynonyms, SynonymProvider, Thesaurus, ThesaurusError};
 pub use update::UpdateStats;
 pub use v2::{
     decode_v2, encode_v2, serialize_index_v2, AlignedBytes, IndexView, MappedIndex, MAGIC2,

@@ -17,11 +17,13 @@
 //! common *nodes* between paths of different shards — exact.
 
 use crate::extract::{extract_paths_from_sources, ExtractionConfig};
+use crate::ic::{IcCounts, IcTable};
 use crate::index::{IndexedPath, PathIndex};
 use crate::path::{LabelsRef, PathId};
 use crate::stats::IndexStats;
 use crate::synonyms::SynonymProvider;
 use rdf_model::{DataGraph, EdgeId, NodeId};
+use std::sync::OnceLock;
 
 /// The lookup interface shared by [`PathIndex`], [`ShardedIndex`] and
 /// the zero-copy [`crate::MappedIndex`] — everything the
@@ -78,6 +80,13 @@ pub trait IndexLike {
         let _ = signature;
         Vec::new()
     }
+
+    /// The corpus-derived IC weight table (see [`crate::ic`]), or
+    /// `None` when the index cannot provide one — callers then price
+    /// every label mismatch uniformly.
+    fn ic_table(&self) -> Option<IcTable> {
+        None
+    }
 }
 
 impl IndexLike for PathIndex {
@@ -126,6 +135,10 @@ impl IndexLike for PathIndex {
             .map(|sidecar| sidecar.probe(signature))
             .unwrap_or_default()
     }
+
+    fn ic_table(&self) -> Option<IcTable> {
+        Some(PathIndex::ic_table(self).clone())
+    }
 }
 
 /// A collection of per-source-partition shards behind one global
@@ -138,6 +151,10 @@ pub struct ShardedIndex<I: IndexLike = PathIndex> {
     /// `offsets[i]` = first global id of shard `i`; a final entry holds
     /// the total, so `offsets.len() == shards.len() + 1`.
     offsets: Vec<u32>,
+    /// Merged IC weight table, derived lazily. Shards partition the
+    /// path set disjointly over a shared vocabulary, so summing their
+    /// per-label counts reproduces the single-index table exactly.
+    ic: OnceLock<IcTable>,
 }
 
 impl ShardedIndex {
@@ -241,7 +258,11 @@ impl<I: IndexLike> ShardedIndex<I> {
             total += shard.total_paths() as u32;
         }
         offsets.push(total);
-        ShardedIndex { shards, offsets }
+        ShardedIndex {
+            shards,
+            offsets,
+            ic: OnceLock::new(),
+        }
     }
 
     /// Number of shards.
@@ -359,6 +380,29 @@ impl<I: IndexLike> IndexLike for ShardedIndex<I> {
             }));
         }
         out
+    }
+
+    fn ic_table(&self) -> Option<IcTable> {
+        Some(
+            self.ic
+                .get_or_init(|| {
+                    // Tally over the global id space: every path lives in
+                    // exactly one shard and the vocabulary is shared, so
+                    // this is the single-index tally verbatim.
+                    let counts = IcCounts::tally(
+                        self.data().vocab().len(),
+                        (0..self.total_paths() as u32).map(|i| {
+                            let l = self.labels(PathId(i));
+                            l.node_labels
+                                .iter()
+                                .copied()
+                                .chain(l.edge_labels.iter().copied())
+                        }),
+                    );
+                    IcTable::from_counts(&counts)
+                })
+                .clone(),
+        )
     }
 }
 

@@ -8,8 +8,22 @@
 //! dataset generators ship small domain thesauri). The code path
 //! exercised — cluster admission via non-identical but related labels —
 //! is identical to the paper's.
+//!
+//! A [`Thesaurus`] can also be loaded from a flat synonyms file
+//! ([`Thesaurus::from_file`]) in either of two line formats, decided
+//! per line so they can be mixed:
+//!
+//! * **TSV** — whitespace-separated members of one group:
+//!   `professor lecturer faculty`
+//! * **JSONL** — a JSON string array per line (for labels containing
+//!   spaces): `["Health Care", "Healthcare"]`
+//!
+//! Blank lines and `#` comments are skipped. Malformed lines produce a
+//! typed [`ThesaurusError`] naming the line, never a panic.
 
 use rdf_model::{FxHashMap, FxHashSet};
+use std::fmt;
+use std::path::Path;
 
 /// Supplies the set of labels considered semantically equivalent to a
 /// probe label.
@@ -100,7 +114,133 @@ impl Thesaurus {
         let live: FxHashSet<&u32> = self.membership.values().collect();
         live.len()
     }
+
+    /// Load a thesaurus from a synonyms file (TSV or JSONL lines, see
+    /// the module docs).
+    ///
+    /// # Errors
+    /// [`ThesaurusError::Io`] when the file cannot be read,
+    /// [`ThesaurusError::Parse`] (with the 1-based line number) on a
+    /// malformed line.
+    pub fn from_file(path: &Path) -> Result<Self, ThesaurusError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ThesaurusError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_str_contents(&text)
+    }
+
+    /// Parse synonyms-file contents (see [`Thesaurus::from_file`]).
+    ///
+    /// # Errors
+    /// [`ThesaurusError::Parse`] on a malformed line.
+    pub fn from_str_contents(text: &str) -> Result<Self, ThesaurusError> {
+        let mut thesaurus = Thesaurus::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parse = |message: &str| ThesaurusError::Parse {
+                line: i + 1,
+                message: message.to_string(),
+            };
+            let members: Vec<String> = if line.starts_with('[') {
+                parse_json_string_array(line).map_err(|m| parse(m))?
+            } else {
+                line.split_whitespace().map(str::to_string).collect()
+            };
+            if members.len() < 2 {
+                return Err(parse("a synonym group needs at least two members"));
+            }
+            thesaurus.group(members);
+        }
+        Ok(thesaurus)
+    }
 }
+
+/// Minimal JSON string-array parser for JSONL thesaurus lines —
+/// deliberately hand-rolled (no JSON dependency in the workspace).
+/// Accepts exactly `["a", "b", ...]` with the standard string escapes.
+fn parse_json_string_array(line: &str) -> Result<Vec<String>, &'static str> {
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    }
+    let mut chars = line.chars().peekable();
+    let mut out = Vec::new();
+    if chars.next() != Some('[') {
+        return Err("expected '['");
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some(']') if out.is_empty() => {
+                chars.next();
+                break;
+            }
+            Some('"') => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err("unterminated string"),
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('/') => s.push('/'),
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            _ => return Err("unsupported escape"),
+                        },
+                        Some(c) => s.push(c),
+                    }
+                }
+                out.push(s);
+                skip_ws(&mut chars);
+                match chars.next() {
+                    Some(',') => {}
+                    Some(']') => break,
+                    _ => return Err("expected ',' or ']'"),
+                }
+            }
+            _ => return Err("expected a JSON string"),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing characters after ']'");
+    }
+    Ok(out)
+}
+
+/// Why a synonyms file failed to load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThesaurusError {
+    /// The file could not be read.
+    Io(String),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for ThesaurusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThesaurusError::Io(e) => write!(f, "cannot read synonyms file: {e}"),
+            ThesaurusError::Parse { line, message } => {
+                write!(f, "malformed synonyms file (line {line}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThesaurusError {}
 
 impl SynonymProvider for Thesaurus {
     fn synonyms(&self, label: &str) -> Vec<String> {
@@ -180,5 +320,56 @@ mod tests {
         let t = Thesaurus::new();
         assert!(!t.related("x", "y"));
         assert!(t.related("x", "x"));
+    }
+
+    #[test]
+    fn loads_tsv_lines() {
+        let t = Thesaurus::from_str_contents(
+            "# domain thesaurus\nprofessor lecturer faculty\n\ncar automobile\n",
+        )
+        .unwrap();
+        assert!(t.related("professor", "faculty"));
+        assert!(t.related("car", "automobile"));
+        assert!(!t.related("car", "professor"));
+    }
+
+    #[test]
+    fn loads_jsonl_lines_with_spaces_and_escapes() {
+        let t = Thesaurus::from_str_contents(
+            "[\"Health Care\", \"Healthcare\"]\n[\"a\\\"b\", \"c\"]\n",
+        )
+        .unwrap();
+        assert!(t.related("Health Care", "Healthcare"));
+        assert!(t.related("a\"b", "c"));
+    }
+
+    #[test]
+    fn mixed_formats_in_one_file() {
+        let t = Thesaurus::from_str_contents("x y\n[\"Health Care\", \"HC\"]\n").unwrap();
+        assert!(t.related("x", "y"));
+        assert!(t.related("Health Care", "HC"));
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors_with_line_numbers() {
+        for (text, line) in [
+            ("a b\nsingleton\n", 2),
+            ("[\"unterminated\n", 1),
+            ("ok fine\n[\"a\" \"b\"]\n", 2),
+            ("[\"a\", \"b\"] trailing\n", 1),
+            ("[\"bad\\q\", \"b\"]\n", 1),
+        ] {
+            match Thesaurus::from_str_contents(text) {
+                Err(ThesaurusError::Parse { line: l, .. }) => assert_eq!(l, line, "{text:?}"),
+                other => panic!("{text:?} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Thesaurus::from_file(Path::new("/nonexistent/syn.tsv")).unwrap_err();
+        assert!(matches!(err, ThesaurusError::Io(_)));
+        assert!(err.to_string().starts_with("cannot read synonyms file"));
     }
 }

@@ -35,7 +35,16 @@
 //!  17 sink-table    u32 × 3·cap            open addressing, stored
 //!  18 sink-posts    u32 × n                postings (path ids)
 //!  19 stats         u64 × 7                Table 1 numbers
+//!  20 ic-counts     u64 × vocab+1          label occurrence counts
+//!                                          (total first) for the
+//!                                          IC-weighted cost model
 //! ```
+//!
+//! Files written before the `ic-counts` section existed carry a
+//! 20-entry table; parsing accepts both, and [`MappedIndex::ic_table`]
+//! recomputes the counts from the path label pools when the section is
+//! absent (the "sidecar fallback" — bit-identical to the stored table
+//! by construction, just not free).
 //!
 //! The hash tables are power-of-two open-addressing with linear
 //! probing (multiplicative Fibonacci hashing on the high bits), slot =
@@ -59,6 +68,7 @@
 //! little-endian hosts (all supported targets); parsing returns a typed
 //! error on big-endian rather than misreading.
 
+use crate::ic::{IcCounts, IcTable};
 use crate::index::{IndexedPath, PathIndex};
 use crate::path::{LabelsRef, Path, PathId, PathLabels};
 use crate::shard::IndexLike;
@@ -72,7 +82,10 @@ use std::time::Duration;
 /// The format magic.
 pub const MAGIC2: &[u8; 8] = b"SAMAIDX2";
 const VERSION: u32 = 2;
-const SECTION_COUNT: usize = 20;
+const SECTION_COUNT: usize = 21;
+/// Section count of files written before the `ic-counts` section —
+/// still accepted by [`Layout::parse`].
+const LEGACY_SECTION_COUNT: usize = 20;
 const HEADER_LEN: usize = 24;
 const TABLE_LEN: usize = SECTION_COUNT * 16;
 /// Empty hash-table slot marker (never a valid label id: ids are < len).
@@ -98,6 +111,7 @@ const S_LABEL_POSTS: usize = 16;
 const S_SINK_TABLE: usize = 17;
 const S_SINK_POSTS: usize = 18;
 const S_STATS: usize = 19;
+const S_IC_COUNTS: usize = 20;
 
 /// Human-readable section names, table order (for `sama index --stats`).
 pub const SECTION_NAMES: [&str; SECTION_COUNT] = [
@@ -121,6 +135,7 @@ pub const SECTION_NAMES: [&str; SECTION_COUNT] = [
     "sink-table",
     "sink-postings",
     "stats",
+    "ic-counts",
 ];
 
 // ---------------------------------------------------------------------------
@@ -279,6 +294,7 @@ pub fn encode_v2(index: &PathIndex) -> Result<Vec<u8>, StorageError> {
 
     let (label_table, label_posts) = build_table(index.label_map())?;
     let (sink_table, sink_posts) = build_table(index.sink_map())?;
+    let ic = index.ic_counts();
 
     let estimate = HEADER_LEN
         + TABLE_LEN
@@ -289,6 +305,7 @@ pub fn encode_v2(index: &PathIndex) -> Result<Vec<u8>, StorageError> {
         + (4 * node_pool + 2 * (index.path_count() + 1) + sorted_pool) * 4
         + (label_table.len() + label_posts.len() + sink_table.len() + sink_posts.len()) * 4
         + 56
+        + (vocab.len() + 1) * 8
         + 8 * SECTION_COUNT;
     let mut w = Writer::new(estimate);
 
@@ -399,6 +416,8 @@ pub fn encode_v2(index: &PathIndex) -> Result<Vec<u8>, StorageError> {
             buf.extend_from_slice(&v.to_le_bytes());
         }
     });
+    // 20: ic counts.
+    w.section(|buf| buf.extend_from_slice(&ic.to_bytes()));
 
     Ok(w.finish())
 }
@@ -422,6 +441,9 @@ pub fn serialize_index_v2(index: &mut PathIndex) -> Result<Vec<u8>, StorageError
 #[derive(Debug, Clone, Copy)]
 struct Layout {
     sec: [(usize, usize); SECTION_COUNT],
+    /// `false` for legacy 20-section files that predate the
+    /// `ic-counts` section (the `sec` entry for it is then `(0, 0)`).
+    has_ic: bool,
     vocab_len: usize,
     node_count: usize,
     edge_count: usize,
@@ -448,7 +470,7 @@ impl Layout {
         if !(bytes.as_ptr() as usize).is_multiple_of(8) {
             return Err(StorageError::Corrupt("index buffer is not 8-byte aligned"));
         }
-        if bytes.len() < HEADER_LEN + TABLE_LEN {
+        if bytes.len() < HEADER_LEN + LEGACY_SECTION_COUNT * 16 {
             if bytes.len() < MAGIC2.len() || &bytes[..MAGIC2.len()] != MAGIC2 {
                 return Err(StorageError::BadMagic);
             }
@@ -461,17 +483,23 @@ impl Layout {
         if version != VERSION {
             return Err(StorageError::Corrupt("unsupported SAMAIDX2 version"));
         }
-        let sections = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
-        if sections as usize != SECTION_COUNT {
+        let sections = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        // Legacy files predate the ic-counts section; anything else is
+        // not ours.
+        if sections != SECTION_COUNT && sections != LEGACY_SECTION_COUNT {
             return Err(StorageError::Corrupt("unexpected section count"));
+        }
+        let has_ic = sections == SECTION_COUNT;
+        if bytes.len() < HEADER_LEN + sections * 16 {
+            return Err(StorageError::Truncated);
         }
         if read_u64_at(bytes, 16) != bytes.len() as u64 {
             return Err(StorageError::Truncated);
         }
 
         let mut sec = [(0usize, 0usize); SECTION_COUNT];
-        let mut prev_end = HEADER_LEN + TABLE_LEN;
-        for (i, entry) in sec.iter_mut().enumerate() {
+        let mut prev_end = HEADER_LEN + sections * 16;
+        for (i, entry) in sec.iter_mut().enumerate().take(sections) {
             let at = HEADER_LEN + i * 16;
             let off = usize::try_from(read_u64_at(bytes, at))
                 .map_err(|_| StorageError::Corrupt("section offset overflow"))?;
@@ -558,6 +586,9 @@ impl Layout {
             }
         }
         expect(S_STATS, 56, "stats section size")?;
+        if has_ic {
+            expect(S_IC_COUNTS, (vocab_len + 1) * 8, "ic counts section size")?;
+        }
         let st = cast_u64s(&bytes[sec[S_STATS].0..sec[S_STATS].0 + 56]);
         let stats: [u64; 7] = st.try_into().expect("7 stats");
         if stats[3] != path_count as u64 {
@@ -566,6 +597,7 @@ impl Layout {
 
         Ok(Layout {
             sec,
+            has_ic,
             vocab_len,
             node_count,
             edge_count,
@@ -609,6 +641,8 @@ impl Layout {
             label_posts: self.u32s(bytes, S_LABEL_POSTS),
             sink_table: self.u32s(bytes, S_SINK_TABLE),
             sink_posts: self.u32s(bytes, S_SINK_POSTS),
+            // Legacy files: sec[S_IC_COUNTS] is (0, 0) → empty slice.
+            ic_counts: cast_u64s(self.bytes_of(bytes, S_IC_COUNTS)),
         }
     }
 }
@@ -639,6 +673,7 @@ pub struct IndexView<'a> {
     label_posts: &'a [u32],
     sink_table: &'a [u32],
     sink_posts: &'a [u32],
+    ic_counts: &'a [u64],
 }
 
 impl<'a> IndexView<'a> {
@@ -769,6 +804,20 @@ impl<'a> IndexView<'a> {
                 return Err(corrupt("posting out of range"));
             }
         }
+
+        // IC counts: the stored total must equal the summed counts — a
+        // flipped bit anywhere in the section trips this.
+        if l.has_ic {
+            let mut sum = 0u64;
+            for &c in &self.ic_counts[1..] {
+                sum = sum
+                    .checked_add(c)
+                    .ok_or(corrupt("ic counts overflow"))?;
+            }
+            if sum != self.ic_counts[0] {
+                return Err(corrupt("ic counts checksum mismatch"));
+            }
+        }
         Ok(())
     }
 
@@ -847,6 +896,30 @@ impl<'a> IndexView<'a> {
     /// Paths whose sink carries `label` (stored inverted map).
     pub fn paths_with_sink(&self, label: LabelId) -> &'a [u32] {
         Self::table_get(self.sink_table, self.sink_posts, label)
+    }
+
+    /// Label occurrence counts for the IC-weighted cost model: the
+    /// stored `ic-counts` section when present, else recomputed from
+    /// the path label pools (legacy 20-section files) — identical to
+    /// what the encoder would have stored, just not free.
+    pub fn ic_counts(&self) -> IcCounts {
+        if self.layout.has_ic {
+            IcCounts {
+                counts: self.ic_counts[1..].to_vec(),
+                total: self.ic_counts[0],
+            }
+        } else {
+            IcCounts::tally(
+                self.layout.vocab_len,
+                (0..self.layout.path_count).map(|i| {
+                    let l = self.labels(PathId(i as u32));
+                    l.node_labels
+                        .iter()
+                        .copied()
+                        .chain(l.edge_labels.iter().copied())
+                }),
+            )
+        }
     }
 
     /// The stats block stored in the file.
@@ -975,6 +1048,9 @@ pub struct MappedIndex {
     /// Optional MinHash/LSH candidate tier, loaded from a `SAMALSH1`
     /// sidecar file next to the index (see [`crate::lsh`]).
     lsh: Option<crate::lsh::LshSidecar>,
+    /// IC weight table, derived lazily from the `ic-counts` section
+    /// (or recomputed for legacy files) on first use.
+    ic: OnceLock<IcTable>,
 }
 
 impl MappedIndex {
@@ -1023,6 +1099,7 @@ impl MappedIndex {
             stats,
             data: OnceLock::new(),
             lsh: None,
+            ic: OnceLock::new(),
         })
     }
 
@@ -1161,6 +1238,14 @@ impl crate::shard::IndexLike for MappedIndex {
             .as_ref()
             .map(|sidecar| sidecar.probe(signature))
             .unwrap_or_default()
+    }
+
+    fn ic_table(&self) -> Option<IcTable> {
+        Some(
+            self.ic
+                .get_or_init(|| IcTable::from_counts(&self.view().ic_counts()))
+                .clone(),
+        )
     }
 }
 
@@ -1379,6 +1464,74 @@ mod tests {
         assert!(mapped.all_path_ids().is_empty());
         let back = decode_v2(&bytes).unwrap();
         assert_eq!(back.path_count(), 0);
+    }
+
+    /// Rewrite a freshly encoded buffer as a legacy 20-section file:
+    /// truncate before the ic-counts section, drop its table entry, and
+    /// patch the header's section count and file length. Section
+    /// offsets are absolute, so the remaining sections stay in place.
+    fn strip_ic_section(bytes: &[u8]) -> Vec<u8> {
+        let at = HEADER_LEN + S_IC_COUNTS * 16;
+        let ic_off = read_u64_at(bytes, at) as usize;
+        let mut out = bytes[..ic_off].to_vec();
+        out[12..16].copy_from_slice(&(LEGACY_SECTION_COUNT as u32).to_le_bytes());
+        let len = out.len() as u64;
+        out[16..24].copy_from_slice(&len.to_le_bytes());
+        out[at..at + 16].fill(0);
+        out
+    }
+
+    #[test]
+    fn ic_counts_section_matches_fresh_tally() {
+        let idx = bigger_index();
+        let bytes = encode_v2(&idx).unwrap();
+        let owned = AlignedBytes::copy_from(&bytes);
+        let view = IndexView::parse(owned.as_slice()).unwrap();
+        assert_eq!(view.ic_counts(), idx.ic_counts());
+    }
+
+    #[test]
+    fn legacy_twenty_section_files_still_open() {
+        let idx = bigger_index();
+        let bytes = encode_v2(&idx).unwrap();
+        let legacy = strip_ic_section(&bytes);
+        let mapped = MappedIndex::from_bytes(&legacy).unwrap();
+        assert_eq!(mapped.total_paths(), idx.path_count());
+        assert_eq!(
+            mapped.sink_matching("leaf 1", &NoSynonyms),
+            idx.sink_matching("leaf 1", &NoSynonyms)
+        );
+        // The recomputed fallback table is bit-identical to the one
+        // derived from the stored section.
+        let stored = MappedIndex::from_bytes(&bytes).unwrap();
+        let a = IndexLike::ic_table(&mapped).unwrap();
+        let b = IndexLike::ic_table(&stored).unwrap();
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() as u32 {
+            assert_eq!(
+                a.weight(LabelId(i)).to_bits(),
+                b.weight(LabelId(i)).to_bits(),
+                "label {i}"
+            );
+        }
+        assert_eq!(a.absent_weight().to_bits(), b.absent_weight().to_bits());
+    }
+
+    #[test]
+    fn mapped_ic_table_matches_owned_index() {
+        let idx = bigger_index();
+        let bytes = encode_v2(&idx).unwrap();
+        let mapped = MappedIndex::from_bytes(&bytes).unwrap();
+        let from_mapped = IndexLike::ic_table(&mapped).unwrap();
+        let from_owned = idx.ic_table();
+        assert_eq!(from_mapped.len(), from_owned.len());
+        for i in 0..from_owned.len() as u32 {
+            assert_eq!(
+                from_mapped.weight(LabelId(i)).to_bits(),
+                from_owned.weight(LabelId(i)).to_bits(),
+                "label {i}"
+            );
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn sample_bytes() -> Vec<u8> {
 /// entry, and the first/last byte of every section.
 fn interesting_offsets(bytes: &[u8]) -> Vec<usize> {
     const HEADER_LEN: usize = 24;
-    const SECTIONS: usize = 20;
+    const SECTIONS: usize = 21;
     let mut offs: Vec<usize> = (0..HEADER_LEN + SECTIONS * 16).collect();
     for i in 0..SECTIONS {
         let at = HEADER_LEN + i * 16;
@@ -90,10 +90,30 @@ fn bit_flips_at_section_boundaries_never_panic() {
 #[test]
 fn every_header_and_table_byte_zeroed_never_panics() {
     let bytes = sample_bytes();
-    for at in 0..(24 + 20 * 16) {
+    for at in 0..(24 + 21 * 16) {
         let mut mutated = bytes.clone();
         mutated[at] = 0;
         probe(&mutated);
+    }
+}
+
+#[test]
+fn ic_count_flips_are_rejected_by_the_checksum() {
+    // The ic-counts section (index 20) stores the total alongside the
+    // per-label counts, so any single bit flip inside a count word must
+    // be caught at open — never silently skew the cost model.
+    let bytes = sample_bytes();
+    let at = 24 + 20 * 16;
+    let off = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()) as usize;
+    let len = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap()) as usize;
+    assert!(len >= 16, "ic section holds a total plus counts");
+    for target in [off, off + 8, off + len - 8] {
+        for bit in 0..8 {
+            let mut mutated = bytes.clone();
+            mutated[target] ^= 1 << bit;
+            assert!(decode_v2(&mutated).is_err(), "flip at {target} accepted");
+            assert!(MappedIndex::from_bytes(&mutated).is_err());
+        }
     }
 }
 

@@ -1,10 +1,13 @@
 //! Property-based tests for the index substrate: incremental updates
-//! must be indistinguishable from rebuilds, and both storage formats
-//! must round-trip.
+//! must be indistinguishable from rebuilds, both storage formats must
+//! round-trip, and the IC weight table must stay a valid, monotone
+//! cost model under any corpus.
 
-use path_index::{decode_any, encode, encode_compressed, ExtractionConfig, PathIndex};
+use path_index::{
+    decode_any, encode, encode_compressed, ExtractionConfig, IcCounts, IcTable, PathIndex,
+};
 use proptest::prelude::*;
-use rdf_model::{DataGraph, Triple};
+use rdf_model::{DataGraph, LabelId, Triple};
 
 /// Random ground triples over a small closed world (guaranteed
 /// cycle-free by making edges point from lower to higher node ids, so
@@ -107,5 +110,70 @@ proptest! {
             }
             prop_assert!(index.paths_with_sink(ip.labels.sink_label()).contains(&id));
         }
+    }
+
+    /// IC weights are always finite and non-negative (Theorem 1's
+    /// precondition on the cost model), for any count vector.
+    #[test]
+    fn ic_weights_finite_and_non_negative(counts in proptest::collection::vec(0u64..1_000_000, 0..64)) {
+        let total = counts.iter().sum();
+        let table = IcTable::from_counts(&IcCounts { counts, total });
+        prop_assert!(table.is_valid());
+        prop_assert!(table.absent_weight().is_finite() && table.absent_weight() >= 0.0);
+    }
+
+    /// IC is monotone in inverse frequency: a strictly rarer label
+    /// never weighs less than a more frequent one.
+    #[test]
+    fn ic_weights_monotone_in_inverse_frequency(counts in proptest::collection::vec(0u64..10_000, 2..32)) {
+        let total = counts.iter().sum();
+        let table = IcTable::from_counts(&IcCounts { counts: counts.clone(), total });
+        for i in 0..counts.len() {
+            for j in 0..counts.len() {
+                if counts[i] < counts[j] {
+                    prop_assert!(
+                        table.weight(LabelId(i as u32)) >= table.weight(LabelId(j as u32)),
+                        "count {} weighs less than count {}", counts[i], counts[j]
+                    );
+                }
+            }
+            // Nothing outweighs a label absent from the corpus.
+            prop_assert!(table.absent_weight() >= table.weight(LabelId(i as u32)));
+        }
+    }
+
+    /// IC counts serialize/deserialize byte-identically.
+    #[test]
+    fn ic_counts_roundtrip_byte_identical(counts in proptest::collection::vec(0u64..1_000_000, 0..64)) {
+        let total = counts.iter().sum();
+        let original = IcCounts { counts, total };
+        let bytes = original.to_bytes();
+        let decoded = IcCounts::from_bytes(&bytes, original.counts.len()).expect("roundtrip");
+        prop_assert_eq!(&decoded, &original);
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    /// Truncations and bit flips of an encoded IC section produce typed
+    /// errors (or, for flips that cancel in the checksum, a valid
+    /// decode) — never a panic.
+    #[test]
+    fn ic_section_corruption_never_panics(
+        counts in proptest::collection::vec(0u64..1_000_000, 1..32),
+        cut in 0usize..512,
+        at in 0usize..512,
+        bit in 0u8..8,
+    ) {
+        let total = counts.iter().sum();
+        let original = IcCounts { counts, total };
+        let vocab_len = original.counts.len();
+        let bytes = original.to_bytes();
+        // Truncation: always a typed error.
+        let cut = cut % bytes.len();
+        prop_assert!(IcCounts::from_bytes(&bytes[..cut], vocab_len).is_err());
+        // Bit flip: the checksum must catch any single-bit change.
+        let mut flipped = bytes.clone();
+        let at = at % flipped.len();
+        flipped[at] ^= 1 << bit;
+        prop_assert!(IcCounts::from_bytes(&flipped, vocab_len).is_err());
     }
 }

@@ -32,7 +32,7 @@ use crate::case::Case;
 use datasets::Rng;
 use eval::oracle::ged_relevance;
 use graph_match::{Matcher, Vf2Matcher};
-use path_index::{MappedIndex, PathIndex};
+use path_index::{IcTable, IndexLike, MappedIndex, PathIndex, Thesaurus};
 use rdf_model::{DataGraph, Graph, Term, Triple};
 use sama_core::{
     AlignmentMode, BatchConfig, ClusterConfig, EngineConfig, QueryBudget, QueryResult, Retrieval,
@@ -149,6 +149,20 @@ pub const CATALOG: &[Invariant] = &[
         summary: "LSH retrieval is bit-identical to the exact scan at large top_m, \
                   and a subset with monotonically non-decreasing scores at small top_m",
         check: lsh_converges_to_exact,
+    },
+    Invariant {
+        name: "ic_weights_preserve_theorem1",
+        kind: Kind::Metamorphic,
+        summary: "Theorem 1 monotonicity (query relabel / generalization) holds \
+                  under corpus-IC-weighted mismatch costs",
+        check: ic_weights_preserve_theorem1,
+    },
+    Invariant {
+        name: "synonyms_converge_to_exact",
+        kind: Kind::Differential,
+        summary: "an empty synonym table plus a uniform IC table is bit-identical \
+                  to the legacy engine, and a real table never worsens the best score",
+        check: synonyms_converge_to_exact,
     },
 ];
 
@@ -449,8 +463,9 @@ fn trace_structure(result: &QueryResult) -> Vec<String> {
         .collect();
     lines.extend(trace.clusters.iter().map(|c| {
         format!(
-            "cluster q{} retrieved={} aligned={} kept={} dropped={} bestλ={:016x}",
+            "cluster q{} tier={} retrieved={} aligned={} kept={} dropped={} bestλ={:016x}",
             c.qpath_index,
+            c.tier.as_str(),
             c.retrieved,
             c.aligned,
             c.kept,
@@ -607,8 +622,181 @@ fn lsh_converges_to_exact(case: &Case) -> Result<(), String> {
     Ok(())
 }
 
+/// The semantic tier's exact-fallback contract: with an *empty* synonym
+/// table and a *uniform* IC table both features are armed but inert, so
+/// answers and the EXPLAIN structure (including every cluster's tier
+/// tag) must be bit-identical to the legacy engine. With a real synonym
+/// group over data labels, widening only ever *adds* accepted labels and
+/// candidate entries, so the best score can never get worse.
+fn synonyms_converge_to_exact(case: &Case) -> Result<(), String> {
+    let query = case.query_graph();
+    let configure = || {
+        let mut config = base_config();
+        config.trace = TraceConfig::enabled();
+        config
+    };
+    let plain = engine(case, configure()).answer(&query, case.k);
+
+    let neutral_engine = engine(case, configure());
+    let vocab_len = neutral_engine.index().data().vocab().len();
+    let neutral_engine = neutral_engine
+        .relax_synonyms(std::sync::Arc::new(Thesaurus::new()))
+        .with_ic_table(IcTable::uniform(vocab_len));
+    let neutral = neutral_engine.answer(&query, case.k);
+    if fingerprint(&plain) != fingerprint(&neutral) {
+        return Err(diff(
+            "empty thesaurus + uniform IC diverged from the legacy engine",
+            &fingerprint(&plain),
+            &fingerprint(&neutral),
+        ));
+    }
+    if trace_structure(&plain) != trace_structure(&neutral) {
+        return Err(diff(
+            "empty thesaurus + uniform IC changed the EXPLAIN structure",
+            &trace_structure(&plain),
+            &trace_structure(&neutral),
+        ));
+    }
+
+    // A genuine synonym group over the first two distinct data node
+    // labels: every original cluster entry survives (widening only adds
+    // accepted labels), so the search minimum cannot rise.
+    let mut labels: Vec<String> = Vec::new();
+    for t in &case.data {
+        for term in [&t.subject, &t.object] {
+            let lex = term.lexical().to_string();
+            if !labels.contains(&lex) {
+                labels.push(lex);
+            }
+        }
+        if labels.len() >= 2 {
+            break;
+        }
+    }
+    if labels.len() >= 2 {
+        let mut thesaurus = Thesaurus::new();
+        thesaurus.group([labels[0].as_str(), labels[1].as_str()]);
+        let relaxed_engine =
+            engine(case, configure()).relax_synonyms(std::sync::Arc::new(thesaurus));
+        let relaxed = relaxed_engine.answer(&query, case.k);
+        if let (Some(p), Some(r)) = (plain.best(), relaxed.best()) {
+            if r.score() > p.score() + 1e-9 {
+                return Err(format!(
+                    "synonym relaxation WORSENED the best score: {} -> {} \
+                     (widening can only add candidates)",
+                    p.score(),
+                    r.score()
+                ));
+            }
+        }
+        for (rank, a) in relaxed.answers.iter().enumerate() {
+            if !a.score().is_finite() || a.score() < -1e-9 {
+                return Err(format!(
+                    "synonym relaxation produced a non-finite/negative score at \
+                     rank {rank}: {}",
+                    a.score()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // Metamorphic checks.
+
+/// Theorem 1 under the IC-weighted cost model. Weights only scale the
+/// per-mismatch price (never below zero, and a fresh label prices at
+/// the table's absent-label maximum), so the paper's monotonicity
+/// survives: relabeling a query edge to a fresh predicate can never
+/// improve the best score, and generalizing a constant to a variable
+/// can never worsen it.
+fn ic_weights_preserve_theorem1(case: &Case) -> Result<(), String> {
+    let mut config = base_config();
+    config.ic_weights = true;
+    let eng = engine(case, config);
+    let query = case.query_graph();
+    let result = eng.answer(&query, case.k);
+    for (rank, a) in result.answers.iter().enumerate() {
+        if !a.score().is_finite() || a.score() < -1e-9 {
+            return Err(format!(
+                "IC-weighted score at rank {rank} is not a finite non-negative \
+                 number: {}",
+                a.score()
+            ));
+        }
+    }
+    let Some(best) = result.best().map(|a| a.score()) else {
+        return Ok(());
+    };
+
+    // Relabel direction: a fresh predicate is absent from the corpus, so
+    // its mismatch weight is the table's maximum — never cheaper.
+    let mut rng = Rng::new(case.seed ^ 0x1c5e_ed51);
+    let candidates: Vec<usize> = (0..case.query.len())
+        .filter(|&i| !case.query[i].predicate.is_variable())
+        .collect();
+    if !candidates.is_empty() {
+        let mut worse = case.clone();
+        let at = *rng.pick(&candidates);
+        worse.query[at].predicate = Term::Iri("zzz_fresh_predicate".to_string());
+        if worse.well_formed() {
+            let worse_result = eng.answer(&worse.query_graph(), case.k);
+            if let Some(worse_best) = worse_result.best().map(|a| a.score()) {
+                if worse_best + 1e-9 < best {
+                    return Err(format!(
+                        "relabeling query edge {at} to a fresh predicate IMPROVED \
+                         the IC-weighted best score: {best} -> {worse_best} \
+                         (Theorem 1 violated under weighted costs)"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Generalization direction: a variable admits every label at cost 0,
+    // which can only undercut a weighted constant mismatch.
+    let mut constants: Vec<Term> = Vec::new();
+    for t in &case.query {
+        for term in [&t.subject, &t.object] {
+            if !term.is_variable() && !constants.contains(term) {
+                constants.push(term.clone());
+            }
+        }
+    }
+    if constants.is_empty() {
+        return Ok(());
+    }
+    let target = rng.pick(&constants).clone();
+    let fresh = Term::Variable("gen_fresh".to_string());
+    let mut general = case.clone();
+    for t in &mut general.query {
+        if t.subject == target {
+            t.subject = fresh.clone();
+        }
+        if t.object == target {
+            t.object = fresh.clone();
+        }
+    }
+    if !general.well_formed() {
+        return Ok(());
+    }
+    let general_result = eng.answer(&general.query_graph(), case.k);
+    let Some(general_best) = general_result.best().map(|a| a.score()) else {
+        return Err(format!(
+            "generalizing {target} to a variable lost all answers under IC \
+             weights (original best score {best})"
+        ));
+    };
+    if general_best > best + 1e-9 {
+        return Err(format!(
+            "generalizing {target} to a variable WORSENED the IC-weighted best \
+             score: {best} -> {general_best} (Theorem 1 violated under weighted \
+             costs)"
+        ));
+    }
+    Ok(())
+}
 
 fn triple_order_invariance(case: &Case) -> Result<(), String> {
     let baseline = engine(case, base_config()).answer(&case.query_graph(), case.k);

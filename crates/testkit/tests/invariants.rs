@@ -47,6 +47,11 @@ fn lsh_converges_to_exact() {
     assert_invariant("lsh_converges_to_exact");
 }
 
+#[test]
+fn synonyms_converge_to_exact() {
+    assert_invariant("synonyms_converge_to_exact");
+}
+
 // --- Metamorphic: transformed inputs relate predictably ---
 
 #[test]
@@ -77,6 +82,11 @@ fn topk_prefix_stability() {
 #[test]
 fn deadline_unlimited_identity() {
     assert_invariant("deadline_unlimited_identity");
+}
+
+#[test]
+fn ic_weights_preserve_theorem1() {
+    assert_invariant("ic_weights_preserve_theorem1");
 }
 
 /// The acceptance bar: the catalog carries at least 8 distinct

@@ -18,7 +18,7 @@ use sama::engine::{
 use sama::index::{
     build_lsh_bytes, decode_any, encode, encode_compressed, encode_v2, serialize_index,
     serialize_index_v2, sidecar_path, v2::SECTION_NAMES, AlignedBytes, ExtractionConfig, IndexLike,
-    IndexView, LshParams, LshSidecar, MappedIndex, PathIndex,
+    IndexView, LshParams, LshSidecar, MappedIndex, PathIndex, Thesaurus,
 };
 use sama::model::{parse_ntriples, parse_sparql, parse_turtle, DataGraph};
 use std::io::Read;
@@ -61,17 +61,20 @@ USAGE:
   sama query <index.bin> <query.rq|-> [-k N] [--threads N] [--explain]
              [--explain-text] [--json] [--deadline-ms N] [--mmap]
              [--lsh] [--lsh-top-m N] [--anchor sink|selective]
+             [--ic-weights] [--synonyms <file>]
              [--profile-out <file>] [--slowlog MS] [--slowlog-out <file>]
   sama batch <index.bin> <q1.rq> [q2.rq ...] [-k N] [--threads N]
              [--shared-chi] [--json] [--metrics-out <file>] [--trace-out <file>]
              [--deadline-ms N] [--max-queue N] [--mmap]
              [--lsh] [--lsh-top-m N] [--anchor sink|selective]
+             [--ic-weights] [--synonyms <file>]
              [--profile-out <file>] [--slowlog MS] [--slowlog-out <file>]
   sama profile <index.bin> <query.rq|-> [-k N] [--threads N] [--out <file>]
              run one query with the phase-stack profiler armed and emit
              the folded flamegraph lines (stdout, or --out <file>)
   sama serve <index.bin> [--addr HOST:PORT] [-k N] [--threads N] [--mmap]
              [--lsh] [--lsh-top-m N] [--anchor sink|selective]
+             [--ic-weights] [--synonyms <file>]
              [--deadline-ms N] [--max-connections N] [--max-body-kb N]
              [--read-timeout-ms N] [--write-timeout-ms N] [--drain-ms N]
              [--max-queue N] [--metrics-out <file>] [--slowlog MS]
@@ -117,6 +120,19 @@ USAGE:
   --anchor MODE      candidate-retrieval anchor: \"sink\" (the paper's rule,
                      default) or \"selective\" (probe every constant, keep
                      the smallest candidate pool)
+  --ic-weights       price label mismatches by corpus information content
+                     (-log2 label frequency, from the index's IC section)
+                     instead of uniformly, so rare-label disagreements cost
+                     more than generic ones (also: SAMA_IC=1 env var;
+                     indexes without the section fall back to uniform)
+  --synonyms F       load a synonym table (TSV: one tab- or comma-separated
+                     group per line; # comments) and, when a cluster comes
+                     back thinner than 8 entries, retry its retrieval with
+                     synonym-widened labels (also: SAMA_SYN=<file> env var).
+                     Exact fallback: if widening adds nothing the original
+                     cluster is kept, and an empty table leaves every answer
+                     bit-identical; EXPLAIN tags relaxed clusters
+                     \"tier\":\"synonym\"
   --profile-out F    arm the phase-stack profiler and write the folded
                      flamegraph lines to F after the run (also:
                      SAMA_PROFILE=1 env var + sama profile)
@@ -146,6 +162,27 @@ fn mmap_requested(flag: bool) -> bool {
 /// `--lsh` / `SAMA_LSH=1`: prune candidates through the LSH tier.
 fn lsh_requested(flag: bool) -> bool {
     flag || std::env::var("SAMA_LSH").is_ok_and(|v| v == "1")
+}
+
+/// `--ic-weights` / `SAMA_IC=1`: price label mismatches by corpus
+/// information content instead of uniformly.
+fn ic_requested(flag: bool) -> bool {
+    flag || std::env::var("SAMA_IC").is_ok_and(|v| v == "1")
+}
+
+/// `--synonyms <file>` / `SAMA_SYN=<file>`: the synonym table path, if
+/// the relaxation tier was requested either way.
+fn synonyms_requested(flag: &Option<String>) -> Option<String> {
+    flag.clone()
+        .or_else(|| std::env::var("SAMA_SYN").ok().filter(|v| !v.is_empty()))
+}
+
+/// Load and share a synonym table for `SamaEngine::relax_synonyms`. A
+/// missing or malformed file is a one-line diagnostic, not a panic.
+fn load_thesaurus(path: &str) -> Result<std::sync::Arc<Thesaurus>, String> {
+    let thesaurus =
+        Thesaurus::from_file(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+    Ok(std::sync::Arc::new(thesaurus))
 }
 
 /// Arm the diagnostics sinks `query`/`batch` share before the run:
@@ -488,6 +525,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let mut lsh = false;
     let mut lsh_top_m = LSH_DEFAULT_TOP_M;
     let mut anchor = AnchorSelection::SinkFirst;
+    let mut ic = false;
+    let mut synonyms: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut profile_out: Option<String> = None;
     let mut slowlog_ms: Option<u64> = None;
@@ -508,6 +547,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                     .ok_or("--threads needs a number")?
                     .parse()
                     .map_err(|_| "bad --threads value")?;
+            }
+            "--synonyms" => {
+                synonyms = Some(iter.next().ok_or("--synonyms needs a path")?.clone());
             }
             "--deadline-ms" => {
                 deadline_ms = Some(
@@ -546,6 +588,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             "--json" => json = true,
             "--mmap" => mmap = true,
             "--lsh" => lsh = true,
+            "--ic-weights" => ic = true,
             other => positional.push(other.to_string()),
         }
     }
@@ -560,6 +603,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 
     let mut config = engine_config_for_threads(threads);
     config.cluster.anchor = anchor;
+    config.ic_weights = ic_requested(ic);
+    let thesaurus = match synonyms_requested(&synonyms) {
+        Some(path) => Some(load_thesaurus(&path)?),
+        None => None,
+    };
     let use_lsh = lsh_requested(lsh);
     if use_lsh {
         config.cluster.retrieval = Retrieval::Lsh {
@@ -584,7 +632,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
                 .attach_lsh(sidecar)
                 .map_err(|e| format!("cannot attach LSH sidecar: {e}"))?;
         }
-        let engine = SamaEngine::from_index_with_config(mapped, config);
+        let mut engine = SamaEngine::from_index_with_config(mapped, config);
+        if let Some(thesaurus) = &thesaurus {
+            engine = engine.relax_synonyms(thesaurus.clone());
+        }
         run_query(&engine, &query, query_path, k, explain, explain_text, json)?;
         return flush_diagnostics(&profile_out, &slowlog_out);
     }
@@ -595,7 +646,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             .attach_lsh(std::sync::Arc::new(sidecar))
             .map_err(|e| format!("cannot attach LSH sidecar: {e}"))?;
     }
-    let engine = SamaEngine::from_index_with_config(index, config);
+    let mut engine = SamaEngine::from_index_with_config(index, config);
+    if let Some(thesaurus) = &thesaurus {
+        engine = engine.relax_synonyms(thesaurus.clone());
+    }
     run_query(&engine, &query, query_path, k, explain, explain_text, json)?;
     flush_diagnostics(&profile_out, &slowlog_out)
 }
@@ -741,6 +795,8 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let mut lsh = false;
     let mut lsh_top_m = LSH_DEFAULT_TOP_M;
     let mut anchor = AnchorSelection::SinkFirst;
+    let mut ic = false;
+    let mut synonyms: Option<String> = None;
     let mut profile_out: Option<String> = None;
     let mut slowlog_ms: Option<u64> = None;
     let mut slowlog_out: Option<String> = None;
@@ -753,6 +809,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                     .ok_or("-k needs a number")?
                     .parse()
                     .map_err(|_| "bad -k value")?;
+            }
+            "--synonyms" => {
+                synonyms = Some(iter.next().ok_or("--synonyms needs a path")?.clone());
             }
             "--profile-out" => {
                 profile_out = Some(iter.next().ok_or("--profile-out needs a path")?.clone());
@@ -804,6 +863,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             "--json" => json = true,
             "--mmap" => mmap = true,
             "--lsh" => lsh = true,
+            "--ic-weights" => ic = true,
             "--metrics-out" => {
                 metrics_out = Some(iter.next().ok_or("--metrics-out needs a path")?.clone());
             }
@@ -832,6 +892,11 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
 
     let mut config = engine_config_for_threads(threads);
     config.cluster.anchor = anchor;
+    config.ic_weights = ic_requested(ic);
+    let thesaurus = match synonyms_requested(&synonyms) {
+        Some(path) => Some(load_thesaurus(&path)?),
+        None => None,
+    };
     let use_lsh = lsh_requested(lsh);
     if use_lsh {
         config.cluster.retrieval = Retrieval::Lsh {
@@ -861,6 +926,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("cannot attach LSH sidecar: {e}"))?;
         }
         let mut engine = SamaEngine::from_index_with_config(mapped, config);
+        if let Some(thesaurus) = &thesaurus {
+            engine = engine.relax_synonyms(thesaurus.clone());
+        }
         if shared_chi {
             engine = engine.with_shared_chi_cache(SharedChiCache::with_defaults());
         }
@@ -874,6 +942,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("cannot attach LSH sidecar: {e}"))?;
         }
         let mut engine = SamaEngine::from_index_with_config(index, config);
+        if let Some(thesaurus) = &thesaurus {
+            engine = engine.relax_synonyms(thesaurus.clone());
+        }
         if shared_chi {
             engine = engine.with_shared_chi_cache(SharedChiCache::with_defaults());
         }
@@ -1201,6 +1272,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut lsh = false;
     let mut lsh_top_m = LSH_DEFAULT_TOP_M;
     let mut anchor = AnchorSelection::SinkFirst;
+    let mut ic = false;
+    let mut synonyms: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut metrics_out: Option<String> = None;
     let mut slowlog_ms: Option<u64> = None;
@@ -1210,6 +1283,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--addr" => {
                 serve_config.addr = iter.next().ok_or("--addr needs HOST:PORT")?.clone();
+            }
+            "--synonyms" => {
+                synonyms = Some(iter.next().ok_or("--synonyms needs a path")?.clone());
             }
             "-k" => {
                 serve_config.k = iter
@@ -1305,6 +1381,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             "--mmap" => mmap = true,
             "--lsh" => lsh = true,
+            "--ic-weights" => ic = true,
             other => positional.push(other.to_string()),
         }
     }
@@ -1317,6 +1394,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
     let mut config = engine_config_for_threads(threads);
     config.cluster.anchor = anchor;
+    config.ic_weights = ic_requested(ic);
+    let thesaurus = match synonyms_requested(&synonyms) {
+        Some(path) => Some(load_thesaurus(&path)?),
+        None => None,
+    };
     let use_lsh = lsh_requested(lsh);
     if use_lsh {
         config.cluster.retrieval = Retrieval::Lsh {
@@ -1341,7 +1423,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 .attach_lsh(sidecar)
                 .map_err(|e| format!("cannot attach LSH sidecar: {e}"))?;
         }
-        let engine = SamaEngine::from_index_with_config(mapped, config);
+        let mut engine = SamaEngine::from_index_with_config(mapped, config);
+        if let Some(thesaurus) = &thesaurus {
+            engine = engine.relax_synonyms(thesaurus.clone());
+        }
         return serve_engine(engine, serve_config, &metrics_out, &slowlog_out);
     }
     let mut index = load_index(index_path)?;
@@ -1351,7 +1436,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .attach_lsh(std::sync::Arc::new(sidecar))
             .map_err(|e| format!("cannot attach LSH sidecar: {e}"))?;
     }
-    let engine = SamaEngine::from_index_with_config(index, config);
+    let mut engine = SamaEngine::from_index_with_config(index, config);
+    if let Some(thesaurus) = &thesaurus {
+        engine = engine.relax_synonyms(thesaurus.clone());
+    }
     serve_engine(engine, serve_config, &metrics_out, &slowlog_out)
 }
 

@@ -908,6 +908,263 @@ fn lsh_sidecar_roundtrip_and_env_flag() {
     assert_eq!(exact, rebuilt);
 }
 
+#[test]
+fn ic_weights_flag_and_env_keep_exact_answers() {
+    let nt = temp_path("data_ic.nt");
+    let rq = temp_path("query_ic.rq");
+    let idx = temp_path("index_ic.bin");
+    let _cleanup = Cleanup(vec![nt.clone(), rq.clone(), idx.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    std::fs::write(&rq, DEMO_RQ).unwrap();
+
+    let out = sama()
+        .args(["index", nt.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let run = |configure: &dyn Fn(&mut std::process::Command)| {
+        let mut cmd = sama();
+        cmd.args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--json",
+        ]);
+        configure(&mut cmd);
+        let out = cmd.output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    // IC weights only reprice *mismatches*: the exact answer stays
+    // score 0 and exact, flag and env var alike, owned and mmap alike.
+    let flagged = run(&|c| {
+        c.arg("--ic-weights");
+    });
+    assert!(flagged.contains("\"score\":0"), "{flagged}");
+    assert!(flagged.contains("\"exact\":true"), "{flagged}");
+    let via_env = run(&|c| {
+        c.env("SAMA_IC", "1");
+    });
+    assert_eq!(flagged, via_env);
+    let mapped = run(&|c| {
+        c.args(["--ic-weights", "--mmap"]);
+    });
+    assert_eq!(flagged, mapped);
+
+    // batch accepts the flag too.
+    let out = sama()
+        .args([
+            "batch",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--ic-weights",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("batch: 1 queries"));
+}
+
+#[test]
+fn synonyms_flag_relaxes_thin_clusters_and_falls_back_exactly() {
+    let nt = temp_path("data_syn.nt");
+    let rq = temp_path("query_syn.rq");
+    let idx = temp_path("index_syn.bin");
+    let syn = temp_path("syn.tsv");
+    let empty_syn = temp_path("syn_empty.tsv");
+    let _cleanup = Cleanup(vec![
+        nt.clone(),
+        rq.clone(),
+        idx.clone(),
+        syn.clone(),
+        empty_syn.clone(),
+    ]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    // "M" is not in the data; the synonym table bridges it to "Male".
+    std::fs::write(&rq, "SELECT ?p WHERE { ?p <gender> \"M\" . }\n").unwrap();
+    std::fs::write(&syn, "# gender codes\nM Male\nF Female\n").unwrap();
+    std::fs::write(&empty_syn, "# no groups yet\n").unwrap();
+
+    let out = sama()
+        .args(["index", nt.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let run = |configure: &dyn Fn(&mut std::process::Command)| {
+        let mut cmd = sama();
+        cmd.args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--json",
+        ]);
+        configure(&mut cmd);
+        let out = cmd.output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+
+    // Without synonyms "M" matches nothing exactly; with the table the
+    // widened cluster finds "Male" at cost 0.
+    let plain = run(&|_| {});
+    assert!(!plain.contains("\"score\":0,"), "{plain}");
+    let relaxed = run(&|c| {
+        c.args(["--synonyms", syn.to_str().unwrap()]);
+    });
+    assert!(relaxed.contains("\"score\":0,"), "{relaxed}");
+    assert!(relaxed.contains("\"exact\":true"), "{relaxed}");
+    assert!(relaxed.contains("PierceDickes"), "{relaxed}");
+
+    // SAMA_SYN env var and --mmap serve the same answers.
+    let via_env = run(&|c| {
+        c.env("SAMA_SYN", syn.to_str().unwrap());
+    });
+    assert_eq!(relaxed, via_env);
+    let mapped = run(&|c| {
+        c.args(["--synonyms", syn.to_str().unwrap(), "--mmap"]);
+    });
+    assert_eq!(relaxed, mapped);
+
+    // Exact fallback: an empty table changes nothing, byte for byte.
+    let neutral = run(&|c| {
+        c.args(["--synonyms", empty_syn.to_str().unwrap()]);
+    });
+    assert_eq!(plain, neutral);
+
+    // --explain tags the relaxed cluster with its tier.
+    let out = sama()
+        .args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--explain",
+            "--synonyms",
+            syn.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"tier\":\"synonym\""), "{text}");
+
+    // batch accepts both semantic flags together.
+    let out = sama()
+        .args([
+            "batch",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--synonyms",
+            syn.to_str().unwrap(),
+            "--ic-weights",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("batch: 1 queries"), "{text}");
+    assert!(text.contains("best score 0.00"), "{text}");
+}
+
+/// Synonyms-file failures are one-line diagnostics with exit 1, before
+/// any index work happens — never a panic.
+#[test]
+fn synonyms_file_error_paths() {
+    let nt = temp_path("data_synerr.nt");
+    let rq = temp_path("query_synerr.rq");
+    let idx = temp_path("index_synerr.bin");
+    let bad = temp_path("syn_bad.tsv");
+    let _cleanup = Cleanup(vec![nt.clone(), rq.clone(), idx.clone(), bad.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    std::fs::write(&rq, DEMO_RQ).unwrap();
+    // A one-member group is malformed (nothing to be a synonym *of*).
+    std::fs::write(&bad, "M Male\nlonely\n").unwrap();
+
+    let out = sama()
+        .args(["index", nt.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Missing file.
+    let out = sama()
+        .args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--synonyms",
+            "/no/such/synonyms.tsv",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read synonyms file"), "{stderr}");
+
+    // Malformed line, located by number.
+    let out = sama()
+        .args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--synonyms",
+            bad.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("malformed synonyms file (line 2)"),
+        "{stderr}"
+    );
+
+    // Missing value.
+    let out = sama()
+        .args([
+            "query",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--synonyms",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--synonyms needs a path"));
+
+    // batch rejects a bad table with the same diagnostic.
+    let out = sama()
+        .args([
+            "batch",
+            idx.to_str().unwrap(),
+            rq.to_str().unwrap(),
+            "--synonyms",
+            bad.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("malformed synonyms file"));
+}
+
 // ---- sama serve ------------------------------------------------------
 
 /// Read one HTTP response (head + Content-Length body) off `stream`.
@@ -1121,4 +1378,64 @@ fn serve_drain_returns_in_flight_results() {
     let mut rest = String::new();
     stdout.read_to_string(&mut rest).expect("drain line");
     assert!(rest.contains("drained 1 in-flight"), "got {rest:?}");
+}
+
+/// The semantic flags flow through `sama serve` to every HTTP query:
+/// a vocabulary-mismatched query answers exactly once the synonym
+/// table bridges it, and the relaxation counters appear on /metrics.
+#[cfg(unix)]
+#[test]
+fn serve_applies_semantic_flags_to_http_queries() {
+    use std::io::Write;
+    let nt = temp_path("serve_syn.nt");
+    let idx = temp_path("serve_syn.bin");
+    let syn = temp_path("serve_syn.tsv");
+    let _cleanup = Cleanup(vec![nt.clone(), idx.clone(), syn.clone()]);
+    std::fs::write(&nt, DEMO_NT).unwrap();
+    std::fs::write(&syn, "M Male\n").unwrap();
+    let out = sama()
+        .args(["index", nt.to_str().unwrap(), "-o", idx.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let (mut child, _stdout, port) = spawn_serve(
+        &idx,
+        &["--synonyms", syn.to_str().unwrap(), "--ic-weights"],
+        &[],
+    );
+    let (status, _, body) = post_to_serve(
+        port,
+        "/query",
+        "SELECT ?p WHERE { ?p <gender> \"M\" . }\n",
+    );
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("\"score\":0,"), "{text}");
+    assert!(text.contains("PierceDickes"), "{text}");
+
+    // /metrics exposes the semantic tier's counters after the probe.
+    let mut stream = std::net::TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: sama\r\nConnection: close\r\n\r\n")
+        .expect("write request");
+    let (status, _, body) = read_http_reply(&mut stream);
+    assert_eq!(status, 200);
+    let metrics = String::from_utf8(body).unwrap();
+    assert!(
+        metrics.contains("sama_cluster_synonym_probes_total"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("sama_cluster_synonym_admitted_total"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("sama_score_ic_queries_total"), "{metrics}");
+
+    sigterm(&child);
+    let status = child.wait().expect("wait");
+    assert!(status.success());
 }
